@@ -1,0 +1,37 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+appends a paper-vs-measured comparison to a session report, printed in the
+terminal summary (so it survives pytest's output capturing).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+_REPORT: List[str] = []
+
+
+@pytest.fixture
+def report():
+    """Append-only list of report lines, printed at session end."""
+    return _REPORT
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORT:
+        return
+    terminalreporter.write_sep("=", "paper vs measured")
+    for line in _REPORT:
+        terminalreporter.write_line(line)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure builder exactly once under the benchmark clock.
+
+    The builders are deterministic and some take seconds; one round keeps
+    the full suite fast while still recording wall time per figure.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

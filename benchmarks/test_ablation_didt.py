@@ -1,0 +1,48 @@
+"""Ablation — di/dt alignment vs smoothing across core counts.
+
+DESIGN.md calls out the two competing multicore noise trends: typical-case
+ripple smooths with more cores, worst-case droops align and deepen.  The
+alignment gain controls how much undervolt reserve the firmware keeps at
+eight cores: zeroing it should flatten the undervolt decay; doubling it
+should steepen it.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.config import DidtConfig, PdnConfig, ServerConfig
+from repro.guardband import GuardbandMode
+from repro.sim.run import build_server, measure_consolidated
+from repro.workloads import get_profile
+
+
+def _undervolt_drop_1_to_8(alignment_gain: float) -> float:
+    """Undervolt depth lost between one and eight active cores (mV)."""
+    didt = dataclasses.replace(DidtConfig(), droop_alignment_gain=alignment_gain)
+    config = ServerConfig(pdn=dataclasses.replace(PdnConfig(), didt=didt))
+    server = build_server(config)
+    profile = get_profile("raytrace")
+    uv = {}
+    for n in (1, 8):
+        result = measure_consolidated(server, profile, n, GuardbandMode.UNDERVOLT)
+        uv[n] = result.adaptive.point.socket_point(0).undervolt * 1000
+    return uv[1] - uv[8]
+
+
+def test_ablation_didt_alignment(benchmark, report):
+    def sweep():
+        return {gain: _undervolt_drop_1_to_8(gain) for gain in (0.0, 0.9, 1.8)}
+
+    losses = run_once(benchmark, sweep)
+
+    report.append("")
+    report.append("Ablation — undervolt lost from 1 to 8 cores vs droop alignment")
+    for gain, loss in losses.items():
+        report.append(f"  alignment gain {gain:<4}: undervolt loss {loss:5.1f} mV")
+    report.append(
+        "expectation: stronger multicore droop alignment forces a larger "
+        "firmware reserve at high core counts"
+    )
+
+    assert losses[1.8] > losses[0.9] > losses[0.0]

@@ -1,0 +1,60 @@
+"""Ablation — loadline resistance drives the borrowing-vs-consolidation gap.
+
+DESIGN.md calls out the per-socket loadline as the mechanism loadline
+borrowing exploits: halving per-socket current halves the loadline drop,
+and the reclaimed drop becomes undervolt headroom.  At light load (two
+active cores) the relation is cleanly monotone.  At heavy load it
+*saturates*: large resistances pin the consolidated baseline's undervolt at
+zero (the rail cannot go above the static voltage), after which extra
+resistance hurts borrowing as much as the baseline — a real clamping
+behaviour of guardband firmware worth demonstrating.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.analysis import figures
+from repro.config import PdnConfig, ServerConfig
+
+
+def _sweep_point(loadline_scale: float, n_cores: int):
+    base = PdnConfig()
+    pdn = dataclasses.replace(base, r_loadline=base.r_loadline * loadline_scale)
+    config = ServerConfig(pdn=pdn)
+    series = figures.fig12_borrowing_scaling(config=config, core_counts=(n_cores,))
+    return (
+        series.borrowing_gain_percent(0),
+        series.baseline_undervolt_mv[0],
+        series.borrowing_undervolt_mv[0],
+    )
+
+
+def test_ablation_loadline(benchmark, report):
+    scales = (0.25, 1.0, 2.0)
+
+    def sweep():
+        return {
+            n: {scale: _sweep_point(scale, n) for scale in scales} for n in (2, 8)
+        }
+
+    results = run_once(benchmark, sweep)
+
+    report.append("")
+    report.append("Ablation — borrowing gain vs loadline resistance")
+    for n, rows in results.items():
+        for scale, (gain, uv_base, uv_borrow) in rows.items():
+            report.append(
+                f"  {n} cores, r_loadline x{scale:<4}: gain {gain:5.1f}%  "
+                f"(undervolt {uv_base:.0f} -> {uv_borrow:.0f} mV)"
+            )
+    report.append(
+        "expectation: monotone at light load; saturates at heavy load once "
+        "the consolidated baseline's undervolt clamps at zero"
+    )
+
+    light = results[2]
+    assert light[2.0][0] > light[1.0][0] > light[0.25][0]
+    # Heavy-load saturation: the clamped baseline stops losing ground.
+    heavy = results[8]
+    assert heavy[2.0][0] < heavy[1.0][0] + 1.0

@@ -1,0 +1,54 @@
+"""Extension — cluster-level AGS (the paper's Sec. 5.1.1 future work).
+
+Measures the two-level policy (consolidate across servers, borrow within)
+against naive spreading on a four-server rack, quantifying both channels:
+whole-server power-off and within-server loadline borrowing.
+"""
+
+from conftest import run_once
+
+from repro.core import ClusterScheduler, Job
+from repro.workloads import get_profile
+
+JOB_MIX = [
+    ("raytrace", 6),
+    ("lu_cb", 8),
+    ("mcf", 4),
+    ("radix", 6),
+    ("swaptions", 2),
+]
+
+
+def test_ext_cluster_scheduling(benchmark, report):
+    scheduler = ClusterScheduler(n_servers=4)
+    jobs = [Job(get_profile(name), n) for name, n in JOB_MIX]
+
+    def evaluate_all():
+        out = {}
+        for across in ("spread", "consolidate"):
+            for within in ("consolidation", "borrowing"):
+                plan = scheduler.schedule(jobs, within=within, across=across)
+                out[(across, within)] = (
+                    plan.n_servers_on,
+                    scheduler.evaluate(plan).cluster_power,
+                )
+        return out
+
+    results = run_once(benchmark, evaluate_all)
+
+    report.append("")
+    report.append("Extension — cluster scheduling (4 servers, 26 threads)")
+    for (across, within), (servers_on, power) in results.items():
+        report.append(
+            f"  across={across:>11}, within={within:>13}: "
+            f"{servers_on} servers on, {power:7.1f} W"
+        )
+    best = results[("consolidate", "borrowing")][1]
+    worst = results[("spread", "consolidation")][1]
+    report.append(
+        f"two-level AGS vs naive spread: {(1 - best / worst) * 100:.1f}% cluster "
+        "power saved (paper defers this to future work; Sec. 5.1.1)"
+    )
+
+    assert best < worst
+    assert results[("consolidate", "borrowing")][0] < 4

@@ -1,0 +1,44 @@
+"""Extension — trace-driven AGS over a diurnal day.
+
+Integrates the hour-by-hour power of AGS vs the consolidation baseline
+over a canonical diurnal demand trace: the energy-proportionality framing
+of the paper's TCO argument.
+"""
+
+from conftest import run_once
+
+from repro import build_server, get_profile
+from repro.core import DynamicAgsDriver, diurnal_trace
+
+
+def test_ext_diurnal_trace(benchmark, report):
+    def replay():
+        server = build_server()
+        driver = DynamicAgsDriver(
+            server, get_profile("raytrace"), interval_seconds=3600.0
+        )
+        return driver.replay(diurnal_trace(24, low=1, high=8))
+
+    result = run_once(benchmark, replay)
+
+    report.append("")
+    report.append("Extension — diurnal trace (24 h, raytrace, 1-8 threads)")
+    peak = max(result.intervals, key=lambda i: i.demand)
+    trough = min(result.intervals, key=lambda i: i.demand)
+    report.append(
+        f"  trough ({trough.demand} thr): baseline {trough.baseline_power:.1f} W, "
+        f"AGS {trough.ags_power:.1f} W ({trough.saving_fraction:.1%})"
+    )
+    report.append(
+        f"  peak   ({peak.demand} thr): baseline {peak.baseline_power:.1f} W, "
+        f"AGS {peak.ags_power:.1f} W ({peak.saving_fraction:.1%})"
+    )
+    report.append(
+        f"  day: baseline {result.baseline_energy / 3.6e6:.2f} kWh, AGS "
+        f"{result.ags_energy / 3.6e6:.2f} kWh "
+        f"({result.energy_saving_fraction:.1%} saved), "
+        f"{result.n_reschedules} reschedules"
+    )
+
+    assert result.energy_saving_fraction > 0.01
+    assert result.n_reschedules < len(result.intervals)

@@ -1,0 +1,33 @@
+"""Fig. 4 — frequency and execution time vs cores (lu_cb, overclocking).
+
+Paper: ~10% frequency boost at one active core falling to ~4% at eight;
+execution-time speedup 8% -> 3%.
+"""
+
+from conftest import run_once
+
+from repro.analysis import figures
+
+
+def test_fig04_core_scaling_frequency(benchmark, report):
+    series = run_once(benchmark, figures.fig4_core_scaling_frequency)
+
+    report.append("")
+    report.append("Fig. 4 — lu_cb frequency/time vs active cores (overclock mode)")
+    report.append(
+        f"{'cores':>5} {'freq MHz':>9} {'boost %':>8} {'time s':>8} {'speedup %':>9}"
+    )
+    for i, n in enumerate(series.core_counts):
+        report.append(
+            f"{n:>5} {series.adaptive_frequency[i]/1e6:>9.0f} "
+            f"{series.frequency_boost_percent(i):>8.1f} "
+            f"{series.adaptive_time[i]:>8.1f} {series.speedup_percent(i):>9.1f}"
+        )
+    report.append("paper: boost 10% @1 -> 4% @8; speedup 8% @1 -> 3% @8")
+    report.append(
+        f"measured: boost {series.frequency_boost_percent(0):.1f}% @1 -> "
+        f"{series.frequency_boost_percent(7):.1f}% @8; speedup "
+        f"{series.speedup_percent(0):.1f}% -> {series.speedup_percent(7):.1f}%"
+    )
+
+    assert series.frequency_boost_percent(0) > series.frequency_boost_percent(7)

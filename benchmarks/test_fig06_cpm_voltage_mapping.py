@@ -1,0 +1,40 @@
+"""Fig. 6 — CPM output vs on-chip voltage across the DVFS range.
+
+Paper: near-linear mapping with ~21 mV of supply per CPM step at peak
+frequency, with per-core sensitivity spread from process variation.
+"""
+
+from conftest import run_once
+
+from repro.analysis import figures
+
+
+def test_fig06_cpm_voltage_mapping(benchmark, report):
+    result = run_once(benchmark, figures.fig6_cpm_voltage_mapping)
+
+    report.append("")
+    report.append("Fig. 6 — CPM-to-voltage mapping (AG disabled, idle throttle)")
+    nominal = result.frequencies[-1]
+    voltages, codes = result.lines[nominal]
+    report.append(f"sweep at {nominal/1e6:.0f} MHz:")
+    report.append(
+        "  "
+        + " ".join(f"{v*1000:>6.0f}" for v in voltages[:: max(len(voltages) // 6, 1)])
+        + "  (mV)"
+    )
+    report.append(
+        "  "
+        + " ".join(f"{c:>6.2f}" for c in codes[:: max(len(codes) // 6, 1)])
+        + "  (mean CPM code)"
+    )
+    report.append(
+        f"paper: ~21 mV per CPM bit, near-linear; per-core sensitivity varies"
+    )
+    report.append(
+        f"measured: {result.mv_per_bit:.1f} mV/bit "
+        f"(r^2={result.nominal_fit.r_squared:.3f}); per-core mV/bit: "
+        + " ".join(f"{s:.0f}" for s in result.core_sensitivity_mv)
+    )
+
+    assert 17.0 < result.mv_per_bit < 26.0
+    assert result.nominal_fit.r_squared > 0.98

@@ -1,0 +1,32 @@
+"""Fig. 7 — per-core on-chip voltage drop as cores activate in succession.
+
+Paper: drop grows from ~2% to ~8% of nominal with active cores; idle cores
+see the chip-wide (global) component, and each core's drop jumps when that
+core itself is activated (localized component).
+"""
+
+from conftest import run_once
+
+from repro.analysis import figures
+
+
+def test_fig07_voltage_drop_scaling(benchmark, report):
+    out = run_once(benchmark, figures.fig7_voltage_drop_scaling)
+
+    report.append("")
+    report.append("Fig. 7 — per-core voltage drop (%) vs active cores")
+    for workload, series in out.items():
+        core0 = series.drops_percent[0]
+        core7 = series.drops_percent[7]
+        report.append(
+            f"{workload:>12}: core0 "
+            + "->".join(f"{v:.1f}" for v in (core0[0], core0[3], core0[7]))
+            + f"   core7 "
+            + "->".join(f"{v:.1f}" for v in (core7[0], core7[3], core7[7]))
+        )
+    report.append("paper: total drop ~2% (1 core) -> ~8% (8 cores), global + local")
+    lu = out["lu_cb"].drops_percent[0]
+    report.append(f"measured (lu_cb core0): {lu[0]:.1f}% -> {lu[7]:.1f}%")
+
+    for series in out.values():
+        assert series.drops_percent[0][7] > series.drops_percent[0][0]

@@ -1,0 +1,38 @@
+"""Fig. 12 — loadline borrowing's undervolt and power scaling (raytrace).
+
+Paper: borrowing undervolts deeper at every core count (+20 mV from idle
+power at one core, +20 mV more from distributed dynamic power at eight),
+cutting total chip power by 1.6% / 4.2% / 8.5% at 2 / 4 / 8 active cores.
+"""
+
+from conftest import run_once
+
+from repro.analysis import figures
+
+
+def test_fig12_loadline_borrowing_raytrace(benchmark, report):
+    series = run_once(benchmark, figures.fig12_borrowing_scaling)
+
+    report.append("")
+    report.append("Fig. 12 — raytrace under consolidation vs loadline borrowing")
+    report.append(
+        f"{'cores':>5} {'uv base mV':>10} {'uv borrow mV':>12} "
+        f"{'P base W':>9} {'P borrow W':>10} {'gain %':>7}"
+    )
+    for i, n in enumerate(series.core_counts):
+        report.append(
+            f"{n:>5} {series.baseline_undervolt_mv[i]:>10.1f} "
+            f"{series.borrowing_undervolt_mv[i]:>12.1f} "
+            f"{series.baseline_power[i]:>9.1f} {series.borrowing_power[i]:>10.1f} "
+            f"{series.borrowing_gain_percent(i):>7.1f}"
+        )
+    report.append("paper: gains 1.6% / 4.2% / 8.5% at 2 / 4 / 8 cores")
+    report.append(
+        f"measured: {series.borrowing_gain_percent(1):.1f}% / "
+        f"{series.borrowing_gain_percent(3):.1f}% / "
+        f"{series.borrowing_gain_percent(7):.1f}%"
+    )
+
+    assert series.borrowing_gain_percent(7) > 3.0
+    for i in range(1, 8):
+        assert series.borrowing_undervolt_mv[i] > series.baseline_undervolt_mv[i]

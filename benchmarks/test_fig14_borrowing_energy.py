@@ -1,0 +1,43 @@
+"""Fig. 14 — borrowing's power & energy improvement, full catalog, 8 cores.
+
+Paper: 6.2% average power and 7.7% average energy reduction; lu_cb up to
+12.7%; communication-heavy lu_ncb/radiosity lose >20% performance and
+regress on energy; bandwidth-bound radix/zeusmp/lbm/fft/GemsFDTD gain
+50-171% energy from memory-contention relief (sometimes at higher power).
+"""
+
+from conftest import run_once
+
+from repro.analysis import figures
+
+
+def test_fig14_borrowing_energy(benchmark, report):
+    result = run_once(benchmark, figures.fig14_borrowing_energy)
+
+    report.append("")
+    report.append("Fig. 14 — loadline borrowing at eight busy cores (full catalog)")
+    report.append(
+        f"{'workload':>15} {'P base W':>9} {'P borrow W':>10} {'dP %':>6} "
+        f"{'dE %':>7} {'perf %':>7}"
+    )
+    shown = list(result.rows[:4]) + list(result.rows[-5:])
+    for r in shown:
+        report.append(
+            f"{r.workload:>15} {r.baseline_power:>9.1f} {r.borrowing_power:>10.1f} "
+            f"{r.power_improvement_percent:>6.1f} {r.energy_improvement_percent:>7.1f} "
+            f"{r.performance_change_percent:>7.1f}"
+        )
+    report.append(
+        "paper: avg power -6.2%, avg energy +7.7%; losers lu_ncb/radiosity; "
+        "winners radix/zeusmp/lbm/fft/GemsFDTD (+50-171%)"
+    )
+    report.append(
+        f"measured: avg power {result.mean_power_improvement:+.1f}%, avg energy "
+        f"{result.mean_energy_improvement:+.1f}%; losers "
+        + "/".join(r.workload for r in result.rows[:2])
+        + "; winners "
+        + "/".join(r.workload for r in result.rows[-5:])
+    )
+
+    assert result.mean_energy_improvement > 4.0
+    assert {r.workload for r in result.rows[:3]} >= {"lu_ncb", "radiosity"}

@@ -1,0 +1,36 @@
+"""Fig. 15 — colocation's effect on the critical workload's frequency.
+
+Paper: coremark alone runs at 4517 MHz; packing lu_cb threads alongside
+drags it to 4433 MHz, while mcf threads raise it — a >100 MHz swing from
+scheduling decisions alone.
+"""
+
+from conftest import run_once
+
+from repro.analysis import figures
+
+
+def test_fig15_colocation_frequency(benchmark, report):
+    points = run_once(benchmark, figures.fig15_colocation_frequency)
+
+    report.append("")
+    report.append("Fig. 15 — coremark frequency across <n_coremark, n_other> mixes")
+    for other in ("lu_cb", "mcf"):
+        row = [p for p in points if p.other == other]
+        row.sort(key=lambda p: p.n_coremark)
+        report.append(
+            f"  vs {other:>6}: "
+            + " ".join(
+                f"<{p.n_coremark},{p.n_other}>{p.coremark_frequency/1e6:.0f}"
+                for p in row
+            )
+        )
+    freqs = [p.coremark_frequency for p in points]
+    solo = [p for p in points if p.n_other == 0][0].coremark_frequency
+    report.append("paper: solo 4517 MHz; lu_cb-heavy 4433 MHz; span >100 MHz")
+    report.append(
+        f"measured: solo {solo/1e6:.0f} MHz; span "
+        f"{(max(freqs)-min(freqs))/1e6:.0f} MHz"
+    )
+
+    assert max(freqs) - min(freqs) > 100e6

@@ -1,0 +1,31 @@
+"""Fig. 16 — the MIPS-based adaptive-frequency predictor.
+
+Paper: one linear model over all stressed workload mixes predicts the
+settled frequency with 0.3% RMSE.
+"""
+
+from conftest import run_once
+
+from repro.analysis import figures
+
+
+def test_fig16_mips_predictor(benchmark, report):
+    result = run_once(benchmark, figures.fig16_mips_predictor)
+
+    samples = sorted(result.samples, key=lambda s: s.chip_mips)
+    report.append("")
+    report.append("Fig. 16 — chip MIPS vs adaptive frequency (eight busy cores)")
+    for s in (samples[0], samples[len(samples) // 2], samples[-1]):
+        predicted = result.predictor.predict(s.chip_mips)
+        report.append(
+            f"  {s.workload:>15}: {s.chip_mips:>8.0f} MIPS -> measured "
+            f"{s.frequency/1e6:.0f} MHz, predicted {predicted/1e6:.0f} MHz"
+        )
+    report.append("paper: linear fit, RMSE 0.3%")
+    report.append(
+        f"measured: RMSE {result.relative_rmse*100:.2f}% over "
+        f"{len(result.samples)} workloads "
+        f"(slope {result.predictor.slope:.0f} Hz/MIPS)"
+    )
+
+    assert result.relative_rmse < 0.006

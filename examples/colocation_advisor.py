@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Which batch jobs may share the chip with my latency-critical service?
+
+Trains the MIPS-based frequency predictor once, then ranks the *entire*
+benchmark catalog as candidate co-runners for WebSearch under a frequency
+requirement, verifying borderline calls on the simulator — the placement-
+time view of the paper's adaptive mapping.
+
+Run:  python examples/colocation_advisor.py
+"""
+
+from repro import build_server
+from repro.analysis.figures import fig16_mips_predictor
+from repro.core.advisor import ColocationAdvisor
+from repro.workloads import all_profiles
+from repro.workloads.websearch import WebSearchModel
+
+#: Frequency the WebSearch frequency-QoS model demands for its SLA (Hz).
+REQUIRED_FREQUENCY = 4.50e9
+
+
+def main() -> None:
+    print("Training the MIPS-based frequency predictor...")
+    training = fig16_mips_predictor()
+    server = build_server()
+    advisor = ColocationAdvisor(
+        server, WebSearchModel().profile(), training.predictor
+    )
+
+    verdicts = advisor.rank(
+        all_profiles(), REQUIRED_FREQUENCY, verify_margin=30e6
+    )
+    safe = [v for v in verdicts if v.predicted_safe]
+    unsafe = [v for v in verdicts if not v.predicted_safe]
+
+    print()
+    print(
+        f"requirement: WebSearch core >= {REQUIRED_FREQUENCY/1e6:.0f} MHz "
+        f"(predictor RMSE {training.relative_rmse:.2%})"
+    )
+    print()
+    print(f"safe co-runners ({len(safe)}):")
+    for v in safe[:8]:
+        mark = " (verified)" if v.verified else ""
+        print(
+            f"  {v.candidate:>16}: predicted {v.predicted_frequency/1e6:.0f} MHz"
+            f"{mark}"
+        )
+    if len(safe) > 8:
+        print(f"  ... and {len(safe) - 8} more")
+    print()
+    print(f"malicious co-runners ({len(unsafe)}), worst first:")
+    for v in unsafe[-6:][::-1]:
+        print(
+            f"  {v.candidate:>16}: predicted {v.predicted_frequency/1e6:.0f} MHz"
+        )
+    print()
+    print("The scheduler admits only the safe set next to the critical")
+    print("workload — Fig. 18's co-runner selection at placement time.")
+
+
+if __name__ == "__main__":
+    main()

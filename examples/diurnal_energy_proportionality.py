@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""A day in the life of one server: trace-driven AGS vs consolidation.
+
+Replays a diurnal demand trace (threads requested per hour) through the
+AGS facade and the conventional consolidation baseline, printing the
+hour-by-hour power and the day's energy bill — the energy-proportionality
+view the paper's TCO argument (Sec. 3.3, citing Barroso & Hölzle) implies.
+
+Run:  python examples/diurnal_energy_proportionality.py
+"""
+
+from repro import build_server, get_profile
+from repro.core import DynamicAgsDriver, diurnal_trace
+
+
+def main() -> None:
+    server = build_server()
+    driver = DynamicAgsDriver(
+        server,
+        get_profile("raytrace"),
+        interval_seconds=3600.0,  # hourly intervals
+    )
+    trace = diurnal_trace(n_intervals=24, low=1, high=8)
+    result = driver.replay(trace)
+
+    print("Hourly power under a diurnal load (raytrace service)")
+    print(f"{'hour':>5} {'demand':>7} {'baseline W':>11} {'AGS W':>7} {'saving':>8}")
+    for interval in result.intervals:
+        marker = "*" if interval.rescheduled else " "
+        print(
+            f"{interval.index:>5} {interval.demand:>7} "
+            f"{interval.baseline_power:>11.1f} {interval.ags_power:>7.1f} "
+            f"{interval.saving_fraction:>8.1%} {marker}"
+        )
+
+    print()
+    print(f"reschedules: {result.n_reschedules} (hysteresis on flat hours)")
+    print(
+        f"day's chip energy: baseline {result.baseline_energy / 3.6e6:.2f} kWh, "
+        f"AGS {result.ags_energy / 3.6e6:.2f} kWh "
+        f"({result.energy_saving_fraction:.1%} saved)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Watching the undervolting firmware converge, 32 ms tick by tick.
+
+The steady-state figures hide the control dynamics: starting from the
+static rail, the firmware creeps the VRM setpoint down between droop
+events, backs off when a droop dips the DPLL below target, and latches a
+floor at the deepest event it has seen.
+
+Run:  python examples/firmware_transient.py
+"""
+
+from repro import GuardbandMode, build_server, get_profile
+from repro.sim.engine import TransientEngine
+
+
+def main() -> None:
+    server = build_server()
+    server.place(0, get_profile("raytrace"), 4)
+    engine = TransientEngine(
+        server.sockets[0], GuardbandMode.UNDERVOLT, seed=17
+    )
+
+    print("Undervolting firmware transient (raytrace on 4 cores)")
+    print(f"{'tick':>5} {'t ms':>7} {'setpoint mV':>12} {'power W':>8} {'event':>22}")
+    results = engine.run(90)
+    for i, tick in enumerate(results):
+        if i % 6 and not tick.violation:
+            continue  # print every 6th quiet tick, every violation
+        event = (
+            f"droop {tick.observed_droop * 1000:.0f} mV -> back off"
+            if tick.violation
+            else ("droop ridden out" if tick.observed_droop > 0 else "")
+        )
+        print(
+            f"{i:>5} {tick.time * 1000:>7.0f} {tick.setpoint * 1000:>12.2f} "
+            f"{tick.solution.chip_power:>8.1f} {event:>22}"
+        )
+
+    start, end = results[0], results[-1]
+    saved = start.solution.chip_power - end.solution.chip_power
+    print()
+    print(
+        f"converged from {start.setpoint * 1000:.1f} mV to "
+        f"{end.setpoint * 1000:.1f} mV, saving {saved:.1f} W "
+        f"({saved / start.solution.chip_power:.1%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Power capping composed with adaptive guardbanding.
+
+An EnergyScale-style firmware enforces a socket power budget by walking
+the DVFS table down.  With adaptive guardbanding, every candidate clock
+first harvests the unused guardband (deeper undervolt at lower current),
+so the same budget supports a higher frequency than a static-guardband
+system — capping is where the harvested margin becomes *performance
+under a power constraint*.
+
+Run:  python examples/power_capping.py
+"""
+
+from repro import build_server, get_profile
+from repro.guardband import PowerCapPolicy
+
+
+def main() -> None:
+    server = build_server()
+    server.place(0, get_profile("lu_cb"), 8)
+    socket = server.sockets[0]
+    policy = PowerCapPolicy(server.config)
+
+    print("Power capping lu_cb on eight cores (socket budget sweep)")
+    print(
+        f"{'cap W':>7} {'static MHz':>11} {'adaptive MHz':>13} "
+        f"{'clock gain':>11}"
+    )
+    for cap in (150.0, 130.0, 115.0, 100.0, 90.0):
+        static = policy.enforce(socket, cap, adaptive=False)
+        adaptive = policy.enforce(socket, cap, adaptive=True)
+        gain = adaptive.frequency / static.frequency - 1
+        print(
+            f"{cap:>7.0f} {static.frequency / 1e6:>11.0f} "
+            f"{adaptive.frequency / 1e6:>13.0f} {gain:>11.1%}"
+        )
+
+    print()
+    print("Harvested guardband turns into clock frequency under every budget")
+    print("— the capping-mode face of the paper's efficiency argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Anatomy of the on-chip voltage drop (Sec. 4's root-cause analysis).
+
+Uses the telemetry stack exactly the way the paper's authors used AMESTER:
+CPMs as voltage "performance counters" (sample and sticky modes), the VRM
+current sensor, and the heuristic decomposition into loadline, IR drop,
+typical-case and worst-case di/dt.
+
+Run:  python examples/voltage_drop_anatomy.py
+"""
+
+from repro import GuardbandMode, build_server, get_profile, measure_consolidated
+from repro.pdn import DropDecomposer
+from repro.telemetry import Amester, CpmReadMode
+
+
+def main() -> None:
+    server = build_server()
+    profile = get_profile("raytrace")
+    decomposer = DropDecomposer(server.config.pdn)
+
+    print("Voltage drop decomposition for raytrace (static guardband, core 0)")
+    print(
+        f"{'cores':>6} {'total %':>8} {'loadline %':>10} {'IR %':>6} "
+        f"{'typ di/dt %':>11} {'worst di/dt %':>13}"
+    )
+    for n_cores in (1, 2, 4, 8):
+        result = measure_consolidated(server, profile, n_cores, GuardbandMode.UNDERVOLT)
+        solution = result.static.point.socket_point(0).solution
+
+        # Read the platform the measured way: AMESTER sticky/sample CPMs.
+        amester = Amester(server.sockets[0], seed=3)
+        records = amester.poll_many(solution, 40)
+        sample_codes = [min(r.cpm_sample) for r in records]
+        sticky_codes = [min(r.cpm_sticky) for r in records]
+
+        setpoint = solution.drops.setpoint
+        sample_drop = setpoint - solution.core_voltages[0]
+        # The deepest sticky dip over the observation converts to volts via
+        # the CPM step size.
+        bits_dipped = max(s - t for s, t in zip(sample_codes, sticky_codes))
+        mv_per_bit = server.config.chip.cpm_mv_per_bit
+        sticky_drop = sample_drop + bits_dipped * mv_per_bit
+
+        decomposed = decomposer.decompose(
+            chip_current=solution.total_current,
+            sample_mode_drop=sample_drop,
+            sticky_mode_drop=sticky_drop,
+            local_ir=solution.drops.ir_local[0],
+        ).as_percent_of(setpoint)
+        print(
+            f"{n_cores:>6} {decomposed.total:>8.2f} {decomposed.loadline:>10.2f} "
+            f"{decomposed.ir_drop:>6.2f} {decomposed.typical_didt:>11.2f} "
+            f"{decomposed.worst_didt:>13.2f}"
+        )
+
+    print()
+    print("Passive drop (loadline + IR) grows with the current draw and is")
+    print("what erodes adaptive guardbanding at high core counts (Sec. 4.3).")
+    _ = CpmReadMode  # imported for discoverability in the example
+
+
+if __name__ == "__main__":
+    main()

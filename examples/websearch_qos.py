@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Adaptive mapping protecting WebSearch's tail latency (Sec. 5.2).
+
+WebSearch serves queries from core 0 under a 0.5 s p90 SLA while batch
+co-runners fill the other seven cores.  The heavy co-runner's chip-wide
+activity drags the adaptive-guardbanding frequency — and with it the
+query tail — below the SLA.  The adaptive-mapping scheduler detects the
+violations, consults its MIPS-based frequency predictor, and swaps in a
+QoS-safe co-runner.
+
+Run:  python examples/websearch_qos.py
+"""
+
+from repro import build_server
+from repro.analysis.figures import fig16_mips_predictor
+from repro.core import AdaptiveMappingScheduler, QosSpec
+from repro.workloads.synthetic import throttled_corunner
+from repro.workloads.websearch import WebSearchModel
+
+
+def main() -> None:
+    server = build_server()
+    websearch = WebSearchModel()
+
+    print("Training the MIPS-based frequency predictor on the full catalog...")
+    training = fig16_mips_predictor()
+    print(
+        f"  fitted: f = {training.predictor.intercept / 1e6:.0f} MHz "
+        f"{training.predictor.slope:+.0f} Hz/MIPS "
+        f"(RMSE {training.relative_rmse:.2%})"
+    )
+
+    scheduler = AdaptiveMappingScheduler(
+        server=server,
+        critical=websearch.profile(),
+        spec=QosSpec(latency_target=0.5, violation_threshold=0.10),
+        candidates=[throttled_corunner(l) for l in ("light", "medium", "heavy")],
+        predictor=training.predictor,
+        latency_model=websearch,
+        windows_per_quantum=100,
+    )
+
+    print()
+    print("Co-runner classes at steady state:")
+    for level in ("light", "medium", "heavy"):
+        corunner = throttled_corunner(level)
+        frequency = scheduler.settle(corunner)
+        violations = websearch.violation_rate(frequency, n_windows=300)
+        print(
+            f"  {level:>6}: WebSearch core at {frequency / 1e6:.0f} MHz, "
+            f"p90 violations {violations:.1%}"
+        )
+
+    print()
+    print("Adaptive mapping, starting blindly colocated with the heavy class:")
+    for decision in scheduler.run("corunner_heavy", quanta=4):
+        action = (
+            f"swap to {decision.next_corunner}" if decision.swapped else "keep"
+        )
+        print(
+            f"  quantum: {decision.corunner:>16} "
+            f"viol={decision.violation_rate:>5.1%} "
+            f"f={decision.frequency / 1e6:.0f} MHz  p90={decision.mean_tail_latency * 1000:.0f} ms"
+            f"  -> {action}"
+        )
+
+    print()
+    print("paper: violation rate drops from >25% (heavy) to <7% (light),")
+    print("       and query tail latency improves (5.2% in the paper's run).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this machine's offline toolchain (setuptools 65,
+no ``wheel``) cannot build PEP 660 editable wheels; ``python setup.py
+develop`` installs the same editable layout without needing wheel.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Analysis layer: metrics, fits, and per-figure series builders.
+
+Every table/figure of the paper's evaluation has a builder here that
+returns plain data (dataclasses of lists) — the benchmarks print them, the
+examples plot or tabulate them, and EXPERIMENTS.md quotes them.
+"""
+
+from .fitting import LinearFit, fit_linear
+from .metrics import (
+    edp,
+    energy,
+    improvement_fraction,
+    percent,
+)
+
+__all__ = [
+    "LinearFit",
+    "edp",
+    "energy",
+    "fit_linear",
+    "improvement_fraction",
+    "percent",
+]

@@ -1,0 +1,90 @@
+"""Machine-readable export of the figure data.
+
+``python -m repro export fig3`` (or :func:`export_figure`) emits one
+figure's regenerated series as JSON — the bridge to whatever plotting
+stack a user prefers.  The JSON mirrors the builder dataclasses: keys are
+field names, series are lists, nothing is pre-formatted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Optional
+
+from ..config import ServerConfig
+from ..errors import ReproError
+from ..guardband import GuardbandMode
+from . import figures
+
+#: Figures the exporter understands.
+EXPORTABLE = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
+              "fig12", "fig13", "fig14", "fig15", "fig16", "fig17")
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert builder outputs into JSON-safe structures."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, GuardbandMode):
+        return value.value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    # Objects with no natural JSON shape (fitted models, raw predictors)
+    # export their public floats.
+    public = {
+        name: getattr(value, name)
+        for name in dir(value)
+        if not name.startswith("_")
+        and isinstance(getattr(type(value), name, None), property)
+    }
+    if public:
+        return {k: _jsonable(v) for k, v in public.items()}
+    return str(value)
+
+
+def figure_data(name: str, config: Optional[ServerConfig] = None) -> Dict[str, Any]:
+    """Regenerate one figure and return its data as plain structures."""
+    if name not in EXPORTABLE:
+        raise ReproError(
+            f"unknown figure {name!r}; exportable: {', '.join(EXPORTABLE)}"
+        )
+    builders = {
+        "fig3": lambda: figures.fig3_core_scaling_power(config),
+        "fig4": lambda: figures.fig4_core_scaling_frequency(config),
+        "fig5": lambda: {
+            "undervolt": figures.fig5_workload_heterogeneity(
+                GuardbandMode.UNDERVOLT, config
+            ),
+            "overclock": figures.fig5_workload_heterogeneity(
+                GuardbandMode.OVERCLOCK, config
+            ),
+        },
+        "fig6": lambda: figures.fig6_cpm_voltage_mapping(config),
+        "fig7": lambda: figures.fig7_voltage_drop_scaling(config),
+        "fig9": lambda: figures.fig9_drop_decomposition(config),
+        "fig10": lambda: figures.fig10_passive_drop_correlation(config),
+        "fig12": lambda: figures.fig12_borrowing_scaling(config),
+        "fig13": lambda: figures.fig13_borrowing_all_workloads(config),
+        "fig14": lambda: figures.fig14_borrowing_energy(config),
+        "fig15": lambda: figures.fig15_colocation_frequency(config),
+        "fig16": lambda: figures.fig16_mips_predictor(config),
+        "fig17": lambda: figures.fig17_websearch_qos(config),
+    }
+    return {"figure": name, "data": _jsonable(builders[name]())}
+
+
+def export_figure(
+    name: str, config: Optional[ServerConfig] = None, indent: int = 2
+) -> str:
+    """One figure's regenerated data as a JSON string."""
+    return json.dumps(figure_data(name, config), indent=indent)

@@ -1,0 +1,89 @@
+"""One import point for every figure builder.
+
+``from repro.analysis import figures`` gives the benchmarks and examples a
+single namespace covering the whole evaluation:
+
+=========  ===========================================================
+Builder    Paper figure
+=========  ===========================================================
+fig3_...   Fig. 3 — power & EDP vs active cores (raytrace)
+fig4_...   Fig. 4 — frequency & execution time vs cores (lu_cb)
+fig5_...   Fig. 5 — workload heterogeneity of the improvements
+fig6_...   Fig. 6 — CPM ↔ voltage mapping and sensitivity
+fig7_...   Fig. 7 — per-core voltage drop vs active cores
+fig9_...   Fig. 9 — voltage drop decomposition
+fig10_...  Fig. 10 — passive drop vs undervolt/boost correlations
+fig12_...  Fig. 12 — loadline borrowing scaling (raytrace)
+fig13_...  Fig. 13 — borrowing vs baseline, all scalable workloads
+fig14_...  Fig. 14 — borrowing power & energy, full catalog
+fig15_...  Fig. 15 — colocation frequency effects (coremark mixes)
+fig16_...  Fig. 16 — MIPS-based frequency predictor
+fig17_...  Fig. 17 — WebSearch QoS and adaptive mapping
+=========  ===========================================================
+"""
+
+from .figures_characterization import (
+    FIG5_WORKLOADS,
+    FIG9_WORKLOADS,
+    CoreScalingSeries,
+    CpmMappingResult,
+    DecompositionSeries,
+    Fig10Result,
+    HeterogeneitySeries,
+    PassiveDropCorrelation,
+    VoltageDropSeries,
+    fig3_core_scaling_power,
+    fig4_core_scaling_frequency,
+    fig5_workload_heterogeneity,
+    fig6_cpm_voltage_mapping,
+    fig7_voltage_drop_scaling,
+    fig9_drop_decomposition,
+    fig10_passive_drop_correlation,
+)
+from .figures_scheduling import (
+    BorrowingComparisonSeries,
+    BorrowingEnergyRow,
+    BorrowingScalingSeries,
+    ColocationPoint,
+    Fig14Result,
+    PredictorTrainingResult,
+    WebSearchQosResult,
+    fig12_borrowing_scaling,
+    fig13_borrowing_all_workloads,
+    fig14_borrowing_energy,
+    fig15_colocation_frequency,
+    fig16_mips_predictor,
+    fig17_websearch_qos,
+)
+
+__all__ = [
+    "FIG5_WORKLOADS",
+    "FIG9_WORKLOADS",
+    "BorrowingComparisonSeries",
+    "BorrowingEnergyRow",
+    "BorrowingScalingSeries",
+    "ColocationPoint",
+    "CoreScalingSeries",
+    "CpmMappingResult",
+    "DecompositionSeries",
+    "Fig10Result",
+    "Fig14Result",
+    "HeterogeneitySeries",
+    "PassiveDropCorrelation",
+    "PredictorTrainingResult",
+    "VoltageDropSeries",
+    "WebSearchQosResult",
+    "fig3_core_scaling_power",
+    "fig4_core_scaling_frequency",
+    "fig5_workload_heterogeneity",
+    "fig6_cpm_voltage_mapping",
+    "fig7_voltage_drop_scaling",
+    "fig9_drop_decomposition",
+    "fig10_passive_drop_correlation",
+    "fig12_borrowing_scaling",
+    "fig13_borrowing_all_workloads",
+    "fig14_borrowing_energy",
+    "fig15_colocation_frequency",
+    "fig16_mips_predictor",
+    "fig17_websearch_qos",
+]

@@ -1,0 +1,53 @@
+"""Linear fitting helpers (CPM↔voltage mapping, MIPS→frequency model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A least-squares line with fit-quality diagnostics."""
+
+    slope: float
+    intercept: float
+
+    #: Root-mean-square error of the residuals (absolute units).
+    rmse: float
+
+    #: Coefficient of determination.
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Fitted value at ``x``."""
+        return self.slope * x + self.intercept
+
+    def relative_rmse(self, mean_y: float) -> float:
+        """RMSE relative to a reference magnitude."""
+        if mean_y == 0:
+            raise ValueError("mean_y must be non-zero")
+        return self.rmse / abs(mean_y)
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Least-squares line through ``(x, y)`` with diagnostics."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError(f"shape mismatch: {x_arr.shape} vs {y_arr.shape}")
+    if x_arr.size < 2:
+        raise ValueError(f"need at least 2 points, got {x_arr.size}")
+    if float(np.ptp(x_arr)) == 0.0:
+        raise ValueError("x values are all identical; the fit is degenerate")
+    slope, intercept = np.polyfit(x_arr, y_arr, deg=1)
+    predicted = slope * x_arr + intercept
+    residuals = y_arr - predicted
+    rmse = float(np.sqrt(np.mean(residuals**2)))
+    total = float(np.sum((y_arr - y_arr.mean()) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - float(np.sum(residuals**2)) / total
+    return LinearFit(
+        slope=float(slope), intercept=float(intercept), rmse=rmse, r_squared=r_squared
+    )

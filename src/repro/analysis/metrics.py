@@ -1,0 +1,30 @@
+"""Shared metric arithmetic for the evaluation figures."""
+
+from __future__ import annotations
+
+
+def energy(power: float, time: float) -> float:
+    """Energy (J) of a run at ``power`` watts for ``time`` seconds."""
+    if power < 0 or time < 0:
+        raise ValueError("power and time must be >= 0")
+    return power * time
+
+
+def edp(power: float, time: float) -> float:
+    """Energy-delay product (J·s)."""
+    return energy(power, time) * time
+
+
+def improvement_fraction(baseline: float, improved: float) -> float:
+    """Relative reduction of ``improved`` versus ``baseline``.
+
+    Positive when ``improved`` is smaller (better for power/energy/time).
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return 1.0 - improved / baseline
+
+
+def percent(fraction: float) -> float:
+    """Fraction → percentage."""
+    return fraction * 100.0

@@ -1,0 +1,209 @@
+"""Calibration self-check: validate the model against the paper's anchors.
+
+DESIGN.md section 4 lists the quantitative anchors the simulation is
+calibrated to.  :func:`run_selfcheck` measures each anchor on a fresh
+default platform and reports pass/fail against a tolerance band — the
+programmatic version of EXPERIMENTS.md's comparison table, runnable after
+any model change (``python -m repro selfcheck``).
+
+The bands match the assertions in ``tests/test_paper_claims.py``; this
+module exists so *users* changing configuration parameters get the same
+verdicts without running the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..config import ServerConfig
+from ..guardband import GuardbandMode
+from .figures_characterization import (
+    fig3_core_scaling_power,
+    fig5_workload_heterogeneity,
+    fig6_cpm_voltage_mapping,
+)
+from .figures_scheduling import (
+    fig12_borrowing_scaling,
+    fig15_colocation_frequency,
+    fig16_mips_predictor,
+)
+
+
+@dataclass(frozen=True)
+class AnchorCheck:
+    """One calibration anchor's verdict."""
+
+    #: Short name of the anchor.
+    name: str
+
+    #: Where the paper states it.
+    source: str
+
+    #: The paper's value (display units).
+    expected: float
+
+    #: The measured value (same units).
+    measured: float
+
+    #: Allowed absolute deviation.
+    tolerance: float
+
+    @property
+    def passed(self) -> bool:
+        """Whether the measurement lands inside the band."""
+        return abs(self.measured - self.expected) <= self.tolerance
+
+    def __str__(self) -> str:
+        verdict = "ok " if self.passed else "FAIL"
+        return (
+            f"[{verdict}] {self.name}: expected {self.expected:g} "
+            f"± {self.tolerance:g}, measured {self.measured:.2f}  ({self.source})"
+        )
+
+
+@dataclass(frozen=True)
+class SelfCheckReport:
+    """All anchor verdicts."""
+
+    checks: tuple
+
+    @property
+    def passed(self) -> bool:
+        """Whether every anchor passed."""
+        return all(c.passed for c in self.checks)
+
+    def failures(self) -> List[AnchorCheck]:
+        """The anchors that failed, if any."""
+        return [c for c in self.checks if not c.passed]
+
+
+def run_selfcheck(
+    config: Optional[ServerConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SelfCheckReport:
+    """Measure every calibration anchor and return the verdicts.
+
+    ``progress`` (e.g. ``print``) is called with each anchor's name before
+    its measurement — the full check takes a few seconds.
+    """
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    checks: List[AnchorCheck] = []
+
+    note("Fig. 3 core scaling (raytrace)")
+    fig3 = fig3_core_scaling_power(config)
+    checks.append(
+        AnchorCheck(
+            name="raytrace saving @1 core (%)",
+            source="Fig. 3a",
+            expected=13.0,
+            measured=fig3.power_saving_percent(0),
+            tolerance=2.0,
+        )
+    )
+    checks.append(
+        AnchorCheck(
+            name="raytrace saving @8 cores (%)",
+            source="Fig. 3a",
+            expected=3.0,
+            measured=fig3.power_saving_percent(7),
+            tolerance=2.0,
+        )
+    )
+    checks.append(
+        AnchorCheck(
+            name="raytrace static power @8 cores (W)",
+            source="Fig. 3a",
+            expected=140.0,
+            measured=fig3.static_power[7],
+            tolerance=12.0,
+        )
+    )
+
+    note("Fig. 5 heterogeneity (17 scalable workloads)")
+    fig5 = fig5_workload_heterogeneity(GuardbandMode.UNDERVOLT, config)
+    one_core = [series[0] for series in fig5.improvements.values()]
+    checks.append(
+        AnchorCheck(
+            name="five-workload avg saving @1 core (%)",
+            source="Sec. 3.3",
+            expected=13.3,
+            measured=float(np.mean(one_core)),
+            tolerance=1.5,
+        )
+    )
+
+    note("Fig. 6 CPM sensitivity")
+    fig6 = fig6_cpm_voltage_mapping(config)
+    checks.append(
+        AnchorCheck(
+            name="CPM sensitivity (mV/bit)",
+            source="Fig. 6a / Sec. 4.1",
+            expected=21.0,
+            measured=fig6.mv_per_bit,
+            tolerance=2.5,
+        )
+    )
+
+    note("Fig. 12 loadline borrowing (raytrace)")
+    fig12 = fig12_borrowing_scaling(config)
+    checks.append(
+        AnchorCheck(
+            name="borrowing gain @8 cores (%)",
+            source="Fig. 12b",
+            expected=8.5,
+            measured=fig12.borrowing_gain_percent(7),
+            tolerance=4.0,
+        )
+    )
+    checks.append(
+        AnchorCheck(
+            name="borrowing gain @2 cores (%)",
+            source="Fig. 12b",
+            expected=1.6,
+            measured=fig12.borrowing_gain_percent(1),
+            tolerance=1.5,
+        )
+    )
+
+    note("Fig. 15 colocation span")
+    fig15 = fig15_colocation_frequency(config)
+    solo = [p for p in fig15 if p.n_other == 0][0]
+    freqs = [p.coremark_frequency for p in fig15]
+    checks.append(
+        AnchorCheck(
+            name="coremark solo frequency (MHz)",
+            source="Fig. 15",
+            expected=4517.0,
+            measured=solo.coremark_frequency / 1e6,
+            tolerance=40.0,
+        )
+    )
+    checks.append(
+        AnchorCheck(
+            name="colocation frequency span (MHz)",
+            source="Fig. 15",
+            expected=130.0,
+            measured=(max(freqs) - min(freqs)) / 1e6,
+            tolerance=60.0,
+        )
+    )
+
+    note("Fig. 16 MIPS predictor")
+    fig16 = fig16_mips_predictor(config)
+    checks.append(
+        AnchorCheck(
+            name="MIPS predictor RMSE (%)",
+            source="Fig. 16 / Sec. 5.2.1",
+            expected=0.30,
+            measured=fig16.relative_rmse * 100,
+            tolerance=0.25,
+        )
+    )
+
+    return SelfCheckReport(checks=tuple(checks))

@@ -1,0 +1,37 @@
+"""Behavioural model of the POWER7+ die.
+
+Submodules
+----------
+``timing``   – the Vmin(f) timing wall and margin arithmetic.
+``power``    – dynamic CV²f plus leakage power model.
+``cpm``      – critical path monitor sensors (margin → 0..11 code).
+``dpll``     – per-core slew-limited digital PLL.
+``thermal``  – first-order thermal RC model.
+``core``     – one core: SMT thread slots, activity, gating state.
+``chip``     – the eight-core die tying everything together.
+"""
+
+from .chip import Power7Chip
+from .core import CoreState, Power7Core
+from .cpm import CriticalPathMonitor, CpmBank
+from .dpll import DigitalPll
+from .dvfs import DvfsTable
+from .power import PowerBreakdown, PowerModel
+from .thermal import ThermalModel
+from .timing import TimingModel
+from .vcs import VcsDomain
+
+__all__ = [
+    "CoreState",
+    "CpmBank",
+    "CriticalPathMonitor",
+    "DigitalPll",
+    "DvfsTable",
+    "Power7Chip",
+    "Power7Core",
+    "PowerBreakdown",
+    "PowerModel",
+    "ThermalModel",
+    "TimingModel",
+    "VcsDomain",
+]

@@ -1,0 +1,116 @@
+"""Transistor aging: the guardband component adaptive systems absorb.
+
+The paper's intro lists aging among the effects the static guardband must
+cover ("the static margin guarantees that the loadline, aging effects,
+fast noise processes and calibration error are all safely considered").
+A static system provisions the *end-of-life* aging shift on day one; an
+adaptive system measures the real margin through its CPMs every cycle, so
+it only ever pays for the aging that has actually happened — its benefit
+therefore *shrinks over the machine's lifetime* as the silicon slows, but
+its reliability never depends on a worst-case projection.
+
+:class:`AgingModel` captures the standard NBTI/HCI-style power-law drift
+of the timing wall, and :func:`aged_chip_config` produces the chip
+configuration of a machine at a given service age — both used by the
+lifetime study in ``benchmarks/test_ext_aging_lifetime.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..config import ChipConfig, ServerConfig
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AgingModel:
+    """Power-law drift of the Vmin wall with service time.
+
+    ``shift(t) = end_of_life_shift * (t / lifetime) ** exponent`` — fast
+    early drift that saturates toward the provisioned end-of-life value,
+    the canonical NBTI recovery-inclusive shape.
+    """
+
+    #: Vmin increase the static guardband provisions for (V).
+    end_of_life_shift: float = 0.025
+
+    #: Service lifetime the provisioning assumes (years).
+    lifetime_years: float = 10.0
+
+    #: Power-law exponent (NBTI-like sublinear drift).
+    exponent: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.end_of_life_shift < 0:
+            raise ConfigError("end_of_life_shift must be >= 0")
+        if self.lifetime_years <= 0:
+            raise ConfigError("lifetime_years must be positive")
+        if not 0 < self.exponent <= 1:
+            raise ConfigError("exponent must be in (0, 1]")
+
+    def shift(self, years: float) -> float:
+        """Vmin increase (V) after ``years`` of service."""
+        if years < 0:
+            raise ConfigError(f"years must be >= 0, got {years}")
+        fraction = min(years / self.lifetime_years, 1.0)
+        return self.end_of_life_shift * fraction**self.exponent
+
+    def remaining_headroom(self, years: float) -> float:
+        """Provisioned aging margin not yet consumed (V).
+
+        This is what an adaptive system harvests on top of its other
+        savings: the static design holds the full ``end_of_life_shift``
+        from day one, the adaptive design only loses ``shift(years)``.
+        """
+        return self.end_of_life_shift - self.shift(years)
+
+
+def aged_chip_config(base: ChipConfig, model: AgingModel, years: float) -> ChipConfig:
+    """The chip configuration of a machine ``years`` into service.
+
+    Aging raises the timing wall uniformly: the returned config's
+    ``vmin_intercept`` grows by the model's shift.  Everything that reads
+    the wall — CPM margins, DPLL servo targets, the undervolt floor —
+    automatically sees the slower silicon, which is exactly how the
+    hardware experiences it.
+    """
+    return dataclasses.replace(
+        base, vmin_intercept=base.vmin_intercept + model.shift(years)
+    )
+
+
+def aged_server_config(
+    base: ServerConfig, model: AgingModel, years: float
+) -> ServerConfig:
+    """The server configuration of a machine ``years`` into service.
+
+    The static rail was provisioned on day 0 for end-of-life silicon, so
+    it must *not* move as the machine ages.  Since the configuration
+    derives the rail as ``vmin(f_nominal) + static_guardband``, raising
+    the wall by the aging shift requires shrinking the configured
+    guardband by the same amount — the physical reality: aged silicon has
+    consumed that slice of its margin.
+
+    Raises
+    ------
+    ConfigError
+        If the shift exceeds the configured guardband (a mis-provisioned
+        design: the machine would not be reliable at this age).
+    """
+    shift = model.shift(years)
+    remaining = base.guardband.static_guardband - shift
+    if remaining <= 0:
+        raise ConfigError(
+            f"aging shift of {shift*1000:.1f} mV exceeds the "
+            f"{base.guardband.static_guardband*1000:.0f} mV guardband — "
+            "the static design is mis-provisioned for this lifetime"
+        )
+    return dataclasses.replace(
+        base,
+        chip=aged_chip_config(base.chip, model, years),
+        guardband=dataclasses.replace(
+            base.guardband, static_guardband=remaining
+        ),
+    )

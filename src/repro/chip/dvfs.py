@@ -1,0 +1,127 @@
+"""DVFS operating-point table.
+
+Fig. 6a marks the system's default voltage levels at the DVFS operating
+points: one (frequency, voltage) pair per 28 MHz step from 2.8 GHz to the
+4.2 GHz nominal, with the static guardband applied on top of the timing
+wall at each step.  :class:`DvfsTable` generates and queries that table —
+the platform's menu of safe static operating points, used by parking, by
+power-capping policies, and by the energy-vs-performance sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..config import ChipConfig, GuardbandConfig
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS table entry."""
+
+    #: Clock frequency of the point (Hz).
+    frequency: float
+
+    #: Static-guardband supply voltage of the point (V).
+    voltage: float
+
+    #: Index in the table (0 = lowest frequency).
+    index: int
+
+
+class DvfsTable:
+    """The chip's static DVFS menu, derived from the timing wall.
+
+    Each point's voltage is ``vmin(f) + static_guardband`` — the
+    conservative supply that tolerates worst-case conditions at that
+    clock, exactly how the marked line in Fig. 6a is constructed.
+    """
+
+    def __init__(
+        self,
+        chip: ChipConfig,
+        guardband: GuardbandConfig,
+        step_multiple: int = 1,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        step_multiple:
+            Table granularity in DPLL steps (1 = every 28 MHz point; the
+            paper's Fig. 6a draws every tenth).
+        """
+        if step_multiple < 1:
+            raise ConfigError(f"step_multiple must be >= 1, got {step_multiple}")
+        self._chip = chip
+        self._guardband = guardband
+        step = chip.f_step * step_multiple
+        points: List[OperatingPoint] = []
+        frequency = chip.f_min
+        index = 0
+        while frequency <= chip.f_nominal + 1e-3:
+            points.append(
+                OperatingPoint(
+                    frequency=frequency,
+                    voltage=chip.vmin(frequency) + guardband.static_guardband,
+                    index=index,
+                )
+            )
+            frequency += step
+            index += 1
+        self._points = tuple(points)
+
+    @property
+    def points(self) -> tuple:
+        """All operating points, lowest frequency first."""
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __getitem__(self, index: int) -> OperatingPoint:
+        return self._points[index]
+
+    @property
+    def pmin(self) -> OperatingPoint:
+        """The lowest operating point (parking state)."""
+        return self._points[0]
+
+    @property
+    def pmax(self) -> OperatingPoint:
+        """The nominal (highest static) operating point."""
+        return self._points[-1]
+
+    def point_for_frequency(self, frequency: float) -> OperatingPoint:
+        """The lowest table point whose frequency is >= ``frequency``.
+
+        Raises
+        ------
+        ConfigError
+            If ``frequency`` exceeds the table's top point.
+        """
+        for point in self._points:
+            if point.frequency >= frequency - 1e-3:
+                return point
+        raise ConfigError(
+            f"{frequency/1e6:.0f} MHz exceeds the DVFS table's top point "
+            f"({self.pmax.frequency/1e6:.0f} MHz)"
+        )
+
+    def point_for_voltage_budget(self, voltage: float) -> OperatingPoint:
+        """The fastest point whose supply fits inside ``voltage``.
+
+        This is the power-capping query: given a rail budget, how fast may
+        the chip legally run under the static guardband?
+        """
+        best = None
+        for point in self._points:
+            if point.voltage <= voltage + 1e-9:
+                best = point
+        if best is None:
+            raise ConfigError(
+                f"no DVFS point fits a {voltage*1000:.0f} mV budget "
+                f"(Pmin needs {self.pmin.voltage*1000:.0f} mV)"
+            )
+        return best

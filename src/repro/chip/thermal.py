@@ -1,0 +1,77 @@
+"""First-order thermal model of the die.
+
+The paper reports die temperature between 27 C (lowest frequency, idle-ish)
+and 38 C (peak frequency) during the CPM characterization, and notes the
+variation does not significantly influence CPM readings (Sec. 4.1).  We
+model temperature anyway because leakage power depends on it and because a
+production-quality platform model should expose a temperature sensor.
+
+The model is a single thermal RC: ``T = T_ambient + R_th * P`` in steady
+state, approached exponentially with time constant ``tau``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class ThermalModel:
+    """Lumped thermal RC model for one die."""
+
+    def __init__(
+        self,
+        ambient: float = 24.0,
+        resistance: float = 0.10,
+        tau: float = 4.0,
+        initial: float = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        ambient:
+            Inlet/ambient temperature (C).
+        resistance:
+            Junction-to-ambient thermal resistance (C per W).  The default
+            puts a 140 W chip at ambient + 14 C ≈ 38 C, matching Sec. 4.1.
+        tau:
+            Thermal time constant (s).
+        initial:
+            Starting temperature (C); defaults to ambient.
+        """
+        if resistance < 0:
+            raise ValueError("thermal resistance must be >= 0")
+        if tau <= 0:
+            raise ValueError("thermal time constant must be positive")
+        self._ambient = ambient
+        self._resistance = resistance
+        self._tau = tau
+        self._temperature = ambient if initial is None else initial
+
+    @property
+    def temperature(self) -> float:
+        """Current die temperature (C)."""
+        return self._temperature
+
+    def steady_state(self, power: float) -> float:
+        """Temperature (C) the die settles at under constant ``power`` watts."""
+        if power < 0:
+            raise ValueError(f"power must be >= 0, got {power}")
+        return self._ambient + self._resistance * power
+
+    def step(self, power: float, dt: float) -> float:
+        """Advance the RC by ``dt`` seconds under ``power`` watts.
+
+        Returns the new temperature.  Uses the exact exponential solution so
+        arbitrarily long steps remain stable.
+        """
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        target = self.steady_state(power)
+        alpha = 1.0 - math.exp(-dt / self._tau)
+        self._temperature += (target - self._temperature) * alpha
+        return self._temperature
+
+    def settle(self, power: float) -> float:
+        """Jump straight to the steady-state temperature for ``power``."""
+        self._temperature = self.steady_state(power)
+        return self._temperature

@@ -1,0 +1,73 @@
+"""The Vcs power domain: on-chip storage structures.
+
+POWER7+ powers its eDRAM L3 and other arrays from a separate Vcs rail
+(Sec. 2.1).  Vcs stays at a fixed retention-safe voltage — the guardband
+machinery never touches it — so its power is a simple function of access
+activity and temperature.  The paper's "chip power" sensor is the Vdd
+rail ("which represents most of the total processor power"); Vcs is
+modelled so the platform can also report total processor power, and so
+the loadline-borrowing analysis can be honest about what the second
+socket's storage keeps burning.
+"""
+
+from __future__ import annotations
+
+from ..config import VcsConfig
+
+#: Temperature anchor for the Vcs leakage model (C).
+VCS_TEMP_REF = 35.0
+
+
+class VcsDomain:
+    """Fixed-voltage storage rail power model."""
+
+    def __init__(self, config: VcsConfig) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> VcsConfig:
+        """The Vcs parameters."""
+        return self._config
+
+    @property
+    def voltage(self) -> float:
+        """The fixed rail voltage (V)."""
+        return self._config.voltage
+
+    def leakage(self, temperature: float) -> float:
+        """Array leakage (W) at ``temperature``."""
+        scale = 1.0 + self._config.temp_coeff * (temperature - VCS_TEMP_REF)
+        return self._config.leakage_nominal * max(scale, 0.1)
+
+    def dynamic(self, n_active_cores: int, mean_activity: float = 1.0) -> float:
+        """Access-driven dynamic power (W).
+
+        Scales with the number of active cores and their mean activity —
+        more running threads mean more cache and directory traffic.
+        """
+        if n_active_cores < 0:
+            raise ValueError(f"n_active_cores must be >= 0, got {n_active_cores}")
+        if mean_activity < 0:
+            raise ValueError(f"mean_activity must be >= 0, got {mean_activity}")
+        return (
+            self._config.dynamic_idle
+            + self._config.dynamic_per_core * n_active_cores * mean_activity
+        )
+
+    def power(
+        self,
+        n_active_cores: int,
+        temperature: float,
+        mean_activity: float = 1.0,
+    ) -> float:
+        """Total Vcs rail power (W)."""
+        return self.leakage(temperature) + self.dynamic(n_active_cores, mean_activity)
+
+    def current(
+        self,
+        n_active_cores: int,
+        temperature: float,
+        mean_activity: float = 1.0,
+    ) -> float:
+        """Rail current (A) at the fixed voltage."""
+        return self.power(n_active_cores, temperature, mean_activity) / self.voltage

@@ -1,0 +1,383 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``workloads``
+    List the benchmark catalog with its calibrated traits.
+``measure``
+    Measure one workload at one placement under one guardband mode.
+``sweep``
+    The Fig. 3/4-style core-scaling sweep for one workload.
+``figure``
+    Regenerate one of the paper's figures and print its series.
+``audit``
+    Reliability-audit a settled operating point.
+
+Every command prints plain text tables; nothing writes to disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .guardband import GuardbandMode, audit_operating_point
+from .sim.run import build_server, measure_consolidated
+from .workloads import all_profiles, get_profile
+
+#: Figures the ``figure`` subcommand can regenerate.
+FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
+           "fig12", "fig13", "fig14", "fig15", "fig16", "fig17")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Adaptive guardband scheduling on a simulated POWER7+ "
+            "(MICRO 2015 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("workloads", help="list the benchmark catalog")
+
+    measure = commands.add_parser(
+        "measure", help="measure one workload placement"
+    )
+    measure.add_argument("workload", help="benchmark name, e.g. raytrace")
+    measure.add_argument(
+        "-n", "--threads", type=int, default=1, help="thread count (default 1)"
+    )
+    measure.add_argument(
+        "-m",
+        "--mode",
+        choices=[m.value for m in GuardbandMode if m is not GuardbandMode.STATIC],
+        default=GuardbandMode.UNDERVOLT.value,
+        help="adaptive mode to compare against the static guardband",
+    )
+    measure.add_argument(
+        "--smt", type=int, default=1, help="threads stacked per core (default 1)"
+    )
+
+    sweep = commands.add_parser("sweep", help="core-scaling sweep (Figs. 3/4)")
+    sweep.add_argument("workload")
+    sweep.add_argument(
+        "-m",
+        "--mode",
+        choices=[m.value for m in GuardbandMode if m is not GuardbandMode.STATIC],
+        default=GuardbandMode.UNDERVOLT.value,
+    )
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", choices=FIGURES)
+
+    audit = commands.add_parser(
+        "audit", help="reliability-audit a settled operating point"
+    )
+    audit.add_argument("workload")
+    audit.add_argument("-n", "--threads", type=int, default=8)
+    audit.add_argument(
+        "-m",
+        "--mode",
+        choices=[m.value for m in GuardbandMode],
+        default=GuardbandMode.UNDERVOLT.value,
+    )
+
+    commands.add_parser(
+        "selfcheck",
+        help="validate the model against the paper's calibration anchors",
+    )
+
+    commands.add_parser(
+        "report",
+        help="run the full evaluation and print a markdown report",
+    )
+
+    export = commands.add_parser(
+        "export", help="regenerate one figure's data and print it as JSON"
+    )
+    export.add_argument("name", choices=FIGURES)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "workloads": _cmd_workloads,
+        "measure": _cmd_measure,
+        "sweep": _cmd_sweep,
+        "figure": _cmd_figure,
+        "audit": _cmd_audit,
+        "selfcheck": _cmd_selfcheck,
+        "report": _cmd_report,
+        "export": _cmd_export,
+    }[args.command]
+    return handler(args)
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    print(
+        f"{'name':>16} {'suite':>10} {'act':>5} {'ipc':>5} {'mem':>5} "
+        f"{'bw':>5} {'share':>6} {'scalable':>9}"
+    )
+    for p in all_profiles():
+        print(
+            f"{p.name:>16} {p.suite:>10} {p.activity:>5.2f} {p.ipc:>5.2f} "
+            f"{p.memory_intensity:>5.2f} {p.bandwidth_demand:>5.1f} "
+            f"{p.sharing_intensity:>6.2f} {str(p.scalable):>9}"
+        )
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    profile = get_profile(args.workload)
+    server = build_server()
+    mode = GuardbandMode(args.mode)
+    result = measure_consolidated(
+        server, profile, args.threads, mode, threads_per_core=args.smt
+    )
+    s0s = result.static.point.socket_point(0)
+    s0a = result.adaptive.point.socket_point(0)
+    print(f"{profile.name}: {args.threads} thread(s), mode={mode.value}")
+    print(f"  static:   {s0s.chip_power:7.1f} W at {s0s.frequency/1e6:.0f} MHz")
+    print(
+        f"  adaptive: {s0a.chip_power:7.1f} W at {s0a.frequency/1e6:.0f} MHz "
+        f"(undervolt {s0a.undervolt*1000:.1f} mV)"
+    )
+    if mode is GuardbandMode.UNDERVOLT:
+        saving = 1 - s0a.chip_power / s0s.chip_power
+        print(f"  power saving: {saving:.1%}")
+    else:
+        print(f"  frequency boost: {result.frequency_boost_fraction:.1%}")
+        print(f"  speedup: {result.speedup_fraction:.1%}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    profile = get_profile(args.workload)
+    server = build_server()
+    mode = GuardbandMode(args.mode)
+    print(f"{profile.name}, mode={mode.value}")
+    print(f"{'cores':>6} {'static W':>9} {'adaptive W':>11} {'metric':>8}")
+    for n in range(1, server.config.chip.n_cores + 1):
+        result = measure_consolidated(server, profile, n, mode)
+        s0s = result.static.point.socket_point(0)
+        s0a = result.adaptive.point.socket_point(0)
+        if mode is GuardbandMode.UNDERVOLT:
+            metric = f"{1 - s0a.chip_power / s0s.chip_power:7.1%}"
+        else:
+            metric = f"{result.frequency_boost_fraction:7.1%}"
+        print(f"{n:>6} {s0s.chip_power:>9.1f} {s0a.chip_power:>11.1f} {metric:>8}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .analysis import figures as fig_builders
+
+    printers = {
+        "fig3": _print_fig3,
+        "fig4": _print_fig4,
+        "fig5": _print_fig5,
+        "fig6": _print_fig6,
+        "fig7": _print_fig7,
+        "fig9": _print_fig9,
+        "fig10": _print_fig10,
+        "fig12": _print_fig12,
+        "fig13": _print_fig13,
+        "fig14": _print_fig14,
+        "fig15": _print_fig15,
+        "fig16": _print_fig16,
+        "fig17": _print_fig17,
+    }
+    printers[args.name](fig_builders)
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    profile = get_profile(args.workload)
+    server = build_server()
+    mode = GuardbandMode(args.mode)
+    result = measure_consolidated(server, profile, args.threads, mode)
+    solution = result.adaptive.point.socket_point(0).solution
+    report = audit_operating_point(
+        server.sockets[0],
+        solution,
+        server.config,
+        frequency_is_servoed=(mode is GuardbandMode.OVERCLOCK),
+    )
+    print(
+        f"audit: {profile.name}, {args.threads} thread(s), mode={mode.value}"
+    )
+    print(f"{'core':>5} {'typ slack mV':>13} {'droop slack mV':>15} {'CPM':>4} {'ok':>3}")
+    for f in report.findings:
+        print(
+            f"{f.core_id:>5} {f.typical_slack*1000:>13.1f} "
+            f"{f.droop_slack*1000:>15.1f} {f.worst_cpm_code:>4} "
+            f"{'yes' if f.passed else 'NO':>3}"
+        )
+    print("PASSED" if report.passed else "FAILED")
+    return 0 if report.passed else 1
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from .analysis.selfcheck import run_selfcheck
+
+    report = run_selfcheck(progress=lambda msg: print(f"  measuring {msg}..."))
+    print()
+    for check in report.checks:
+        print(check)
+    print()
+    print("SELFCHECK PASSED" if report.passed else "SELFCHECK FAILED")
+    return 0 if report.passed else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import generate_report
+
+    print(generate_report(progress=lambda m: print(f"<!-- measuring {m} -->")))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .analysis.export import export_figure
+
+    print(export_figure(args.name))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Figure printers
+# ----------------------------------------------------------------------
+def _print_fig3(figures) -> None:
+    series = figures.fig3_core_scaling_power()
+    print("Fig. 3 — raytrace power vs active cores (undervolt)")
+    for i, n in enumerate(series.core_counts):
+        print(
+            f"  {n} cores: static {series.static_power[i]:6.1f} W, adaptive "
+            f"{series.adaptive_power[i]:6.1f} W "
+            f"({series.power_saving_percent(i):4.1f}% saved)"
+        )
+
+
+def _print_fig4(figures) -> None:
+    series = figures.fig4_core_scaling_frequency()
+    print("Fig. 4 — lu_cb frequency vs active cores (overclock)")
+    for i, n in enumerate(series.core_counts):
+        print(
+            f"  {n} cores: {series.adaptive_frequency[i]/1e6:.0f} MHz "
+            f"(+{series.frequency_boost_percent(i):.1f}%), speedup "
+            f"{series.speedup_percent(i):.1f}%"
+        )
+
+
+def _print_fig5(figures) -> None:
+    for mode in (GuardbandMode.UNDERVOLT, GuardbandMode.OVERCLOCK):
+        series = figures.fig5_workload_heterogeneity(mode)
+        print(f"Fig. 5 — {mode.value} improvement (%) at 1 and 8 cores")
+        for workload, values in series.improvements.items():
+            print(f"  {workload:>12}: {values[0]:5.1f} -> {values[7]:5.1f}")
+
+
+def _print_fig6(figures) -> None:
+    result = figures.fig6_cpm_voltage_mapping()
+    print(
+        f"Fig. 6 — CPM mapping: {result.mv_per_bit:.1f} mV/bit "
+        f"(r^2={result.nominal_fit.r_squared:.3f})"
+    )
+    print(
+        "  per-core mV/bit: "
+        + " ".join(f"{s:.1f}" for s in result.core_sensitivity_mv)
+    )
+
+
+def _print_fig7(figures) -> None:
+    out = figures.fig7_voltage_drop_scaling()
+    print("Fig. 7 — core-0 voltage drop (%) at 1 and 8 active cores")
+    for workload, series in out.items():
+        c0 = series.drops_percent[0]
+        print(f"  {workload:>12}: {c0[0]:4.1f} -> {c0[7]:4.1f}")
+
+
+def _print_fig9(figures) -> None:
+    out = figures.fig9_drop_decomposition()
+    print("Fig. 9 — drop decomposition at 8 cores (% of nominal)")
+    for workload, s in out.items():
+        print(
+            f"  {workload:>15}: LL {s.loadline[7]:.2f}, IR {s.ir_drop[7]:.2f}, "
+            f"typ {s.typical_didt[7]:.2f}, worst {s.worst_didt[7]:.2f}"
+        )
+
+
+def _print_fig10(figures) -> None:
+    result = figures.fig10_passive_drop_correlation()
+    print(
+        f"Fig. 10 — power->drop r^2={result.power_vs_drop.r_squared:.3f}, "
+        f"drop->undervolt slope {result.drop_vs_undervolt.slope:.2f} mV/mV"
+    )
+
+
+def _print_fig12(figures) -> None:
+    series = figures.fig12_borrowing_scaling()
+    print("Fig. 12 — raytrace loadline borrowing gain")
+    for i, n in enumerate(series.core_counts):
+        print(f"  {n} cores: {series.borrowing_gain_percent(i):4.1f}%")
+
+
+def _print_fig13(figures) -> None:
+    series = figures.fig13_borrowing_all_workloads()
+    print(
+        f"Fig. 13 — avg improvement at 8 cores: baseline "
+        f"{series.average(7, 'baseline'):.1f}%, borrowing "
+        f"{series.average(7, 'borrowing'):.1f}%"
+    )
+
+
+def _print_fig14(figures) -> None:
+    result = figures.fig14_borrowing_energy()
+    print(
+        f"Fig. 14 — mean power {result.mean_power_improvement:+.1f}%, mean "
+        f"energy {result.mean_energy_improvement:+.1f}%"
+    )
+    for r in list(result.rows[:3]) + list(result.rows[-3:]):
+        print(
+            f"  {r.workload:>15}: energy {r.energy_improvement_percent:+6.1f}%"
+        )
+
+
+def _print_fig15(figures) -> None:
+    points = figures.fig15_colocation_frequency()
+    print("Fig. 15 — coremark frequency under colocation")
+    for p in points:
+        print(
+            f"  <{p.n_coremark},{p.n_other}> vs {p.other:>6}: "
+            f"{p.coremark_frequency/1e6:.0f} MHz"
+        )
+
+
+def _print_fig16(figures) -> None:
+    result = figures.fig16_mips_predictor()
+    print(
+        f"Fig. 16 — MIPS predictor RMSE {result.relative_rmse*100:.2f}% over "
+        f"{len(result.samples)} workloads"
+    )
+
+
+def _print_fig17(figures) -> None:
+    result = figures.fig17_websearch_qos()
+    print("Fig. 17 — WebSearch QoS violations")
+    for level, rate in result.violation_rates.items():
+        print(f"  {level:>6}: {rate:.1%} at {result.frequencies[level]/1e6:.0f} MHz")
+    print(f"  tail improvement after mapping: {result.tail_improvement_percent:.1f}%")
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

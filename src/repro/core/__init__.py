@@ -1,0 +1,45 @@
+"""Adaptive guardband scheduling (AGS) — the paper's contribution.
+
+Two scheduling policies compensate for adaptive guardbanding's system-level
+inefficiencies:
+
+* **Loadline borrowing** (:mod:`~repro.core.loadline_borrowing`) for
+  lightly-utilized servers: spread active cores across sockets, power-gate
+  the rest, and let each socket's firmware undervolt deeper (Sec. 5.1).
+* **Adaptive mapping** (:mod:`~repro.core.adaptive_mapping`) for highly
+  utilized servers with latency-critical workloads: predict the adaptive
+  frequency of candidate co-runner mixes with a MIPS-based linear model and
+  swap out malicious co-runners before they break QoS (Sec. 5.2).
+
+The :class:`~repro.core.ags.AdaptiveGuardbandScheduler` facade picks the
+policy by utilization, mirroring the two enterprise scenarios of Sec. 5.
+"""
+
+from .adaptive_mapping import AdaptiveMappingScheduler, MappingDecision
+from .ags import AdaptiveGuardbandScheduler, AgsPolicy
+from .cluster import ClusterScheduler, Job
+from .consolidation import ConsolidationScheduler
+from .dynamic import DynamicAgsDriver, diurnal_trace
+from .loadline_borrowing import LoadlineBorrowingScheduler
+from .placement import Placement, ThreadGroup
+from .predictor import MipsFrequencyPredictor, PredictorSample
+from .qos import QosMonitor, QosSpec
+
+__all__ = [
+    "AdaptiveGuardbandScheduler",
+    "AdaptiveMappingScheduler",
+    "AgsPolicy",
+    "ClusterScheduler",
+    "ConsolidationScheduler",
+    "DynamicAgsDriver",
+    "Job",
+    "LoadlineBorrowingScheduler",
+    "MappingDecision",
+    "MipsFrequencyPredictor",
+    "Placement",
+    "PredictorSample",
+    "QosMonitor",
+    "QosSpec",
+    "ThreadGroup",
+    "diurnal_trace",
+]

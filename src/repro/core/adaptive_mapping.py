@@ -1,0 +1,256 @@
+"""Adaptive mapping: the heavy-load AGS policy (Sec. 5.2, Fig. 18).
+
+The scheduler protects a latency-critical workload (WebSearch) from
+*malicious co-runners* — workload mixes whose chip-wide activity drags the
+adaptive-guardbanding frequency, and with it the critical workload's tail
+latency, below the SLA.  Per scheduling quantum it walks Fig. 18's loop:
+
+1. log the critical workload's QoS and the chip's frequency;
+2. if the violation rate exceeds the threshold and the workload is
+   frequency sensitive, look up the *desired frequency* in the
+   application-specific frequency–QoS model;
+3. ask the MIPS-based frequency predictor which candidate co-runners keep
+   the chip at or above that frequency;
+4. swap the current co-runner for the best predicted-safe candidate (or
+   the lightest candidate when none is predicted safe).
+
+Both shaded Fig. 18 components are real objects here: the
+:class:`FrequencyQosModel` (learned from logged observations) and the
+:class:`~repro.core.predictor.MipsFrequencyPredictor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..guardband import GuardbandMode
+from ..workloads.profile import WorkloadProfile
+from ..workloads.websearch import WebSearchModel
+from .predictor import MipsFrequencyPredictor
+from .qos import QosMonitor, QosSpec
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..sim.server import Power720Server
+
+
+class FrequencyQosModel:
+    """Learned mapping: core frequency → QoS violation rate.
+
+    The scheduler appends an observation per quantum ("Append to freq-QoS
+    model" in Fig. 18) and inverts the relation to find the lowest
+    frequency whose predicted violation rate meets the threshold.
+    Monotone linear interpolation over the logged points — tail latency
+    falls monotonically with frequency in the regime of interest.
+    """
+
+    def __init__(self) -> None:
+        self._frequencies: List[float] = []
+        self._violation_rates: List[float] = []
+
+    @property
+    def n_observations(self) -> int:
+        """Number of logged (frequency, violation-rate) points."""
+        return len(self._frequencies)
+
+    def observe(self, frequency: float, violation_rate: float) -> None:
+        """Log one quantum's observation."""
+        if frequency <= 0:
+            raise SchedulingError("frequency must be positive")
+        if not 0 <= violation_rate <= 1:
+            raise SchedulingError("violation_rate must be in [0, 1]")
+        self._frequencies.append(frequency)
+        self._violation_rates.append(violation_rate)
+
+    def predict_violation(self, frequency: float) -> float:
+        """Interpolated violation rate at ``frequency``."""
+        if self.n_observations == 0:
+            raise SchedulingError("frequency-QoS model has no observations")
+        order = np.argsort(self._frequencies)
+        freqs = np.array(self._frequencies)[order]
+        rates = np.array(self._violation_rates)[order]
+        # Enforce monotone non-increasing rates before interpolating: the
+        # raw log is noisy, the underlying relation is not.  Taking the
+        # running max from the high-frequency side keeps the model
+        # conservative — a noisy good window never hides a bad frequency.
+        rates = np.maximum.accumulate(rates[::-1])[::-1]
+        return float(np.interp(frequency, freqs, rates))
+
+    def required_frequency(self, threshold: float) -> float:
+        """Lowest logged-range frequency meeting the violation threshold.
+
+        Falls back to the highest observed frequency when even that point
+        violates (the scheduler then simply asks for the safest known mix).
+        """
+        if self.n_observations == 0:
+            raise SchedulingError("frequency-QoS model has no observations")
+        candidates = sorted(set(self._frequencies))
+        for frequency in candidates:
+            if self.predict_violation(frequency) <= threshold:
+                return frequency
+        return candidates[-1]
+
+
+@dataclass(frozen=True)
+class MappingDecision:
+    """Outcome of one scheduling quantum."""
+
+    #: Co-runner in place while this quantum was measured.
+    corunner: str
+
+    #: Violation rate observed this quantum.
+    violation_rate: float
+
+    #: Critical core's settled frequency this quantum (Hz).
+    frequency: float
+
+    #: Mean per-window tail latency this quantum (s).
+    mean_tail_latency: float
+
+    #: Co-runner selected for the next quantum (same name = no swap).
+    next_corunner: str
+
+    #: Frequency the scheduler decided it needs (None when no action).
+    required_frequency: Optional[float] = None
+
+    @property
+    def swapped(self) -> bool:
+        """Whether the scheduler replaced the co-runner."""
+        return self.next_corunner != self.corunner
+
+
+class AdaptiveMappingScheduler:
+    """The Fig. 18 feedback loop over the simulated server."""
+
+    def __init__(
+        self,
+        server: "Power720Server",
+        critical: WorkloadProfile,
+        spec: QosSpec,
+        candidates: Sequence[WorkloadProfile],
+        predictor: MipsFrequencyPredictor,
+        latency_model: Optional[WebSearchModel] = None,
+        windows_per_quantum: int = 50,
+        seed: int = 31,
+    ) -> None:
+        if not candidates:
+            raise SchedulingError("need at least one candidate co-runner")
+        self.server = server
+        self.critical = critical
+        self.spec = spec
+        self.candidates = {c.name: c for c in candidates}
+        self.predictor = predictor
+        self.latency_model = latency_model or WebSearchModel()
+        self.monitor = QosMonitor(spec)
+        self.qos_model = FrequencyQosModel()
+        self.windows_per_quantum = windows_per_quantum
+        self._seed = seed
+        self._quantum = 0
+
+    # ------------------------------------------------------------------
+    # Measurement plumbing
+    # ------------------------------------------------------------------
+    def settle(self, corunner: WorkloadProfile) -> float:
+        """Place critical + co-runner and settle in overclocking mode.
+
+        The critical workload takes core 0 of socket 0; the co-runner fills
+        the remaining seven cores (the paper's Sec. 5.2.2 setup).  Returns
+        the critical core's settled frequency (Hz).
+        """
+        server = self.server
+        server.clear()
+        n_cores = server.config.chip.n_cores
+        profiles = [self.critical] + [corunner] * (n_cores - 1)
+        server.place_per_core(0, profiles)
+        point = server.operate(GuardbandMode.OVERCLOCK)
+        return point.socket_point(0).solution.frequencies[0]
+
+    def mix_mips(self, corunner: WorkloadProfile) -> float:
+        """Predicted chip MIPS of critical + 7 co-runner threads.
+
+        Uses nominal-frequency per-thread MIPS from the profiles — the
+        hardware-counter proxy the real scheduler would accumulate.
+        """
+        f_nom = self.server.config.chip.f_nominal
+        n_cores = self.server.config.chip.n_cores
+        return self.critical.mips_per_thread(f_nom) + (
+            n_cores - 1
+        ) * corunner.mips_per_thread(f_nom)
+
+    # ------------------------------------------------------------------
+    # The scheduling loop
+    # ------------------------------------------------------------------
+    def step(self, corunner_name: str) -> MappingDecision:
+        """Run one scheduling quantum with ``corunner_name`` in place."""
+        corunner = self._candidate(corunner_name)
+        frequency = self.settle(corunner)
+        self._quantum += 1
+        p90s = self.latency_model.sample_p90s(
+            frequency, self.windows_per_quantum, seed=self._seed + self._quantum
+        )
+        self.monitor.reset()
+        self.monitor.record_many(p90s)
+        violation_rate = self.monitor.violation_rate()
+        self.qos_model.observe(frequency, violation_rate)
+
+        next_corunner = corunner_name
+        required = None
+        if self.monitor.violated() and self.spec.frequency_sensitive:
+            required = self.qos_model.required_frequency(
+                self.spec.violation_threshold
+            )
+            next_corunner = self._select_corunner(required, corunner_name)
+        return MappingDecision(
+            corunner=corunner_name,
+            violation_rate=violation_rate,
+            frequency=frequency,
+            mean_tail_latency=float(np.mean(p90s)),
+            next_corunner=next_corunner,
+            required_frequency=required,
+        )
+
+    def run(self, initial_corunner: str, quanta: int = 4) -> List[MappingDecision]:
+        """Run the loop for several quanta, applying each swap decision."""
+        if quanta < 1:
+            raise SchedulingError(f"quanta must be >= 1, got {quanta}")
+        decisions = []
+        current = initial_corunner
+        for _ in range(quanta):
+            decision = self.step(current)
+            decisions.append(decision)
+            current = decision.next_corunner
+        return decisions
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _select_corunner(self, required_frequency: float, current: str) -> str:
+        """Pick the best candidate predicted to hold ``required_frequency``.
+
+        Highest-MIPS predicted-safe candidate (maximum throughput within
+        the QoS budget); when nothing is predicted safe, the lightest
+        candidate (the paper's fallback: "the one that has lowest MIPS").
+        """
+        safe = []
+        for name, profile in self.candidates.items():
+            predicted = self.predictor.predict(self.mix_mips(profile))
+            if predicted >= required_frequency:
+                safe.append((self.mix_mips(profile), name))
+        if safe:
+            return max(safe)[1]
+        lightest = min(
+            self.candidates.items(), key=lambda item: self.mix_mips(item[1])
+        )
+        return lightest[0]
+
+    def _candidate(self, name: str) -> WorkloadProfile:
+        try:
+            return self.candidates[name]
+        except KeyError:
+            raise SchedulingError(
+                f"unknown co-runner {name!r}; candidates: "
+                f"{sorted(self.candidates)}"
+            ) from None

@@ -1,0 +1,139 @@
+"""Colocation advisor: rank real co-runner candidates by predicted safety.
+
+Fig. 18's scheduler picks among whatever candidates the job queue offers;
+operators face the inverse question at placement time: *given my critical
+workload and its frequency requirement, which of the queued batch jobs may
+share the chip?*  :class:`ColocationAdvisor` answers it with the same
+MIPS-based predictor — rank every candidate mix by predicted adaptive
+frequency, split at the requirement, and optionally verify the marginal
+cases on the simulator (the predictor is for the fast path; verification
+is the slow, exact path the scheduler can afford for borderline calls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..errors import SchedulingError
+from ..guardband import GuardbandMode
+from ..workloads.profile import WorkloadProfile
+from .predictor import MipsFrequencyPredictor
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..sim.server import Power720Server
+
+
+@dataclass(frozen=True)
+class ColocationVerdict:
+    """One candidate's ranking entry."""
+
+    candidate: str
+
+    #: Chip MIPS of critical + candidates mix.
+    mix_mips: float
+
+    #: Predicted adaptive frequency of the mix (Hz).
+    predicted_frequency: float
+
+    #: Whether the prediction clears the requirement.
+    predicted_safe: bool
+
+    #: Settled frequency from verification (None when not verified).
+    verified_frequency: Optional[float] = None
+
+    @property
+    def verified(self) -> bool:
+        """Whether this verdict carries a simulator verification."""
+        return self.verified_frequency is not None
+
+
+class ColocationAdvisor:
+    """Rank candidate co-runners for one critical workload."""
+
+    def __init__(
+        self,
+        server: "Power720Server",
+        critical: WorkloadProfile,
+        predictor: MipsFrequencyPredictor,
+    ) -> None:
+        if not predictor.fitted:
+            raise SchedulingError("advisor needs a fitted predictor")
+        self.server = server
+        self.critical = critical
+        self.predictor = predictor
+
+    def mix_mips(self, candidate: WorkloadProfile) -> float:
+        """Chip MIPS of the critical thread plus candidate on the rest."""
+        f_nom = self.server.config.chip.f_nominal
+        n_other = self.server.config.chip.n_cores - 1
+        return self.critical.mips_per_thread(f_nom) + n_other * (
+            candidate.mips_per_thread(f_nom)
+        )
+
+    def rank(
+        self,
+        candidates: Sequence[WorkloadProfile],
+        required_frequency: float,
+        verify_margin: Optional[float] = None,
+    ) -> List[ColocationVerdict]:
+        """Rank ``candidates`` by predicted frequency, best first.
+
+        Parameters
+        ----------
+        required_frequency:
+            The critical workload's frequency requirement (Hz) from its
+            frequency–QoS model.
+        verify_margin:
+            When given, candidates whose predicted frequency falls within
+            ``±verify_margin`` Hz of the requirement are settled on the
+            simulator and their verdicts re-decided from the measurement.
+        """
+        if required_frequency <= 0:
+            raise SchedulingError("required_frequency must be positive")
+        if not candidates:
+            raise SchedulingError("need at least one candidate")
+        verdicts = []
+        for candidate in candidates:
+            mips = self.mix_mips(candidate)
+            predicted = self.predictor.predict(mips)
+            safe = predicted >= required_frequency
+            verified_frequency = None
+            if (
+                verify_margin is not None
+                and abs(predicted - required_frequency) <= verify_margin
+            ):
+                verified_frequency = self._settle(candidate)
+                safe = verified_frequency >= required_frequency
+            verdicts.append(
+                ColocationVerdict(
+                    candidate=candidate.name,
+                    mix_mips=mips,
+                    predicted_frequency=predicted,
+                    predicted_safe=safe,
+                    verified_frequency=verified_frequency,
+                )
+            )
+        verdicts.sort(key=lambda v: v.predicted_frequency, reverse=True)
+        return verdicts
+
+    def safe_candidates(
+        self,
+        candidates: Sequence[WorkloadProfile],
+        required_frequency: float,
+    ) -> List[str]:
+        """Names of the candidates predicted to hold the requirement."""
+        return [
+            v.candidate
+            for v in self.rank(candidates, required_frequency)
+            if v.predicted_safe
+        ]
+
+    def _settle(self, candidate: WorkloadProfile) -> float:
+        """Exact path: place the mix and settle the overclocking servo."""
+        server = self.server
+        server.clear()
+        n_cores = server.config.chip.n_cores
+        server.place_per_core(0, [self.critical] + [candidate] * (n_cores - 1))
+        point = server.operate(GuardbandMode.OVERCLOCK)
+        return point.socket_point(0).solution.frequencies[0]

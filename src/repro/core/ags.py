@@ -1,0 +1,115 @@
+"""The AGS facade: pick the right policy for the utilization regime.
+
+Sec. 5 frames adaptive guardband scheduling around two enterprise
+scenarios: a lightly-utilized server with idle resources (loadline
+borrowing) and a highly-utilized server hosting a latency-critical
+workload (adaptive mapping).  :class:`AdaptiveGuardbandScheduler` is the
+middleware-layer entry point that dispatches between them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..config import ServerConfig
+from ..errors import SchedulingError
+from ..workloads.profile import WorkloadProfile
+from .adaptive_mapping import AdaptiveMappingScheduler
+from .consolidation import ConsolidationScheduler
+from .loadline_borrowing import LoadlineBorrowingScheduler
+from .placement import Placement
+from .predictor import MipsFrequencyPredictor
+from .qos import QosSpec
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..sim.server import Power720Server
+
+
+class AgsPolicy(enum.Enum):
+    """Which AGS policy a scheduling request resolved to."""
+
+    #: Light load: spread across sockets for deeper undervolting.
+    LOADLINE_BORROWING = "loadline_borrowing"
+
+    #: Heavy load with a critical workload: co-runner management.
+    ADAPTIVE_MAPPING = "adaptive_mapping"
+
+    #: Fallback: conventional consolidation (AGS disabled).
+    CONSOLIDATION = "consolidation"
+
+
+class AdaptiveGuardbandScheduler:
+    """Utilization-aware dispatch between the two AGS policies."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        utilization_threshold: float = 0.5,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        utilization_threshold:
+            Fraction of server cores above which the load counts as
+            "heavy" (the paper's light scenario keeps ≤50% utilization).
+        """
+        if not 0 < utilization_threshold <= 1:
+            raise SchedulingError("utilization_threshold must be in (0, 1]")
+        self.config = config
+        self.utilization_threshold = utilization_threshold
+        self.borrowing = LoadlineBorrowingScheduler(config)
+        self.consolidation = ConsolidationScheduler(config)
+
+    def classify(self, n_threads: int, threads_per_core: int = 1) -> AgsPolicy:
+        """Light vs heavy: does the load exceed the utilization threshold?"""
+        if n_threads < 1:
+            raise SchedulingError(f"n_threads must be >= 1, got {n_threads}")
+        cores_needed = -(-n_threads // threads_per_core)
+        utilization = cores_needed / self.config.total_cores
+        if utilization <= self.utilization_threshold:
+            return AgsPolicy.LOADLINE_BORROWING
+        return AgsPolicy.ADAPTIVE_MAPPING
+
+    def schedule_batch(
+        self,
+        profile: WorkloadProfile,
+        n_threads: int,
+        total_cores_on: Optional[int] = None,
+        threads_per_core: int = 1,
+        use_ags: bool = True,
+    ) -> Placement:
+        """Placement for a throughput (batch) workload.
+
+        With AGS on, light loads get loadline borrowing; with AGS off (or
+        heavy loads that simply fill the machine) the conventional
+        consolidation applies per socket.
+        """
+        if use_ags and self.classify(n_threads, threads_per_core) is (
+            AgsPolicy.LOADLINE_BORROWING
+        ):
+            return self.borrowing.schedule(
+                profile, n_threads, total_cores_on, threads_per_core
+            )
+        return self.consolidation.schedule(
+            profile, n_threads, total_cores_on, threads_per_core
+        )
+
+    def mapping_scheduler(
+        self,
+        server: "Power720Server",
+        critical: WorkloadProfile,
+        spec: QosSpec,
+        candidates: Sequence[WorkloadProfile],
+        predictor: MipsFrequencyPredictor,
+        **kwargs,
+    ) -> AdaptiveMappingScheduler:
+        """An adaptive-mapping loop for a critical workload on ``server``."""
+        return AdaptiveMappingScheduler(
+            server=server,
+            critical=critical,
+            spec=spec,
+            candidates=candidates,
+            predictor=predictor,
+            **kwargs,
+        )

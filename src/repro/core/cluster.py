@@ -1,0 +1,267 @@
+"""Cluster-level AGS: the paper's deferred future work (Sec. 5.1.1).
+
+The paper scopes loadline borrowing to one server and sketches the cluster
+story: *"When workloads are consolidated across multiple servers, the idle
+power reduction from turning off the unused memory and hard drive
+outweighs adaptive guardbanding's processor power savings.  In this case,
+the scheduler will consolidate workloads onto fewer servers first, then on
+each server loadline borrowing can be used to further improve cluster
+power consumption."*
+
+:class:`ClusterScheduler` implements exactly that two-level policy:
+
+1. **across servers** — first-fit-decreasing bin packing onto as few
+   servers as possible; empty servers power off entirely (chips *and*
+   peripherals);
+2. **within a server** — each job's threads balance across the two
+   sockets (loadline borrowing) with spare cores gated, or consolidate
+   onto socket 0 for the baseline comparison.
+
+Evaluation realizes every powered server on the electrical simulator and
+sums true cluster power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import ServerConfig
+from ..errors import SchedulingError
+from ..guardband import GuardbandMode
+from ..sim.server import Power720Server
+from ..workloads.profile import WorkloadProfile
+from ..workloads.scaling import RuntimeModel
+from .evaluate import apply_with_contention
+from .placement import Placement, ThreadGroup
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit: a workload and its thread count."""
+
+    profile: WorkloadProfile
+    n_threads: int
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise SchedulingError(f"n_threads must be >= 1, got {self.n_threads}")
+
+
+@dataclass(frozen=True)
+class ClusterPlan:
+    """The two-level scheduling decision."""
+
+    #: Per-server job lists (empty tuple = server powered off).
+    assignments: Tuple[Tuple[Job, ...], ...]
+
+    #: Per-server placements (None for powered-off servers).
+    placements: Tuple[Optional[Placement], ...]
+
+    @property
+    def n_servers_on(self) -> int:
+        """Servers left powered."""
+        return sum(1 for jobs in self.assignments if jobs)
+
+    def jobs_on(self, server_id: int) -> Tuple[Job, ...]:
+        """The jobs assigned to one server."""
+        return self.assignments[server_id]
+
+
+@dataclass(frozen=True)
+class ClusterMeasurement:
+    """Measured outcome of one plan."""
+
+    plan: ClusterPlan
+
+    #: Per-server chip power (W); 0 for powered-off servers.
+    chip_power: Tuple[float, ...]
+
+    #: Per-server total power including peripherals; 0 when off.
+    server_power: Tuple[float, ...]
+
+    @property
+    def cluster_power(self) -> float:
+        """Total cluster wall power (W)."""
+        return sum(self.server_power)
+
+    @property
+    def cluster_chip_power(self) -> float:
+        """Total processor Vdd power (W)."""
+        return sum(self.chip_power)
+
+
+class ClusterScheduler:
+    """Two-level scheduler over a homogeneous rack of Power 720 servers."""
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        n_servers: int = 4,
+        threads_per_core: int = 1,
+    ) -> None:
+        if n_servers < 1:
+            raise SchedulingError(f"n_servers must be >= 1, got {n_servers}")
+        self.config = config or ServerConfig()
+        self.n_servers = n_servers
+        self.threads_per_core = threads_per_core
+        self._capacity = (
+            self.config.total_cores * threads_per_core
+        )
+
+    @property
+    def server_capacity(self) -> int:
+        """Thread slots one server offers."""
+        return self._capacity
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        jobs: Sequence[Job],
+        within: str = "borrowing",
+        across: str = "consolidate",
+    ) -> ClusterPlan:
+        """Produce the two-level plan.
+
+        Parameters
+        ----------
+        within:
+            ``"borrowing"`` (AGS) or ``"consolidation"`` (baseline) for
+            the per-server socket placement.
+        across:
+            ``"consolidate"`` packs jobs onto as few servers as possible
+            (AGS and the paper's cluster wisdom alike); ``"spread"``
+            round-robins jobs across all servers (the anti-pattern that
+            wastes peripheral power).
+        """
+        if within not in ("borrowing", "consolidation"):
+            raise SchedulingError(f"unknown within-policy {within!r}")
+        if across not in ("consolidate", "spread"):
+            raise SchedulingError(f"unknown across-policy {across!r}")
+        buckets: List[List[Job]] = [[] for _ in range(self.n_servers)]
+        loads = [0] * self.n_servers
+        ordered = sorted(jobs, key=lambda j: j.n_threads, reverse=True)
+        for index, job in enumerate(ordered):
+            if job.n_threads > self._capacity:
+                raise SchedulingError(
+                    f"job {job.profile.name} needs {job.n_threads} threads; "
+                    f"a server offers {self._capacity}"
+                )
+            if across == "consolidate":
+                target = self._first_fit(loads, job.n_threads)
+            else:
+                target = self._round_robin_fit(loads, job.n_threads, index)
+            buckets[target].append(job)
+            loads[target] += job.n_threads
+        placements = tuple(
+            self._server_placement(tuple(bucket), within) if bucket else None
+            for bucket in buckets
+        )
+        return ClusterPlan(
+            assignments=tuple(tuple(bucket) for bucket in buckets),
+            placements=placements,
+        )
+
+    def _first_fit(self, loads: List[int], demand: int) -> int:
+        for server_id, load in enumerate(loads):
+            if load + demand <= self._capacity:
+                return server_id
+        raise SchedulingError(
+            f"cluster of {self.n_servers} servers cannot fit {demand} more thread(s)"
+        )
+
+    def _round_robin_fit(self, loads: List[int], demand: int, index: int) -> int:
+        for offset in range(self.n_servers):
+            server_id = (index + offset) % self.n_servers
+            if loads[server_id] + demand <= self._capacity:
+                return server_id
+        raise SchedulingError(
+            f"cluster of {self.n_servers} servers cannot fit {demand} more thread(s)"
+        )
+
+    def _server_placement(self, jobs: Tuple[Job, ...], within: str) -> Placement:
+        """Socket-level placement of several jobs on one server."""
+        n_sockets = self.config.n_sockets
+        per_socket: List[List[ThreadGroup]] = [[] for _ in range(n_sockets)]
+        socket_loads = [0] * n_sockets
+        per_socket_slots = self.config.chip.n_cores * self.threads_per_core
+        for job in jobs:
+            if within == "borrowing":
+                shares = self._balance(job.n_threads, socket_loads, per_socket_slots)
+            else:
+                shares = self._pack(job.n_threads, socket_loads, per_socket_slots)
+            for socket_id, n_threads in enumerate(shares):
+                if n_threads:
+                    per_socket[socket_id].append(ThreadGroup(job.profile, n_threads))
+                    socket_loads[socket_id] += n_threads
+        # Gate everything that is not busy: the cluster scenario has no
+        # per-server responsiveness reserve — spare capacity is spare
+        # *servers* (kept off until needed).
+        keep_on = tuple(
+            -(-load // self.threads_per_core) for load in socket_loads
+        )
+        return Placement(
+            groups=tuple(tuple(groups) for groups in per_socket),
+            keep_on=keep_on,
+            threads_per_core=self.threads_per_core,
+        )
+
+    @staticmethod
+    def _balance(demand: int, loads: List[int], limit: int) -> List[int]:
+        """Spread a job's threads to equalize socket loads."""
+        shares = [0] * len(loads)
+        for _ in range(demand):
+            candidates = [
+                i for i in range(len(loads)) if loads[i] + shares[i] < limit
+            ]
+            if not candidates:
+                raise SchedulingError("server sockets are full")
+            target = min(candidates, key=lambda i: loads[i] + shares[i])
+            shares[target] += 1
+        return shares
+
+    @staticmethod
+    def _pack(demand: int, loads: List[int], limit: int) -> List[int]:
+        """Fill socket 0 first, then spill."""
+        shares = [0] * len(loads)
+        remaining = demand
+        for i in range(len(loads)):
+            room = limit - loads[i]
+            take = min(room, remaining)
+            shares[i] = take
+            remaining -= take
+            if remaining == 0:
+                return shares
+        raise SchedulingError("server sockets are full")
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        plan: ClusterPlan,
+        mode: GuardbandMode = GuardbandMode.UNDERVOLT,
+        runtime_model: Optional[RuntimeModel] = None,
+        seed: int = 7,
+    ) -> ClusterMeasurement:
+        """Realize every powered server on the simulator and sum power."""
+        runtime = runtime_model or RuntimeModel()
+        chip_power = []
+        server_power = []
+        for server_id, placement in enumerate(plan.placements):
+            if placement is None:
+                chip_power.append(0.0)
+                server_power.append(0.0)
+                continue
+            server = Power720Server(self.config, seed=seed + server_id)
+            apply_with_contention(server, placement, runtime)
+            point = server.operate(mode)
+            chip_power.append(point.chip_power)
+            server_power.append(point.server_power)
+        return ClusterMeasurement(
+            plan=plan,
+            chip_power=tuple(chip_power),
+            server_power=tuple(server_power),
+        )

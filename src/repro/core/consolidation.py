@@ -1,0 +1,70 @@
+"""The conventional consolidation scheduler (the AGS baseline).
+
+Conventional wisdom for multi-socket servers: pack work onto as few
+processors as possible so idle processors can sleep (Sec. 5.1's framing,
+after Lo et al. and Leverich & Kozyrakis).  All threads go to socket 0; all
+spare powered-on cores stay there too; every other socket is fully gated.
+On a server with adaptive guardbanding this concentrates the current draw
+on one delivery path — precisely what loadline borrowing avoids.
+"""
+
+from __future__ import annotations
+
+from ..config import ServerConfig
+from ..errors import SchedulingError
+from ..workloads.profile import WorkloadProfile
+from .placement import Placement, ThreadGroup
+
+
+class ConsolidationScheduler:
+    """Pack everything onto socket 0, gate the rest."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self._config = config
+
+    def schedule(
+        self,
+        profile: WorkloadProfile,
+        n_threads: int,
+        total_cores_on: int = None,
+        threads_per_core: int = 1,
+    ) -> Placement:
+        """Consolidated placement of ``n_threads`` of one workload.
+
+        Parameters
+        ----------
+        total_cores_on:
+            Server-wide count of cores to keep powered (the responsiveness
+            reserve of Sec. 5.1.1; defaults to one socket's worth).  All of
+            them sit on socket 0; every other socket is fully gated.
+        threads_per_core:
+            SMT stacking depth (1 for the paper's one-thread-per-core runs,
+            4 for the 32-thread SPECrate-style runs of Fig. 14).
+        """
+        n_sockets = self._config.n_sockets
+        per_socket = self._config.chip.n_cores
+        if total_cores_on is None:
+            total_cores_on = per_socket
+        cores_needed = -(-n_threads // threads_per_core)
+        if cores_needed > per_socket:
+            raise SchedulingError(
+                f"{n_threads} thread(s) at {threads_per_core}/core need "
+                f"{cores_needed} cores; socket 0 has {per_socket}"
+            )
+        if total_cores_on > per_socket:
+            raise SchedulingError(
+                "consolidation keeps every powered core on socket 0; "
+                f"{total_cores_on} exceeds its {per_socket} cores"
+            )
+        if total_cores_on < cores_needed:
+            raise SchedulingError(
+                f"keeping {total_cores_on} cores on cannot host "
+                f"{cores_needed} busy cores"
+            )
+        groups = [(ThreadGroup(profile, n_threads),)] + [()] * (n_sockets - 1)
+        keep_on = [total_cores_on] + [0] * (n_sockets - 1)
+        return Placement(
+            groups=tuple(groups),
+            keep_on=tuple(keep_on),
+            threads_per_core=threads_per_core,
+        )

@@ -1,0 +1,176 @@
+"""Trace-driven AGS: scheduling a time-varying utilization profile.
+
+Datacenter load is diurnal; the paper's two scenarios (lightly utilized →
+loadline borrowing, heavily utilized → QoS-aware mapping) are *phases* of
+the same machine's day.  :class:`DynamicAgsDriver` replays a demand trace
+— threads requested per interval — through the AGS facade with hysteresis
+on re-placement (moving threads between sockets is not free, so the
+scheduler acts only when the demand level actually changes), and records
+per-interval power for both AGS and the consolidation baseline.
+
+This is the harness for energy-proportionality studies: feed it a day,
+integrate the power traces, compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import SchedulingError
+from ..guardband import GuardbandMode
+from ..sim.server import Power720Server
+from ..workloads.profile import WorkloadProfile
+from ..workloads.scaling import RuntimeModel
+from .ags import AdaptiveGuardbandScheduler
+from .consolidation import ConsolidationScheduler
+from .evaluate import apply_with_contention
+
+
+@dataclass(frozen=True)
+class IntervalResult:
+    """One trace interval's measured state."""
+
+    #: Interval index in the trace.
+    index: int
+
+    #: Threads demanded this interval.
+    demand: int
+
+    #: Whether the scheduler re-placed threads this interval.
+    rescheduled: bool
+
+    #: AGS chip power (W).
+    ags_power: float
+
+    #: Consolidation-baseline chip power (W).
+    baseline_power: float
+
+    @property
+    def saving_fraction(self) -> float:
+        """AGS's relative power saving this interval."""
+        return 1.0 - self.ags_power / self.baseline_power
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """A full trace replay."""
+
+    intervals: tuple
+
+    #: Interval length (s) used for the energy integrals.
+    interval_seconds: float
+
+    @property
+    def ags_energy(self) -> float:
+        """AGS chip energy over the trace (J)."""
+        return sum(i.ags_power for i in self.intervals) * self.interval_seconds
+
+    @property
+    def baseline_energy(self) -> float:
+        """Baseline chip energy over the trace (J)."""
+        return sum(i.baseline_power for i in self.intervals) * self.interval_seconds
+
+    @property
+    def energy_saving_fraction(self) -> float:
+        """Relative energy saving of AGS over the whole trace."""
+        return 1.0 - self.ags_energy / self.baseline_energy
+
+    @property
+    def n_reschedules(self) -> int:
+        """Placement changes AGS made."""
+        return sum(1 for i in self.intervals if i.rescheduled)
+
+
+class DynamicAgsDriver:
+    """Replay a demand trace through AGS vs the consolidation baseline."""
+
+    def __init__(
+        self,
+        server: Power720Server,
+        profile: WorkloadProfile,
+        total_cores_on: int = 8,
+        interval_seconds: float = 60.0,
+        runtime_model: Optional[RuntimeModel] = None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise SchedulingError("interval_seconds must be positive")
+        self.server = server
+        self.profile = profile
+        self.total_cores_on = total_cores_on
+        self.interval_seconds = interval_seconds
+        self.runtime = runtime_model or RuntimeModel()
+        self.ags = AdaptiveGuardbandScheduler(server.config)
+        self.baseline = ConsolidationScheduler(server.config)
+
+    def replay(self, demand_trace: Sequence[int]) -> TraceResult:
+        """Run the whole trace and return per-interval measurements.
+
+        Hysteresis: the placement is recomputed only when the demand
+        changes from the previous interval; flat segments reuse the
+        settled electrical state (the firmware holds its converged
+        setpoint for an unchanged load).
+        """
+        if not demand_trace:
+            raise SchedulingError("demand_trace must be non-empty")
+        intervals: List[IntervalResult] = []
+        previous_demand = None
+        ags_power = baseline_power = 0.0
+        for index, demand in enumerate(demand_trace):
+            if demand < 1:
+                raise SchedulingError(
+                    f"interval {index}: demand must be >= 1 thread "
+                    "(model an idle machine as a powered-off server instead)"
+                )
+            rescheduled = demand != previous_demand
+            if rescheduled:
+                ags_power = self._measure(
+                    self.ags.schedule_batch(
+                        self.profile, demand, self.total_cores_on
+                    )
+                )
+                baseline_power = self._measure(
+                    self.baseline.schedule(self.profile, demand, self.total_cores_on)
+                )
+                previous_demand = demand
+            intervals.append(
+                IntervalResult(
+                    index=index,
+                    demand=demand,
+                    rescheduled=rescheduled,
+                    ags_power=ags_power,
+                    baseline_power=baseline_power,
+                )
+            )
+        return TraceResult(
+            intervals=tuple(intervals), interval_seconds=self.interval_seconds
+        )
+
+    def _measure(self, placement) -> float:
+        apply_with_contention(self.server, placement, self.runtime)
+        point = self.server.operate(GuardbandMode.UNDERVOLT)
+        return point.chip_power
+
+
+def diurnal_trace(
+    n_intervals: int = 24,
+    low: int = 1,
+    high: int = 8,
+) -> List[int]:
+    """A canonical day: demand ramps up to a midday peak and back down.
+
+    A deterministic triangle wave between ``low`` and ``high`` threads —
+    enough structure for energy-proportionality comparisons without
+    pulling randomness into the examples.
+    """
+    if n_intervals < 2:
+        raise SchedulingError("n_intervals must be >= 2")
+    if not 1 <= low <= high:
+        raise SchedulingError("need 1 <= low <= high")
+    trace = []
+    half = n_intervals / 2.0
+    for i in range(n_intervals):
+        position = i / half if i < half else (n_intervals - i) / half
+        demand = low + round((high - low) * position)
+        trace.append(max(low, min(high, demand)))
+    return trace

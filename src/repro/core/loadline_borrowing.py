@@ -1,0 +1,78 @@
+"""Loadline borrowing: the light-load AGS policy (Sec. 5.1).
+
+Instead of consolidating onto one socket, loadline borrowing balances the
+active threads *and* the powered-on core reserve evenly across sockets and
+power-gates all remaining cores.  Each socket then carries roughly half the
+current, so each delivery path's passive drop (loadline + IR) shrinks, and
+each socket's undervolting firmware can remove more guardband — the
+"borrowing" of the sibling socket's loadline headroom.
+
+The policy is placement-only: it needs no firmware change and no hardware
+change, which is the paper's point — the scheduler reclaims what the
+physics takes away.
+"""
+
+from __future__ import annotations
+
+from ..config import ServerConfig
+from ..errors import SchedulingError
+from ..workloads.profile import WorkloadProfile
+from .placement import Placement, ThreadGroup
+
+
+class LoadlineBorrowingScheduler:
+    """Balance threads and the powered-core reserve across all sockets."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self._config = config
+
+    def schedule(
+        self,
+        profile: WorkloadProfile,
+        n_threads: int,
+        total_cores_on: int = None,
+        threads_per_core: int = 1,
+    ) -> Placement:
+        """Balanced placement of ``n_threads`` of one workload.
+
+        ``total_cores_on`` is the same server-wide responsiveness reserve
+        the consolidation baseline keeps (defaults to one socket's worth);
+        borrowing splits it evenly so both comparisons power the same
+        number of cores.
+        """
+        n_sockets = self._config.n_sockets
+        per_socket = self._config.chip.n_cores
+        if total_cores_on is None:
+            total_cores_on = per_socket
+        if total_cores_on > n_sockets * per_socket:
+            raise SchedulingError(
+                f"cannot keep {total_cores_on} cores on: server has "
+                f"{n_sockets * per_socket}"
+            )
+        thread_split = self._split(n_threads, n_sockets)
+        cores_on_split = self._split(total_cores_on, n_sockets)
+        groups = []
+        for threads, cores_on in zip(thread_split, cores_on_split):
+            cores_needed = -(-threads // threads_per_core)
+            if cores_needed > per_socket:
+                raise SchedulingError(
+                    f"{threads} thread(s) at {threads_per_core}/core exceed "
+                    f"one socket's {per_socket} cores"
+                )
+            if cores_needed > cores_on:
+                raise SchedulingError(
+                    f"socket reserve of {cores_on} powered cores cannot host "
+                    f"{cores_needed} busy cores"
+                )
+            groups.append((ThreadGroup(profile, threads),) if threads else ())
+        return Placement(
+            groups=tuple(groups),
+            keep_on=tuple(cores_on_split),
+            threads_per_core=threads_per_core,
+        )
+
+    @staticmethod
+    def _split(total: int, n_sockets: int) -> list:
+        """Spread ``total`` as evenly as possible across sockets."""
+        base, extra = divmod(total, n_sockets)
+        return [base + (1 if i < extra else 0) for i in range(n_sockets)]

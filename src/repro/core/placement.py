@@ -1,0 +1,109 @@
+"""Placement data structures shared by the AGS schedulers.
+
+A :class:`Placement` says, for each socket, which workloads run how many
+threads, and how many cores stay powered on.  Schedulers *produce*
+placements; :meth:`Placement.apply` realizes one on a server.  Keeping the
+decision and the actuation separate makes scheduler policies trivially
+testable without touching the electrical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence, Tuple
+
+from ..errors import SchedulingError
+from ..workloads.profile import WorkloadProfile
+from ..workloads.scaling import SocketShare
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..sim.server import Power720Server
+
+
+@dataclass(frozen=True)
+class ThreadGroup:
+    """``n_threads`` threads of one workload on one socket."""
+
+    profile: WorkloadProfile
+    n_threads: int
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise SchedulingError(
+                f"n_threads must be >= 1, got {self.n_threads}"
+            )
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A complete scheduling decision for the server."""
+
+    #: Per-socket tuples of thread groups.
+    groups: Tuple[Tuple[ThreadGroup, ...], ...]
+
+    #: Per-socket count of cores to keep powered on (rest power-gated).
+    #: ``None`` disables gating entirely.
+    keep_on: Tuple[int, ...] = None
+
+    #: Maximum SMT threads stacked per core during placement.
+    threads_per_core: int = 1
+
+    def __post_init__(self) -> None:
+        if self.keep_on is not None and len(self.keep_on) != len(self.groups):
+            raise SchedulingError(
+                "keep_on must have one entry per socket: "
+                f"{len(self.keep_on)} vs {len(self.groups)} sockets"
+            )
+
+    @property
+    def n_sockets(self) -> int:
+        """Number of sockets the placement spans."""
+        return len(self.groups)
+
+    def threads_on(self, socket_id: int) -> int:
+        """Total threads placed on one socket."""
+        return sum(g.n_threads for g in self.groups[socket_id])
+
+    @property
+    def total_threads(self) -> int:
+        """Total threads across the server."""
+        return sum(self.threads_on(s) for s in range(self.n_sockets))
+
+    def share_of(self, workload: str) -> SocketShare:
+        """Per-socket thread counts of one workload (for runtime models)."""
+        counts = []
+        for socket_groups in self.groups:
+            counts.append(
+                sum(g.n_threads for g in socket_groups if g.profile.name == workload)
+            )
+        if sum(counts) == 0:
+            raise SchedulingError(f"workload {workload!r} is not in this placement")
+        return SocketShare(tuple(counts))
+
+    def workloads(self) -> Sequence[str]:
+        """Names of all workloads in the placement (deduplicated, ordered)."""
+        seen = []
+        for socket_groups in self.groups:
+            for group in socket_groups:
+                if group.profile.name not in seen:
+                    seen.append(group.profile.name)
+        return tuple(seen)
+
+    def apply(self, server: "Power720Server") -> None:
+        """Realize the placement: clear, place every group, gate spares."""
+        if self.n_sockets != server.n_sockets:
+            raise SchedulingError(
+                f"placement spans {self.n_sockets} sockets, server has "
+                f"{server.n_sockets}"
+            )
+        server.clear()
+        for socket_id, socket_groups in enumerate(self.groups):
+            for group in socket_groups:
+                server.place(
+                    socket_id,
+                    group.profile,
+                    group.n_threads,
+                    threads_per_core=self.threads_per_core,
+                )
+        if self.keep_on is not None:
+            server.gate_unused(list(self.keep_on))

@@ -1,0 +1,87 @@
+"""QoS bookkeeping for latency-critical workloads (Sec. 5.2).
+
+:class:`QosSpec` declares the SLA: the tail-latency percentile target and
+the violation-rate threshold above which the scheduler must act.
+:class:`QosMonitor` accumulates per-window tail-latency observations and
+answers the Fig. 18 decision points ("QoS violated?", "violation rate >
+threshold?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class QosSpec:
+    """The service-level agreement of one critical workload."""
+
+    #: Tail-latency target (s) the percentile must stay under.
+    latency_target: float = 0.5
+
+    #: Percentile the target applies to (the paper uses the 90th).
+    percentile: float = 90.0
+
+    #: Violation-rate threshold that triggers co-runner swapping.
+    violation_threshold: float = 0.25
+
+    #: Whether the workload's QoS responds to clock frequency (Fig. 18's
+    #: "QoS sensitive to frequency?" branch).
+    frequency_sensitive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.latency_target <= 0:
+            raise SchedulingError("latency_target must be positive")
+        if not 0 < self.percentile < 100:
+            raise SchedulingError("percentile must be in (0, 100)")
+        if not 0 <= self.violation_threshold <= 1:
+            raise SchedulingError("violation_threshold must be in [0, 1]")
+
+
+@dataclass
+class QosMonitor:
+    """Sliding log of per-window tail latencies against a spec."""
+
+    spec: QosSpec
+    #: Number of most-recent windows considered by the rate queries.
+    horizon: int = 100
+    _observations: List[float] = field(default_factory=list)
+
+    def record(self, tail_latency: float) -> None:
+        """Log one measurement window's tail latency (s)."""
+        if tail_latency < 0:
+            raise SchedulingError("tail_latency must be >= 0")
+        self._observations.append(tail_latency)
+
+    def record_many(self, tail_latencies) -> None:
+        """Log a batch of windows."""
+        for value in tail_latencies:
+            self.record(float(value))
+
+    @property
+    def n_windows(self) -> int:
+        """Total windows logged."""
+        return len(self._observations)
+
+    def recent(self) -> List[float]:
+        """The windows inside the sliding horizon."""
+        return self._observations[-self.horizon:]
+
+    def violation_rate(self) -> float:
+        """Fraction of recent windows above the latency target."""
+        recent = self.recent()
+        if not recent:
+            return 0.0
+        violations = sum(1 for v in recent if v > self.spec.latency_target)
+        return violations / len(recent)
+
+    def violated(self) -> bool:
+        """Fig. 18's trigger: does the violation rate exceed the threshold?"""
+        return self.violation_rate() > self.spec.violation_threshold
+
+    def reset(self) -> None:
+        """Forget all observations (after a co-runner swap)."""
+        self._observations.clear()

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the simulator derive from :class:`ReproError` so that
+callers can catch simulator problems without masking genuine Python bugs
+(``TypeError`` and friends are deliberately *not* wrapped).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """A configuration object failed validation.
+
+    Raised eagerly at construction time (see ``__post_init__`` on the
+    dataclasses in :mod:`repro.config`) so that a bad parameter fails at the
+    call site that supplied it rather than deep inside a simulation step.
+    """
+
+
+class ConvergenceError(ReproError):
+    """The electrical fixed-point solver failed to converge.
+
+    The voltage/current/power state of a socket is mutually dependent and is
+    solved by damped iteration.  Under every supported configuration the
+    iteration contracts; failure indicates parameters far outside the
+    validated envelope (for example a loadline resistance large enough that
+    the chip cannot be powered at all).
+    """
+
+
+class CalibrationError(ReproError):
+    """CPM calibration could not reach the requested target code."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler was asked to produce an impossible placement.
+
+    Examples: more threads than hardware thread slots, or a pinned critical
+    workload that does not fit on the requested socket.
+    """
+
+
+class SensorError(ReproError):
+    """A telemetry read was malformed (unknown sensor, bad sampling mode)."""
+
+
+class WorkloadError(ReproError):
+    """An unknown benchmark name or invalid workload parameter."""

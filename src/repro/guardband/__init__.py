@@ -1,0 +1,36 @@
+"""Adaptive guardband firmware: calibration, the three operating policies,
+and the controller facade.
+
+* :mod:`~repro.guardband.calibration` — the CPM calibration procedure.
+* :mod:`~repro.guardband.static` — the traditional fixed-voltage guardband.
+* :mod:`~repro.guardband.overclock` — CPM→DPLL closed loop at fixed voltage
+  (frequency-boosting mode).
+* :mod:`~repro.guardband.undervolt` — 32 ms firmware loop that lowers the
+  VRM setpoint until the clock just holds the target (power-saving mode).
+* :mod:`~repro.guardband.controller` — mode dispatch facade.
+"""
+
+from .audit import AuditReport, audit_operating_point
+from .calibration import calibrated_margin, calibrate_socket
+from .capping import CapResult, PowerCapPolicy
+from .controller import GuardbandController, GuardbandMode
+from .overclock import OverclockPolicy
+from .parking import park_if_fully_gated, park_voltage
+from .static import StaticGuardbandPolicy
+from .undervolt import UndervoltPolicy
+
+__all__ = [
+    "AuditReport",
+    "CapResult",
+    "PowerCapPolicy",
+    "GuardbandController",
+    "GuardbandMode",
+    "OverclockPolicy",
+    "StaticGuardbandPolicy",
+    "UndervoltPolicy",
+    "audit_operating_point",
+    "calibrate_socket",
+    "calibrated_margin",
+    "park_if_fully_gated",
+    "park_voltage",
+]

@@ -1,0 +1,43 @@
+"""CPM calibration: anchoring every CPM to the target code.
+
+During manufacturing test, each CPM is calibrated so that it outputs the
+target code (≈2 on POWER7+) when the core sits exactly at the protected
+operating point.  The protected margin equals the calibration code times
+the CPM step — with the paper's 21 mV/bit and code 2, about 42 mV of
+reserved headroom.  That reserved headroom is what the adaptive modes keep
+between the observed voltage and the timing wall; everything above it is
+harvestable guardband.
+"""
+
+from __future__ import annotations
+
+from ..chip import Power7Chip
+from ..config import GuardbandConfig
+
+
+def calibrated_margin(chip_config, guardband: GuardbandConfig) -> float:
+    """The timing margin (V) the calibration code represents.
+
+    ``calibration_code`` CPM steps at the nominal per-bit sensitivity, plus
+    the firmware's deterministic nondeterminism allowance.
+    """
+    return (
+        guardband.calibration_code * chip_config.cpm_mv_per_bit
+        + guardband.nondeterminism_margin
+    )
+
+
+def calibrate_socket(chip: Power7Chip, guardband: GuardbandConfig) -> float:
+    """Run the calibration procedure on one die.
+
+    The chip is (conceptually) placed at nominal frequency with exactly the
+    protected margin, and every CPM is re-anchored to output the calibration
+    code there.  Returns the calibrated margin in volts.
+    """
+    margin = calibrated_margin(chip.config, guardband)
+    chip.cpm_bank.calibrate(
+        margin=margin,
+        frequency=chip.config.f_nominal,
+        target_code=guardband.calibration_code,
+    )
+    return margin

@@ -1,0 +1,112 @@
+"""Guardband controller facade: one entry point for the three policies.
+
+The hooks in the real firmware let the experimenters place the system in
+either adaptive mode, or disable adaptive guardbanding altogether
+(Sec. 3.1).  :class:`GuardbandController` is that switch for the simulator:
+construct it over a :class:`~repro.sim.socket.ProcessorSocket`, pick a
+:class:`GuardbandMode`, call :meth:`operate`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..config import ServerConfig
+from .calibration import calibrate_socket
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..sim.socket import ProcessorSocket, SocketSolution
+from .overclock import OverclockPolicy
+from .static import StaticGuardbandPolicy
+from .undervolt import UndervoltPolicy, UndervoltResult
+
+
+class GuardbandMode(enum.Enum):
+    """Operating mode of the guardband management firmware."""
+
+    #: Traditional fixed guardband (adaptive features disabled).
+    STATIC = "static"
+
+    #: Adaptive guardbanding converting headroom into power savings.
+    UNDERVOLT = "undervolt"
+
+    #: Adaptive guardbanding converting headroom into clock frequency.
+    OVERCLOCK = "overclock"
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Outcome of operating one socket in one mode."""
+
+    mode: GuardbandMode
+    solution: SocketSolution
+
+    #: VRM setpoint in effect (V).
+    setpoint: float
+
+    #: Voltage removed vs. the static rail (V; zero outside undervolt mode).
+    undervolt: float
+
+    @property
+    def chip_power(self) -> float:
+        """Settled socket power (W)."""
+        return self.solution.chip_power
+
+    @property
+    def frequency(self) -> float:
+        """Settled mean core clock (Hz)."""
+        return self.solution.mean_frequency
+
+
+class GuardbandController:
+    """Mode dispatch plus one-time calibration for a socket."""
+
+    def __init__(self, socket: ProcessorSocket, config: Optional[ServerConfig] = None) -> None:
+        self.socket = socket
+        self.config = config or socket.config
+        self.static_policy = StaticGuardbandPolicy(self.config)
+        self.undervolt_policy = UndervoltPolicy(self.config)
+        self.overclock_policy = OverclockPolicy(self.config)
+        self._calibrated = False
+
+    def calibrate(self) -> float:
+        """Run CPM calibration once; returns the calibrated margin (V)."""
+        margin = calibrate_socket(self.socket.chip, self.config.guardband)
+        self._calibrated = True
+        return margin
+
+    def operate(
+        self, mode: GuardbandMode, f_target: Optional[float] = None
+    ) -> OperatingPoint:
+        """Place the socket in ``mode`` and settle its operating point."""
+        if not self._calibrated:
+            self.calibrate()
+        if mode is GuardbandMode.STATIC:
+            solution = self.static_policy.apply(self.socket, f_target)
+            return OperatingPoint(
+                mode=mode,
+                solution=solution,
+                setpoint=self.socket.path.setpoint,
+                undervolt=0.0,
+            )
+        if mode is GuardbandMode.UNDERVOLT:
+            result: UndervoltResult = self.undervolt_policy.converge(
+                self.socket, f_target
+            )
+            return OperatingPoint(
+                mode=mode,
+                solution=result.solution,
+                setpoint=result.setpoint,
+                undervolt=result.undervolt,
+            )
+        if mode is GuardbandMode.OVERCLOCK:
+            solution = self.overclock_policy.apply(self.socket)
+            return OperatingPoint(
+                mode=mode,
+                solution=solution,
+                setpoint=self.socket.path.setpoint,
+                undervolt=0.0,
+            )
+        raise ValueError(f"unknown guardband mode: {mode!r}")

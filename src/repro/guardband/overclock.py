@@ -1,0 +1,76 @@
+"""Frequency-boosting (overclocking) mode: the CPM→DPLL closed loop.
+
+At the fixed nominal voltage, each core's DPLL continuously adjusts its
+clock so the worst CPM in the core sits at the calibration code — the core
+runs as fast as the *delivered* voltage permits while preserving the
+protected margin.  Under light load the delivered voltage is high (little
+passive drop) and the clock boosts by up to ~10%; under heavy load passive
+drop eats the headroom and the boost shrinks (Figs. 4–5).
+
+Droop handling: the DPLL rides out transient droops by slewing down within
+nanoseconds, so — unlike the undervolting mode — the loop does not need to
+reserve the *full* worst-case droop depth.  It does reserve a fraction
+(:data:`DROOP_RESERVE_FRACTION`): the slew response is not instantaneous,
+and the firmware backs the sustained ceiling off accordingly.  This is the
+mechanism behind the paper's observation that frequency boosting is mainly
+limited by *localized* voltage drop while undervolting pays the full
+chip-wide worst case.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..config import ServerConfig
+from .calibration import calibrated_margin
+from .parking import park_if_fully_gated
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..sim.socket import ProcessorSocket, SocketSolution
+
+#: Fraction of the worst-case droop depth the sustained overclock reserves.
+DROOP_RESERVE_FRACTION = 0.25
+
+
+class OverclockPolicy:
+    """Fixed nominal voltage; per-core frequency servoed to the margin."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self._config = config
+
+    def apply(
+        self, socket: ProcessorSocket, f_floor: Optional[float] = None
+    ) -> SocketSolution:
+        """Program the socket for frequency-boosting mode and settle it.
+
+        ``f_floor`` (defaults to the chip's minimum DVFS frequency) only
+        matters in pathological configurations; in every measured scenario
+        the servo lands above nominal.
+        """
+        chip_cfg = self._config.chip
+        parked = park_if_fully_gated(socket, self._config)
+        if parked is not None:
+            # No live CPMs on a fully gated chip: the servo cannot run, and
+            # DVFS parks the rail at the lowest operating point.
+            return parked
+        socket.path.set_voltage(self._config.static_vdd)
+        n_active = socket.chip.n_active_cores()
+        reserve = (
+            calibrated_margin(chip_cfg, self._config.guardband)
+            + DROOP_RESERVE_FRACTION * socket.path.noise.worst_droop(n_active)
+        )
+        solution = socket.solve(
+            servo_margin=reserve,
+            frequency_cap=chip_cfg.f_ceiling,
+        )
+        if f_floor is not None and solution.min_frequency < f_floor:
+            # Hold the floor: re-settle at fixed floor frequency.
+            solution = socket.solve(
+                frequencies=[max(f, f_floor) for f in solution.frequencies]
+            )
+        return solution
+
+    def boost_fraction(self, solution: SocketSolution) -> float:
+        """Mean relative frequency gain over the nominal clock."""
+        nominal = self._config.chip.f_nominal
+        return solution.mean_frequency / nominal - 1.0

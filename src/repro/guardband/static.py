@@ -1,0 +1,67 @@
+"""The traditional static guardband policy (the paper's baseline).
+
+The VRM is programmed to the nominal voltage — Vmin at the target frequency
+plus the full static guardband — and every core runs at the fixed target
+clock.  The guardband is sized for the worst case (maximum loadline and IR
+drop, deepest aligned droop, aging, calibration error), so under typical
+load most of it is wasted as unnecessary voltage: the inefficiency adaptive
+guardbanding harvests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..config import ServerConfig
+from .parking import park_if_fully_gated
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..sim.socket import ProcessorSocket, SocketSolution
+
+
+class StaticGuardbandPolicy:
+    """Fixed voltage, fixed frequency."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self._config = config
+
+    @property
+    def vdd(self) -> float:
+        """The static-guardband supply voltage (V)."""
+        return self._config.static_vdd
+
+    def apply(
+        self, socket: ProcessorSocket, f_target: Optional[float] = None
+    ) -> SocketSolution:
+        """Program the socket for static-guardband operation and settle it.
+
+        Parameters
+        ----------
+        socket:
+            The socket to configure (occupancy must already be placed).
+        f_target:
+            Target clock (Hz); defaults to the chip's nominal frequency.
+        """
+        chip_cfg = self._config.chip
+        parked = park_if_fully_gated(socket, self._config)
+        if parked is not None:
+            # Fully gated chips park at the lowest DVFS point under any
+            # guardband mode — DVFS is orthogonal to guardband management.
+            return parked
+        target = chip_cfg.f_nominal if f_target is None else f_target
+        socket.path.set_voltage(self.vdd)
+        return socket.solve(frequencies=[target] * chip_cfg.n_cores)
+
+    def guardband_margin(self, solution: SocketSolution) -> float:
+        """Unused voltage headroom (V) at the settled static operating point.
+
+        The distance between the worst core's delivered voltage and the
+        timing wall at its clock — the raw material adaptive guardbanding
+        converts into power or performance.
+        """
+        chip = self._config.chip
+        margins = [
+            v - chip.vmin(f)
+            for v, f in zip(solution.core_voltages, solution.frequencies)
+        ]
+        return min(margins)

@@ -1,0 +1,27 @@
+"""Power delivery network: VRM, loadline, on-chip IR drop, di/dt noise.
+
+The decomposition of on-chip voltage drop follows the paper's Fig. 8:
+
+``V_transistor = V_vrm_setpoint − loadline − IR drop − di/dt noise``
+
+with the loadline at the VRM, the IR drop across the package and on-chip
+grid, and di/dt noise split into a typical-case ripple and rare worst-case
+droop events.
+"""
+
+from .decomposition import DecomposedDrop, DropDecomposer
+from .delivery import DropBreakdown, PowerDeliveryPath
+from .didt import DidtNoiseModel, DroopEvent
+from .irdrop import IrDropNetwork
+from .vrm import VoltageRegulatorModule
+
+__all__ = [
+    "DecomposedDrop",
+    "DidtNoiseModel",
+    "DroopEvent",
+    "DropBreakdown",
+    "DropDecomposer",
+    "IrDropNetwork",
+    "PowerDeliveryPath",
+    "VoltageRegulatorModule",
+]

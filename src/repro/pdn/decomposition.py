@@ -1,0 +1,112 @@
+"""Measurement-side voltage-drop decomposition (the Sec. 4.3 methodology).
+
+The paper decomposes measured on-chip voltage drop into four components
+using a mixture of VRM current sensing and CPM reads:
+
+1. **loadline** — VRM current sensor × loadline resistance;
+2. **IR drop** — VRM current sensor × grid resistance (the "heuristic
+   equation verified against hardware measurements");
+3. **typical-case di/dt** — sample-mode CPM converted to volts, minus the
+   passive component;
+4. **worst-case di/dt** — sticky-mode (window-minimum) CPM converted to
+   volts, minus the sample-mode long-term average.
+
+:class:`DropDecomposer` implements the same arithmetic against the
+simulator's telemetry, so the Fig. 9 benchmark exercises the *measurement
+path*, not just the ground-truth model — exactly the way the authors could
+only observe their hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PdnConfig
+
+
+@dataclass(frozen=True)
+class DecomposedDrop:
+    """One core's measured voltage drop split into Fig. 8's components.
+
+    All fields in volts, all non-negative.
+    """
+
+    loadline: float
+    ir_drop: float
+    typical_didt: float
+    worst_didt: float
+
+    @property
+    def passive(self) -> float:
+        """Loadline plus IR drop — the component that scales with power."""
+        return self.loadline + self.ir_drop
+
+    @property
+    def total(self) -> float:
+        """Total decomposed drop."""
+        return self.loadline + self.ir_drop + self.typical_didt + self.worst_didt
+
+    def as_percent_of(self, nominal: float) -> "DecomposedDrop":
+        """Re-express every component as a percentage of ``nominal`` volts."""
+        if nominal <= 0:
+            raise ValueError(f"nominal must be positive, got {nominal}")
+        scale = 100.0 / nominal
+        return DecomposedDrop(
+            loadline=self.loadline * scale,
+            ir_drop=self.ir_drop * scale,
+            typical_didt=self.typical_didt * scale,
+            worst_didt=self.worst_didt * scale,
+        )
+
+
+class DropDecomposer:
+    """Splits sensor readings into loadline / IR / typical / worst di/dt."""
+
+    def __init__(self, config: PdnConfig) -> None:
+        self._config = config
+
+    def passive_from_current(self, chip_current: float) -> tuple:
+        """(loadline, ir) drop in volts from a VRM current-sensor reading.
+
+        This is the paper's heuristic equation: both passive terms are
+        proportional to the sensed chip current.  The IR term uses the
+        shared-grid resistance plus the floorplan-average local resistance
+        contribution of a uniformly loaded chip.
+        """
+        if chip_current < 0:
+            raise ValueError(f"chip_current must be >= 0, got {chip_current}")
+        loadline = self._config.r_loadline * chip_current
+        ir = self._config.r_ir_shared * chip_current
+        return loadline, ir
+
+    def decompose(
+        self,
+        chip_current: float,
+        sample_mode_drop: float,
+        sticky_mode_drop: float,
+        local_ir: float = 0.0,
+    ) -> DecomposedDrop:
+        """Full decomposition from one telemetry window.
+
+        Parameters
+        ----------
+        chip_current:
+            VRM current-sensor reading (A).
+        sample_mode_drop:
+            Long-term-average total drop from sample-mode CPM reads (V).
+        sticky_mode_drop:
+            Window-worst total drop from sticky-mode CPM reads (V).
+        local_ir:
+            Optional per-core local IR contribution (V) if the caller has
+            attributed it (the paper folds it into "IR drop").
+        """
+        loadline, ir_shared = self.passive_from_current(chip_current)
+        ir = ir_shared + max(local_ir, 0.0)
+        typical = max(sample_mode_drop - loadline - ir, 0.0)
+        worst = max(sticky_mode_drop - sample_mode_drop, 0.0)
+        return DecomposedDrop(
+            loadline=loadline,
+            ir_drop=ir,
+            typical_didt=typical,
+            worst_didt=worst,
+        )

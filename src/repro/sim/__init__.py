@@ -1,0 +1,34 @@
+"""Simulation layer: sockets, the two-socket server, engine and results.
+
+``socket``  – one chip + its delivery path; solves the electrical fixed point.
+``server``  – the Power 720-class box: two sockets sharing one VRM chip.
+``engine``  – 32 ms tick-level transient driver (firmware dynamics).
+``results`` – result containers with derived metrics.
+``run``     – high-level measurement helpers used by examples and benchmarks.
+"""
+
+from .engine import TickResult, TransientEngine
+from .results import RunResult, SteadyState
+from .run import (
+    build_server,
+    core_scaling_sweep,
+    measure_consolidated,
+    measure_placement,
+)
+from .server import Power720Server, ServerOperatingPoint
+from .socket import ProcessorSocket, SocketSolution
+
+__all__ = [
+    "Power720Server",
+    "ProcessorSocket",
+    "RunResult",
+    "ServerOperatingPoint",
+    "SocketSolution",
+    "SteadyState",
+    "TickResult",
+    "TransientEngine",
+    "build_server",
+    "core_scaling_sweep",
+    "measure_consolidated",
+    "measure_placement",
+]

@@ -1,0 +1,223 @@
+"""Transient simulation engine: the platform tick by 32 ms tick.
+
+The steady-state solvers in :mod:`repro.guardband` jump straight to the
+converged operating point; :class:`TransientEngine` instead walks real
+firmware time.  Each tick:
+
+1. the socket's electrical state settles at the current VRM setpoint (the
+   electrical time constants are far below 32 ms);
+2. the di/dt process draws the window's droop events; the DPLL dips
+   through them, and the deepest dip is what the firmware observes;
+3. the firmware reacts: in undervolting mode it raises the setpoint
+   immediately on a frequency violation and creeps downward only after a
+   clean streak — the cautious asymmetry of a real AVS loop;
+4. telemetry records the tick.
+
+The engine exists for studying *dynamics* — convergence time after a mode
+switch, response to a workload phase change, undershoot after droop bursts
+— which the figures' steady-state procedures deliberately average away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..guardband import GuardbandMode
+from ..guardband.calibration import calibrated_margin
+from ..guardband.overclock import DROOP_RESERVE_FRACTION
+from ..pdn import DidtNoiseModel
+from ..telemetry.amester import Amester, TelemetryTrace
+from ..workloads.phases import PhasedWorkload
+from .socket import ProcessorSocket, SocketSolution
+
+#: Clean ticks required before the undervolt loop creeps one step down.
+LOWER_STREAK = 3
+
+
+@dataclass(frozen=True)
+class TickResult:
+    """State of one socket after one engine tick."""
+
+    time: float
+    setpoint: float
+    solution: SocketSolution
+
+    #: Deepest droop drawn in this tick's window (V).
+    observed_droop: float
+
+    #: Lowest instantaneous core frequency during the window (Hz).
+    min_dip_frequency: float
+
+    #: Whether the firmware saw a frequency-target violation this tick.
+    violation: bool
+
+
+class TransientEngine:
+    """Tick-level driver for one socket under one guardband mode."""
+
+    def __init__(
+        self,
+        socket: ProcessorSocket,
+        mode: GuardbandMode,
+        f_target: Optional[float] = None,
+        seed: int = 51,
+        phased_workload: Optional[PhasedWorkload] = None,
+        n_threads: int = 0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        phased_workload, n_threads:
+            When given, the engine re-places ``n_threads`` single threads
+            of the phase-modulated profile at the start of every tick, so
+            the firmware chases a moving activity target (see
+            :mod:`repro.workloads.phases`).  Without them the engine uses
+            whatever occupancy the caller placed.
+        """
+        if phased_workload is not None and n_threads < 1:
+            raise ReproError("phased_workload requires n_threads >= 1")
+        self.socket = socket
+        self.mode = mode
+        self._phased = phased_workload
+        self._n_threads = n_threads
+        config = socket.config
+        self.config = config
+        self.f_target = f_target or config.chip.f_nominal
+        self.margin = calibrated_margin(config.chip, config.guardband)
+        self.interval = config.guardband.control_interval
+        self._rng = np.random.default_rng(seed)
+        self._time = 0.0
+        self._clean_streak = 0
+        # Latched floor: once a droop event forces a backoff at setpoint S,
+        # the loop never creeps below S again — it has learned where the
+        # events bite.  Starts at the physical wall plus the margin.
+        self._floor = config.chip.vmin(self.f_target) + self.margin
+        self.amester = Amester(socket, interval=self.interval, seed=seed + 1)
+        socket.chip.cpm_bank.calibrate(
+            margin=self.margin,
+            frequency=config.chip.f_nominal,
+            target_code=config.guardband.calibration_code,
+        )
+        # Mode entry: both adaptive modes start from the static rail.
+        socket.path.set_voltage(config.static_vdd)
+        socket.chip.set_all_frequencies(self.f_target)
+
+    @property
+    def time(self) -> float:
+        """Simulated time (s)."""
+        return self._time
+
+    @property
+    def trace(self) -> TelemetryTrace:
+        """The telemetry recorded so far."""
+        return self.amester.trace
+
+    def set_occupancy(self, profile, n_threads: int) -> None:
+        """Replace the socket's threads with ``n_threads`` of ``profile``.
+
+        Also re-scales the di/dt model to the new workload (what the
+        server-level placement path does via
+        :meth:`repro.sim.server.Power720Server.place`).
+        """
+        chip = self.socket.chip
+        chip.clear_threads()
+        for core_id in range(min(n_threads, chip.n_cores)):
+            chip.place_thread(core_id, profile.thread())
+        self.socket.path.set_noise(
+            DidtNoiseModel(
+                self.config.pdn.didt,
+                ripple_scale=profile.ripple_scale,
+                droop_scale=profile.droop_scale,
+            )
+        )
+
+    def tick(self) -> TickResult:
+        """Advance the platform by one 32 ms firmware interval."""
+        socket = self.socket
+        chip = socket.chip
+        if self._phased is not None:
+            self.set_occupancy(self._phased.profile_at(self._time), self._n_threads)
+        if self.mode is GuardbandMode.STATIC:
+            solution = socket.solve(
+                frequencies=[self.f_target] * chip.n_cores, settle_thermal=False
+            )
+        elif self.mode is GuardbandMode.UNDERVOLT:
+            solution = socket.solve(
+                servo_margin=self.margin,
+                frequency_cap=self.f_target,
+                settle_thermal=False,
+            )
+        elif self.mode is GuardbandMode.OVERCLOCK:
+            n_active = chip.n_active_cores()
+            reserve = self.margin + DROOP_RESERVE_FRACTION * socket.path.noise.worst_droop(
+                n_active
+            )
+            solution = socket.solve(
+                servo_margin=reserve,
+                frequency_cap=chip.config.f_ceiling,
+                settle_thermal=False,
+            )
+        else:  # pragma: no cover - enum is exhaustive
+            raise ReproError(f"unsupported mode {self.mode!r}")
+
+        n_active = chip.n_active_cores()
+        droop = socket.path.noise.worst_in_window(
+            n_active, self.interval, self._rng
+        )
+        dips = [
+            chip.timing.clamp_frequency(
+                chip.timing.frequency_for_margin(v - droop, self.margin)
+            )
+            for v in solution.core_voltages
+        ]
+        min_dip = min(min(dips), min(solution.frequencies))
+        violation = min_dip < self.f_target * (
+            1.0 - self.config.guardband.frequency_tolerance
+        )
+
+        if self.mode is GuardbandMode.UNDERVOLT:
+            self._undervolt_firmware(violation)
+
+        self.amester.poll(solution)
+        result = TickResult(
+            time=self._time,
+            setpoint=socket.path.setpoint,
+            solution=solution,
+            observed_droop=droop,
+            min_dip_frequency=min_dip,
+            violation=violation,
+        )
+        self._time += self.interval
+        return result
+
+    def run(self, n_ticks: int) -> List[TickResult]:
+        """Advance ``n_ticks`` intervals and return every tick's state."""
+        if n_ticks < 1:
+            raise ReproError(f"n_ticks must be >= 1, got {n_ticks}")
+        return [self.tick() for _ in range(n_ticks)]
+
+    def _undervolt_firmware(self, violation: bool) -> None:
+        """One firmware decision: back off fast, creep down slowly.
+
+        Violations raise both the setpoint and the latched floor, so the
+        loop converges onto the deepest event level it has witnessed
+        instead of re-probing voltage it already knows is unsafe.
+        """
+        path = self.socket.path
+        step = path.vrm.step
+        ceiling = path.vrm.quantize(self.config.static_vdd)
+        if violation:
+            backed_off = min(path.setpoint + 2 * step, ceiling)
+            self._floor = max(self._floor, backed_off)
+            path.set_voltage(backed_off)
+            self._clean_streak = 0
+            return
+        self._clean_streak += 1
+        if self._clean_streak >= LOWER_STREAK:
+            new_setpoint = max(path.setpoint - step, self._floor)
+            path.set_voltage(new_setpoint)
+            self._clean_streak = 0

@@ -1,0 +1,172 @@
+"""High-level measurement helpers used by examples and benchmarks.
+
+These functions reproduce the paper's experimental procedures:
+
+* :func:`measure_consolidated` — one workload consolidated on socket 0 with
+  socket 1 idle (the Sec. 3 characterization setup), settled under the
+  static guardband and one adaptive mode.
+* :func:`core_scaling_sweep` — the 1→8 active-core sweep behind
+  Figs. 3, 4, 5 and 7.
+* :func:`measure_placement` — an arbitrary two-socket placement (used by
+  the AGS schedulers and the loadline-borrowing figures).
+
+Single-socket experiments report the focal socket's power (the paper
+measures one processor's Vdd rail); two-socket scheduling experiments
+report the sum.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..config import ServerConfig
+from ..guardband import GuardbandMode
+from ..workloads.profile import WorkloadProfile
+from ..workloads.scaling import RuntimeModel, SocketShare
+from .results import RunResult, SteadyState
+from .server import Power720Server, ServerOperatingPoint
+
+
+def build_server(config: Optional[ServerConfig] = None, seed: int = 7) -> Power720Server:
+    """A fresh default server (two POWER7+ sockets behind one VRM)."""
+    return Power720Server(config=config, seed=seed)
+
+
+def _active_mean_frequency(
+    server: Power720Server, point: ServerOperatingPoint
+) -> float:
+    """Mean clock over cores that actually run threads."""
+    freqs: List[float] = []
+    for sid, socket in enumerate(server.sockets):
+        solution = point.socket_point(sid).solution
+        for core_id in socket.chip.active_core_ids():
+            freqs.append(solution.frequencies[core_id])
+    if not freqs:
+        # Idle server: fall back to socket-0 mean.
+        return point.socket_point(0).solution.mean_frequency
+    return sum(freqs) / len(freqs)
+
+
+def measure_consolidated(
+    server: Power720Server,
+    profile: WorkloadProfile,
+    n_threads: int,
+    mode: GuardbandMode,
+    threads_per_core: int = 1,
+    runtime_model: Optional[RuntimeModel] = None,
+    f_target: Optional[float] = None,
+) -> RunResult:
+    """Static-vs-adaptive pair for a consolidated single-socket placement.
+
+    All threads go to socket 0 (cores activated in succession from core 0,
+    as in the paper's Sec. 4.2 procedure); socket 1 idles.  The server is
+    cleared first.
+    """
+    runtime = runtime_model or RuntimeModel()
+    server.clear()
+    server.place(0, profile, n_threads, threads_per_core=threads_per_core)
+    share = SocketShare.consolidated(n_threads, server.n_sockets)
+    n_active = server.sockets[0].chip.n_active_cores()
+
+    static_point = server.operate(GuardbandMode.STATIC, f_target)
+    static_state = _steady_state(
+        server, profile, share, GuardbandMode.STATIC, n_active, static_point, runtime
+    )
+    adaptive_point = server.operate(mode, f_target)
+    adaptive_state = _steady_state(
+        server, profile, share, mode, n_active, adaptive_point, runtime
+    )
+    return RunResult(
+        profile=profile,
+        n_active_cores=n_active,
+        static=static_state,
+        adaptive=adaptive_state,
+    )
+
+
+def core_scaling_sweep(
+    server: Power720Server,
+    profile: WorkloadProfile,
+    mode: GuardbandMode,
+    core_counts: Sequence[int] = range(1, 9),
+    runtime_model: Optional[RuntimeModel] = None,
+) -> List[RunResult]:
+    """The 1→8 active-core characterization sweep (Figs. 3–5)."""
+    return [
+        measure_consolidated(
+            server, profile, n, mode, runtime_model=runtime_model
+        )
+        for n in core_counts
+    ]
+
+
+def measure_placement(
+    server: Power720Server,
+    profile: WorkloadProfile,
+    share: SocketShare,
+    mode: GuardbandMode,
+    keep_on: Optional[Sequence[int]] = None,
+    threads_per_core: int = 1,
+    runtime_model: Optional[RuntimeModel] = None,
+    f_target: Optional[float] = None,
+) -> RunResult:
+    """Static-vs-adaptive pair for an arbitrary two-socket placement.
+
+    Parameters
+    ----------
+    share:
+        How many threads land on each socket.
+    keep_on:
+        Per-socket count of cores to keep powered (others are gated); when
+        omitted no core is gated — the Sec. 3 configuration.
+    """
+    runtime = runtime_model or RuntimeModel()
+    server.clear()
+    for sid, n_threads in enumerate(share.threads_per_socket):
+        if n_threads:
+            server.place(sid, profile, n_threads, threads_per_core=threads_per_core)
+    if keep_on is not None:
+        server.gate_unused(keep_on)
+    n_active = sum(s.chip.n_active_cores() for s in server.sockets)
+
+    static_point = server.operate(GuardbandMode.STATIC, f_target)
+    static_state = _steady_state(
+        server, profile, share, GuardbandMode.STATIC, n_active, static_point, runtime
+    )
+    adaptive_point = server.operate(mode, f_target)
+    adaptive_state = _steady_state(
+        server, profile, share, mode, n_active, adaptive_point, runtime
+    )
+    return RunResult(
+        profile=profile,
+        n_active_cores=n_active,
+        static=static_state,
+        adaptive=adaptive_state,
+    )
+
+
+def _steady_state(
+    server: Power720Server,
+    profile: WorkloadProfile,
+    share: SocketShare,
+    mode: GuardbandMode,
+    n_active: int,
+    point: ServerOperatingPoint,
+    runtime: RuntimeModel,
+) -> SteadyState:
+    """Wrap an operating point with runtime estimate and active frequency."""
+    frequency = _active_mean_frequency(server, point)
+    execution_time = runtime.execution_time(
+        profile,
+        share,
+        frequency=frequency,
+        reference_frequency=server.config.chip.f_nominal,
+    )
+    return SteadyState(
+        workload=profile.name,
+        mode=mode,
+        n_active_cores=n_active,
+        point=point,
+        execution_time=execution_time,
+        active_frequency=frequency,
+    )

@@ -1,0 +1,152 @@
+"""The AMESTER-style poller: periodic sensor + CPM trace recording.
+
+:class:`Amester` polls a socket at a fixed interval (≥ 32 ms — the service
+processor's floor, which the real tool enforces) and accumulates
+:class:`TelemetryRecord` rows.  It is the measurement harness the Fig. 6
+and Fig. 9 experiments use: everything those figures plot passes through
+this interface rather than peeking at simulator internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+from ..errors import SensorError
+from .cpm_reader import CpmReadMode, CpmReader
+from .sensors import SensorReading, SocketSensors
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..sim.socket import ProcessorSocket, SocketSolution
+
+#: The service processor cannot sample faster than this (s).
+MIN_INTERVAL = 0.032
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One polling interval's worth of telemetry."""
+
+    #: Sample timestamp (s since trace start).
+    time: float
+
+    #: All platform sensors.
+    sensors: Dict[str, SensorReading]
+
+    #: Per-core sample-mode worst CPM codes.
+    cpm_sample: tuple
+
+    #: Per-core sticky-mode worst CPM codes.
+    cpm_sticky: tuple
+
+    def sensor(self, name: str) -> float:
+        """Value of one sensor."""
+        return self.sensors[name].value
+
+
+@dataclass
+class TelemetryTrace:
+    """An append-only sequence of records with series extraction."""
+
+    records: List[TelemetryRecord] = field(default_factory=list)
+
+    def append(self, record: TelemetryRecord) -> None:
+        """Add one record."""
+        self.records.append(record)
+
+    def series(self, sensor: str) -> List[float]:
+        """All samples of one sensor, in time order."""
+        return [r.sensor(sensor) for r in self.records]
+
+    def cpm_series(self, core_id: int, mode: CpmReadMode) -> List[int]:
+        """All worst-code samples of one core under one read mode."""
+        if mode is CpmReadMode.SAMPLE:
+            return [r.cpm_sample[core_id] for r in self.records]
+        return [r.cpm_sticky[core_id] for r in self.records]
+
+    def to_csv(self) -> str:
+        """Render the trace as CSV (time, sensors, per-core CPM columns).
+
+        The practical export path: AMESTER users log to CSV and analyze
+        offline; so do users of this simulator.
+        """
+        if not self.records:
+            return ""
+        first = self.records[0]
+        sensor_names = sorted(first.sensors)
+        n_cores = len(first.cpm_sample)
+        header = (
+            ["time_s"]
+            + sensor_names
+            + [f"cpm_sample_c{i}" for i in range(n_cores)]
+            + [f"cpm_sticky_c{i}" for i in range(n_cores)]
+        )
+        lines = [",".join(header)]
+        for record in self.records:
+            row = [f"{record.time:.6f}"]
+            row += [f"{record.sensor(name):.6g}" for name in sensor_names]
+            row += [str(c) for c in record.cpm_sample]
+            row += [str(c) for c in record.cpm_sticky]
+            lines.append(",".join(row))
+        return "\n".join(lines) + "\n"
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class Amester:
+    """Periodic telemetry recorder for one socket."""
+
+    def __init__(
+        self,
+        socket: "ProcessorSocket",
+        interval: float = MIN_INTERVAL,
+        seed: int = 23,
+    ) -> None:
+        if interval < MIN_INTERVAL:
+            raise SensorError(
+                f"sampling interval {interval*1000:.1f} ms is below the "
+                f"service processor's {MIN_INTERVAL*1000:.0f} ms floor"
+            )
+        self._socket = socket
+        self._interval = interval
+        self._sensors = SocketSensors(socket)
+        self._cpm_reader = CpmReader(socket, window=interval, seed=seed)
+        self._trace = TelemetryTrace()
+        self._time = 0.0
+
+    @property
+    def interval(self) -> float:
+        """Polling interval (s)."""
+        return self._interval
+
+    @property
+    def trace(self) -> TelemetryTrace:
+        """Everything recorded so far."""
+        return self._trace
+
+    def poll(self, solution: "SocketSolution") -> TelemetryRecord:
+        """Record one interval at the given settled state."""
+        record = TelemetryRecord(
+            time=self._time,
+            sensors=self._sensors.read_all(solution),
+            cpm_sample=tuple(
+                self._cpm_reader.worst_codes(solution, CpmReadMode.SAMPLE)
+            ),
+            cpm_sticky=tuple(
+                self._cpm_reader.worst_codes(solution, CpmReadMode.STICKY)
+            ),
+        )
+        self._trace.append(record)
+        self._time += self._interval
+        return record
+
+    def poll_many(self, solution: "SocketSolution", count: int) -> List[TelemetryRecord]:
+        """Record ``count`` consecutive intervals at a steady state.
+
+        The electrical state is steady, but sticky-mode CPM codes still
+        vary record-to-record because droop events are stochastic.
+        """
+        if count < 1:
+            raise SensorError(f"count must be >= 1, got {count}")
+        return [self.poll(solution) for _ in range(count)]

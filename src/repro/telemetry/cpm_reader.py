@@ -1,0 +1,133 @@
+"""CPM reads in sample mode and sticky mode.
+
+Sec. 4.1 of the paper: "In sticky mode, AMESTER reads the worst-case, i.e.
+smallest, output of each CPM during the past 32 ms, which is useful for
+quantifying worst-case droops.  In sample mode, AMESTER provides a
+real-time sample of each CPM, which is useful for characterizing normal
+operation."
+
+Against the simulator:
+
+* **sample mode** reads the CPM codes at the typical-condition operating
+  point (the settled voltages, which already include the typical ripple
+  trough);
+* **sticky mode** additionally draws the worst-case droop events of the
+  window from the socket's di/dt process and reports the code at the
+  deepest instantaneous voltage.
+
+Both modes are per-core (the reader returns the codes of every CPM in a
+core; the DPLL loop and most analyses use the minimum).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..sim.socket import ProcessorSocket, SocketSolution
+
+
+class CpmReadMode(enum.Enum):
+    """AMESTER CPM read semantics."""
+
+    #: Instantaneous snapshot (typical operation).
+    SAMPLE = "sample"
+
+    #: Worst (smallest) code over the past window (droop capture).
+    STICKY = "sticky"
+
+
+class CpmReader:
+    """Reads CPM codes from a settled socket state.
+
+    Parameters
+    ----------
+    socket:
+        The socket to read.
+    window:
+        Sticky-mode window length (s); the paper's interval is 32 ms.
+    seed:
+        Seed of the droop-event draw used by sticky mode.
+    """
+
+    def __init__(self, socket: "ProcessorSocket", window: float = 0.032, seed: int = 23) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self._socket = socket
+        self._window = window
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def window(self) -> float:
+        """Sticky-mode window (s)."""
+        return self._window
+
+    def read_core(
+        self,
+        solution: "SocketSolution",
+        core_id: int,
+        mode: CpmReadMode = CpmReadMode.SAMPLE,
+    ) -> List[int]:
+        """Codes of every CPM in ``core_id`` under the given mode."""
+        chip = self._socket.chip
+        voltage = solution.core_voltages[core_id]
+        frequency = solution.frequencies[core_id]
+        if mode is CpmReadMode.STICKY:
+            n_active = chip.n_active_cores()
+            droop = self._socket.path.noise.worst_in_window(
+                n_active, self._window, self._rng
+            )
+            voltage -= droop
+        margin = chip.timing.margin(voltage, frequency)
+        return chip.cpm_bank.read_core(core_id, margin, frequency)
+
+    def read_chip(
+        self,
+        solution: "SocketSolution",
+        mode: CpmReadMode = CpmReadMode.SAMPLE,
+    ) -> List[List[int]]:
+        """Codes of every CPM on the die, per core."""
+        return [
+            self.read_core(solution, core_id, mode)
+            for core_id in range(self._socket.chip.n_cores)
+        ]
+
+    def worst_codes(
+        self,
+        solution: "SocketSolution",
+        mode: CpmReadMode = CpmReadMode.SAMPLE,
+    ) -> List[int]:
+        """Per-core minimum code — the quantity the control loops compare."""
+        return [min(codes) for codes in self.read_chip(solution, mode)]
+
+    def estimate_drop(
+        self,
+        solution: "SocketSolution",
+        core_id: int,
+        mode: CpmReadMode = CpmReadMode.SAMPLE,
+        reference_code: float = None,
+    ) -> float:
+        """Voltage drop (V) inferred from CPM codes — the Sec. 4.1 method.
+
+        Converts the observed worst code of a core back to volts using the
+        CPM transfer function, relative to ``reference_code`` (defaults to
+        the code the core would show with zero drop at its clock).  This is
+        the "CPMs as performance counters for voltage" technique.
+        """
+        chip = self._socket.chip
+        frequency = solution.frequencies[core_id]
+        cpms = chip.cpm_bank.core_cpms(core_id)
+        observed = min(self.read_core(solution, core_id, mode))
+        worst_cpm = min(cpms, key=lambda c: c.read(
+            chip.timing.margin(solution.core_voltages[core_id], frequency), frequency
+        ))
+        if reference_code is None:
+            zero_drop_margin = chip.timing.margin(
+                solution.drops.setpoint, frequency
+            )
+            reference_code = worst_cpm.read(zero_drop_margin, frequency)
+        per_bit = worst_cpm.volts_per_bit(frequency)
+        return max(reference_code - observed, 0) * per_bit

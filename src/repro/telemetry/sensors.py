@@ -1,0 +1,80 @@
+"""Platform sensors: Vdd rail power, VRM current, die temperature.
+
+Each sensor reads from a settled :class:`~repro.sim.socket.SocketSolution`
+— the simulator's equivalent of the service processor's register file.
+Readings carry the sensor name and unit so traces are self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+from ..errors import SensorError
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..sim.socket import ProcessorSocket, SocketSolution
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One sensor sample."""
+
+    name: str
+    value: float
+    unit: str
+
+    def __str__(self) -> str:
+        return f"{self.name}={self.value:.3f}{self.unit}"
+
+
+class SocketSensors:
+    """The sensor set of one socket, as AMESTER exposes it."""
+
+    #: Known sensor names and their units.
+    SENSORS: Dict[str, str] = {
+        "vdd_power": "W",
+        "vdd_current": "A",
+        "vdd_setpoint": "V",
+        "vcs_power": "W",
+        "temperature": "C",
+        "frequency_mean": "Hz",
+        "frequency_min": "Hz",
+    }
+
+    def __init__(self, socket: "ProcessorSocket") -> None:
+        self._socket = socket
+
+    def read(self, name: str, solution: "SocketSolution") -> SensorReading:
+        """Read one named sensor from a settled state."""
+        if name not in self.SENSORS:
+            raise SensorError(
+                f"unknown sensor {name!r}; available: {sorted(self.SENSORS)}"
+            )
+        value = getattr(self, f"_read_{name}")(solution)
+        return SensorReading(name=name, value=value, unit=self.SENSORS[name])
+
+    def read_all(self, solution: "SocketSolution") -> Dict[str, SensorReading]:
+        """Read every sensor."""
+        return {name: self.read(name, solution) for name in self.SENSORS}
+
+    def _read_vdd_power(self, solution: "SocketSolution") -> float:
+        return solution.chip_power
+
+    def _read_vdd_current(self, solution: "SocketSolution") -> float:
+        return solution.total_current
+
+    def _read_vdd_setpoint(self, solution: "SocketSolution") -> float:
+        return solution.drops.setpoint
+
+    def _read_vcs_power(self, solution: "SocketSolution") -> float:
+        return self._socket.chip.vcs_power(solution.temperature)
+
+    def _read_temperature(self, solution: "SocketSolution") -> float:
+        return solution.temperature
+
+    def _read_frequency_mean(self, solution: "SocketSolution") -> float:
+        return solution.mean_frequency
+
+    def _read_frequency_min(self, solution: "SocketSolution") -> float:
+        return solution.min_frequency

@@ -1,0 +1,96 @@
+"""Physical unit helpers used throughout the simulator.
+
+Everything inside :mod:`repro` uses SI base units: volts, amperes, watts,
+hertz, seconds, degrees Celsius (temperature is the one non-SI concession,
+matching the paper's reporting).  The helpers below exist so that call sites
+can be written in the units the paper quotes (millivolts, megahertz,
+milliseconds) without sprinkling powers of ten around the code base.
+
+Example
+-------
+>>> from repro import units
+>>> units.mhz(4200)
+4200000000.0
+>>> units.to_mv(1.235)
+1235.0
+"""
+
+from __future__ import annotations
+
+#: One millivolt expressed in volts.
+MILLIVOLT = 1e-3
+
+#: One megahertz expressed in hertz.
+MEGAHERTZ = 1e6
+
+#: One gigahertz expressed in hertz.
+GIGAHERTZ = 1e9
+
+#: One milliohm expressed in ohms.
+MILLIOHM = 1e-3
+
+#: One millisecond expressed in seconds.
+MILLISECOND = 1e-3
+
+#: One nanosecond expressed in seconds.
+NANOSECOND = 1e-9
+
+
+def mv(value: float) -> float:
+    """Convert millivolts to volts."""
+    return value * MILLIVOLT
+
+
+def to_mv(volts: float) -> float:
+    """Convert volts to millivolts."""
+    return volts / MILLIVOLT
+
+
+def mhz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * MEGAHERTZ
+
+
+def to_mhz(hertz: float) -> float:
+    """Convert hertz to megahertz."""
+    return hertz / MEGAHERTZ
+
+
+def ghz(value: float) -> float:
+    """Convert gigahertz to hertz."""
+    return value * GIGAHERTZ
+
+
+def to_ghz(hertz: float) -> float:
+    """Convert hertz to gigahertz."""
+    return hertz / GIGAHERTZ
+
+
+def mohm(value: float) -> float:
+    """Convert milliohms to ohms."""
+    return value * MILLIOHM
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MILLISECOND
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MILLISECOND
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NANOSECOND
+
+
+def percent(fraction: float) -> float:
+    """Convert a fraction to a percentage (``0.062`` → ``6.2``)."""
+    return fraction * 100.0
+
+
+def fraction(pct: float) -> float:
+    """Convert a percentage to a fraction (``6.2`` → ``0.062``)."""
+    return pct / 100.0

@@ -1,0 +1,43 @@
+"""Workload models: benchmark catalog, scaling, synthetic and WebSearch.
+
+The paper's system-level effects depend on workloads only through a small
+set of traits — per-thread power, MIPS, memory behaviour, data sharing and
+di/dt character.  :class:`~repro.workloads.profile.WorkloadProfile` captures
+those traits; :mod:`~repro.workloads.catalog` provides a calibrated profile
+for every PARSEC, SPLASH-2 and SPEC CPU2006 benchmark the paper measures.
+"""
+
+from .catalog import (
+    PARSEC_BENCHMARKS,
+    SCALABLE_BENCHMARKS,
+    SPEC_BENCHMARKS,
+    SPLASH2_BENCHMARKS,
+    all_profiles,
+    get_profile,
+    profile_names,
+)
+from .phases import Phase, PhasedWorkload, bursty_envelope
+from .profile import WorkloadProfile
+from .scaling import RuntimeModel, SocketShare
+from .synthetic import coremark_profile, throttled_corunner
+from .websearch import QueryLatencyModel, WebSearchModel
+
+__all__ = [
+    "PARSEC_BENCHMARKS",
+    "Phase",
+    "PhasedWorkload",
+    "bursty_envelope",
+    "QueryLatencyModel",
+    "RuntimeModel",
+    "SCALABLE_BENCHMARKS",
+    "SPEC_BENCHMARKS",
+    "SPLASH2_BENCHMARKS",
+    "SocketShare",
+    "WebSearchModel",
+    "WorkloadProfile",
+    "all_profiles",
+    "coremark_profile",
+    "get_profile",
+    "profile_names",
+    "throttled_corunner",
+]

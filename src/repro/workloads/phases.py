@@ -1,0 +1,94 @@
+"""Phased workloads: time-varying activity for transient studies.
+
+Real benchmarks move through phases — bodytrack alternates image-processing
+bursts with synchronization lulls; memory-bound stretches alternate with
+compute kernels.  The steady-state figures average phases away; the
+transient engine should not.  :class:`PhasedWorkload` wraps a base profile
+with an activity envelope over time, producing the per-tick profile the
+engine places.
+
+The envelope is a repeating sequence of :class:`Phase` segments; activity
+(and IPC, proportionally) scale by each segment's factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..errors import WorkloadError
+from .profile import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One segment of the activity envelope."""
+
+    #: Segment duration (s).
+    duration: float
+
+    #: Multiplier on the base profile's activity and IPC.
+    activity_scale: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise WorkloadError(f"duration must be positive, got {self.duration}")
+        if self.activity_scale <= 0:
+            raise WorkloadError(
+                f"activity_scale must be positive, got {self.activity_scale}"
+            )
+
+
+class PhasedWorkload:
+    """A base profile modulated by a repeating phase envelope."""
+
+    def __init__(self, base: WorkloadProfile, phases: Sequence[Phase]) -> None:
+        if not phases:
+            raise WorkloadError("need at least one phase")
+        self.base = base
+        self.phases = tuple(phases)
+        self._period = sum(p.duration for p in self.phases)
+
+    @property
+    def period(self) -> float:
+        """Length of one full envelope cycle (s)."""
+        return self._period
+
+    def phase_at(self, time: float) -> Phase:
+        """The envelope segment active at ``time`` (envelope repeats)."""
+        if time < 0:
+            raise WorkloadError(f"time must be >= 0, got {time}")
+        position = time % self._period
+        elapsed = 0.0
+        for phase in self.phases:
+            elapsed += phase.duration
+            if position < elapsed:
+                return phase
+        return self.phases[-1]
+
+    def profile_at(self, time: float) -> WorkloadProfile:
+        """The effective profile at ``time``: base scaled by the phase."""
+        phase = self.phase_at(time)
+        return replace(
+            self.base,
+            activity=self.base.activity * phase.activity_scale,
+            ipc=self.base.ipc * phase.activity_scale,
+        )
+
+    def mean_activity_scale(self) -> float:
+        """Duration-weighted mean of the envelope (sanity/calibration aid)."""
+        weighted = sum(p.duration * p.activity_scale for p in self.phases)
+        return weighted / self._period
+
+
+def bursty_envelope(
+    burst_seconds: float = 0.25,
+    lull_seconds: float = 0.25,
+    burst_scale: float = 1.3,
+    lull_scale: float = 0.5,
+) -> Sequence[Phase]:
+    """A two-segment burst/lull envelope (bodytrack-style frame loop)."""
+    return (
+        Phase(duration=burst_seconds, activity_scale=burst_scale),
+        Phase(duration=lull_seconds, activity_scale=lull_scale),
+    )

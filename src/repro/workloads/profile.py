@@ -1,0 +1,109 @@
+"""The :class:`WorkloadProfile` trait bundle.
+
+A profile condenses everything the platform model needs to know about a
+benchmark into first-order traits.  Traits are *per thread at nominal
+frequency on an otherwise idle core*; the scaling model
+(:mod:`repro.workloads.scaling`) derives multi-thread and multi-socket
+behaviour from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..chip.core import HardwareThread
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """First-order behavioural traits of one benchmark."""
+
+    #: Benchmark name (catalog key), e.g. ``"raytrace"``.
+    name: str
+
+    #: Originating suite: ``parsec``, ``splash2``, ``spec2006``, ``synthetic``.
+    suite: str
+
+    #: Per-thread switching activity on a dedicated core (drives CV²f).
+    activity: float
+
+    #: Per-thread instructions per cycle on a dedicated core.
+    ipc: float
+
+    #: Memory *latency* sensitivity in [0, 1]: 0 = fully core-bound
+    #: (performance scales 1:1 with frequency), 1 = fully memory-bound.
+    memory_intensity: float
+
+    #: Off-chip bandwidth demand per thread, in model units (a socket's
+    #: memory subsystem saturates at :data:`SOCKET_BANDWIDTH` units).
+    bandwidth_demand: float
+
+    #: Cross-thread data sharing in [0, 1]; splitting a sharing-heavy
+    #: workload across sockets costs interconnect latency (Fig. 14 left).
+    sharing_intensity: float
+
+    #: Amdahl serial fraction of the parallel region (scalable suites).
+    serial_fraction: float
+
+    #: di/dt typical-ripple magnitude relative to a raytrace-class thread.
+    ripple_scale: float
+
+    #: di/dt worst-droop magnitude relative to a raytrace-class thread.
+    droop_scale: float
+
+    #: Single-thread reference execution time at nominal frequency (s).
+    t1_seconds: float
+
+    #: Whether the benchmark scales by adding threads (PARSEC/SPLASH-2) as
+    #: opposed to running independent rate copies (SPEC CPU2006).
+    scalable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("profile name must be non-empty")
+        if self.activity <= 0:
+            raise WorkloadError(f"{self.name}: activity must be positive")
+        if self.ipc <= 0:
+            raise WorkloadError(f"{self.name}: ipc must be positive")
+        for trait in ("memory_intensity", "sharing_intensity", "serial_fraction"):
+            value = getattr(self, trait)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(
+                    f"{self.name}: {trait} must be in [0, 1], got {value}"
+                )
+        if self.bandwidth_demand < 0:
+            raise WorkloadError(f"{self.name}: bandwidth_demand must be >= 0")
+        if self.ripple_scale < 0 or self.droop_scale < 0:
+            raise WorkloadError(f"{self.name}: noise scales must be >= 0")
+        if self.t1_seconds <= 0:
+            raise WorkloadError(f"{self.name}: t1_seconds must be positive")
+
+    @property
+    def frequency_sensitivity(self) -> float:
+        """Fraction of performance that scales with core frequency.
+
+        Core-bound work speeds up 1:1 with the clock; memory-bound work
+        hides behind DRAM latency.  The 0.85 weight leaves even the most
+        memory-bound benchmark with a little frequency sensitivity, matching
+        the paper's observation that boost benefits are "especially for
+        computing-bound workloads".
+        """
+        return 1.0 - 0.85 * self.memory_intensity
+
+    def thread(self) -> HardwareThread:
+        """A :class:`HardwareThread` carrying this profile's traits."""
+        return HardwareThread(workload=self.name, activity=self.activity, ipc=self.ipc)
+
+    def mips_per_thread(self, frequency: float) -> float:
+        """Millions of instructions per second of one dedicated thread."""
+        if frequency <= 0:
+            raise WorkloadError("frequency must be positive")
+        return self.ipc * frequency / 1e6
+
+    def with_activity(self, activity: float) -> "WorkloadProfile":
+        """Copy of this profile with a different activity (co-runner tuning)."""
+        return replace(self, activity=activity)
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.suite})"

@@ -1,0 +1,235 @@
+"""Runtime model: thread scaling, memory contention, cross-socket effects.
+
+Execution time composes four first-order effects:
+
+* **Amdahl scaling** for the scalable suites: ``T ∝ s + (1 − s)/n``;
+  SPECrate copies are independent, so copy time does not shrink with copies.
+* **Memory-bandwidth contention**: each socket's memory subsystem delivers
+  :data:`SOCKET_BANDWIDTH` units; when the threads on a socket demand more,
+  memory-bound work slows proportionally.  This is the effect that makes
+  spreading radix/fft/lbm across sockets dramatically faster (Fig. 14,
+  right) — each socket brings its own memory controllers.
+* **Cross-socket sharing penalty**: splitting a sharing-heavy SPLASH-2
+  kernel across sockets pays interchip latency on every shared access
+  (Fig. 14, left: lu_ncb and radiosity lose >20%).
+* **Frequency speedup**: only the core-bound fraction of execution scales
+  with the clock (:attr:`WorkloadProfile.frequency_sensitivity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import WorkloadError
+from .profile import WorkloadProfile
+
+#: Memory bandwidth one socket can deliver, in profile demand units.
+#: Sized so that eight single threads of any scalable benchmark fit in one
+#: socket's bandwidth, while 32 SMT threads or eight SPECrate copies of
+#: the bandwidth-heavy workloads oversubscribe it — matching where the
+#: paper sees contention relief from spreading (Fig. 14) and where it
+#: does not (Fig. 13).
+SOCKET_BANDWIDTH = 70.0
+
+#: Fraction of a core's switching power that persists while it stalls on
+#: a saturated memory subsystem (clock trees, queues and retries keep
+#: burning; only the datapath quiets down).
+STALL_POWER_FRACTION = 0.75
+
+#: Relative execution-time cost of full cross-socket sharing
+#: (``sharing_intensity == 1``) when a workload is split across sockets.
+CROSS_SOCKET_PENALTY = 0.45
+
+
+@dataclass(frozen=True)
+class SocketShare:
+    """How many of a workload's threads sit on each socket."""
+
+    threads_per_socket: tuple
+
+    def __post_init__(self) -> None:
+        if not self.threads_per_socket:
+            raise WorkloadError("threads_per_socket must be non-empty")
+        if any(t < 0 for t in self.threads_per_socket):
+            raise WorkloadError("thread counts must be >= 0")
+        if self.total == 0:
+            raise WorkloadError("at least one thread must be placed")
+
+    @property
+    def total(self) -> int:
+        """Total threads across sockets."""
+        return sum(self.threads_per_socket)
+
+    @property
+    def n_sockets_used(self) -> int:
+        """Number of sockets hosting at least one thread."""
+        return sum(1 for t in self.threads_per_socket if t > 0)
+
+    @classmethod
+    def consolidated(cls, n_threads: int, n_sockets: int = 2) -> "SocketShare":
+        """All threads on socket 0 (the conventional consolidation policy)."""
+        return cls(tuple([n_threads] + [0] * (n_sockets - 1)))
+
+    @classmethod
+    def balanced(cls, n_threads: int, n_sockets: int = 2) -> "SocketShare":
+        """Threads spread as evenly as possible (loadline borrowing)."""
+        base, extra = divmod(n_threads, n_sockets)
+        return cls(tuple(base + (1 if i < extra else 0) for i in range(n_sockets)))
+
+
+class RuntimeModel:
+    """Derives execution time and throughput from a profile and placement."""
+
+    def __init__(
+        self,
+        socket_bandwidth: float = SOCKET_BANDWIDTH,
+        cross_socket_penalty: float = CROSS_SOCKET_PENALTY,
+    ) -> None:
+        if socket_bandwidth <= 0:
+            raise WorkloadError("socket_bandwidth must be positive")
+        if cross_socket_penalty < 0:
+            raise WorkloadError("cross_socket_penalty must be >= 0")
+        self._bandwidth = socket_bandwidth
+        self._cross_penalty = cross_socket_penalty
+
+    def amdahl_factor(self, profile: WorkloadProfile, n_threads: int) -> float:
+        """Parallel-scaling multiplier on single-thread time (≤ 1).
+
+        SPECrate copies are independent: adding copies does not shrink the
+        time of any one copy, so the factor is 1.
+        """
+        if n_threads < 1:
+            raise WorkloadError(f"n_threads must be >= 1, got {n_threads}")
+        if not profile.scalable:
+            return 1.0
+        s = profile.serial_fraction
+        return s + (1.0 - s) / n_threads
+
+    def contention_factor(
+        self,
+        profile: WorkloadProfile,
+        share: SocketShare,
+        threads_per_core: int = 1,
+    ) -> float:
+        """Memory-contention multiplier on execution time (≥ 1).
+
+        Computed per socket from aggregate bandwidth demand; the workload
+        runs at the pace of its most contended socket.  Only the
+        memory-bound fraction of execution stretches.  A core running
+        several SMT threads demands the per-thread bandwidth scaled by the
+        SMT throughput yield, not by the raw thread count — the pipeline,
+        not the thread count, generates the traffic.
+        """
+        if threads_per_core < 1:
+            raise WorkloadError(
+                f"threads_per_core must be >= 1, got {threads_per_core}"
+            )
+        smt_yield = threads_per_core**0.45
+        worst = 1.0
+        for n_threads in share.threads_per_socket:
+            if n_threads == 0:
+                continue
+            cores = -(-n_threads // threads_per_core)
+            demand = cores * profile.bandwidth_demand * smt_yield
+            oversubscription = max(demand / self._bandwidth, 1.0)
+            # Memory-bound fraction stretches with oversubscription.
+            factor = 1.0 + profile.memory_intensity * (oversubscription - 1.0)
+            worst = max(worst, factor)
+        return worst
+
+    def sharing_factor(self, profile: WorkloadProfile, share: SocketShare) -> float:
+        """Cross-socket communication multiplier on execution time (≥ 1)."""
+        if share.n_sockets_used <= 1:
+            return 1.0
+        return 1.0 + self._cross_penalty * profile.sharing_intensity
+
+    def frequency_speedup(
+        self, profile: WorkloadProfile, frequency: float, reference: float
+    ) -> float:
+        """Performance ratio of running at ``frequency`` vs ``reference``.
+
+        Only the core-bound fraction follows the clock; the memory-bound
+        remainder is pinned to DRAM latency.
+        """
+        if frequency <= 0 or reference <= 0:
+            raise WorkloadError("frequencies must be positive")
+        fs = profile.frequency_sensitivity
+        return fs * (frequency / reference) + (1.0 - fs)
+
+    def execution_time(
+        self,
+        profile: WorkloadProfile,
+        share: SocketShare,
+        frequency: float,
+        reference_frequency: float,
+        threads_per_core: int = 1,
+    ) -> float:
+        """End-to-end execution time (s) of the workload under ``share``.
+
+        ``frequency`` is the effective core clock the threads observed
+        (adaptive guardbanding makes this a variable); ``reference_frequency``
+        is the clock at which :attr:`WorkloadProfile.t1_seconds` was defined
+        (the nominal static-guardband frequency).
+        """
+        time = profile.t1_seconds
+        time *= self.amdahl_factor(profile, share.total)
+        time *= self.contention_factor(profile, share, threads_per_core)
+        time *= self.sharing_factor(profile, share)
+        time /= self.frequency_speedup(profile, frequency, reference_frequency)
+        return time
+
+    def stretch_factor(
+        self,
+        profile: WorkloadProfile,
+        share: SocketShare,
+        threads_per_core: int = 1,
+    ) -> float:
+        """Combined contention × sharing execution stretch (≥ 1)."""
+        return self.contention_factor(
+            profile, share, threads_per_core
+        ) * self.sharing_factor(profile, share)
+
+    def effective_activity(
+        self,
+        profile: WorkloadProfile,
+        share: SocketShare,
+        threads_per_core: int = 1,
+    ) -> float:
+        """Per-thread switching activity after memory-contention stalls.
+
+        A thread stalled on a saturated memory subsystem switches less
+        logic, but far from proportionally: clocking and queueing keep
+        :data:`STALL_POWER_FRACTION` of the switching power alive, and only
+        the remainder scales down with the contention stretch.  (Cross-
+        socket sharing latency does *not* reduce activity — coherence
+        traffic keeps the pipeline busy.)
+        """
+        contention = self.contention_factor(profile, share, threads_per_core)
+        return profile.activity * (
+            STALL_POWER_FRACTION + (1.0 - STALL_POWER_FRACTION) / contention
+        )
+
+    def effective_mips(
+        self,
+        profile: WorkloadProfile,
+        share: SocketShare,
+        frequencies: Sequence[float],
+        threads_per_core: int = 1,
+    ) -> float:
+        """Aggregate MIPS of the workload's threads across the server.
+
+        Per-thread MIPS is the dedicated-core value divided by the same
+        contention/sharing stretch that lengthens execution time — retired
+        instructions are conserved.
+        """
+        if len(frequencies) != len(share.threads_per_socket):
+            raise WorkloadError(
+                "need one frequency per socket: got "
+                f"{len(frequencies)} for {len(share.threads_per_socket)} sockets"
+            )
+        stretch = self.stretch_factor(profile, share, threads_per_core)
+        total = 0.0
+        for n_threads, freq in zip(share.threads_per_socket, frequencies):
+            total += n_threads * profile.mips_per_thread(freq) / stretch
+        return total

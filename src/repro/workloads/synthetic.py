@@ -1,0 +1,95 @@
+"""Synthetic workloads: coremark and issue-throttled co-runners.
+
+The paper uses coremark for the colocation study (Fig. 15) because its
+footprint is core-contained — it isolates the frequency effects of adaptive
+guardbanding from memory interference.  For the WebSearch QoS study
+(Sec. 5.2.2) the authors build light / medium / heavy co-runners "from
+coremark threads by constraining the issue rate", landing at chip MIPS of
+about 13,000, 28,000 and 70,000.
+
+This module reproduces both constructions.  Throttling the issue rate
+scales activity and IPC together — exactly what a fetch-rate limiter does
+to a core-bound loop.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from .profile import WorkloadProfile
+
+#: Per-thread IPC of an unthrottled coremark thread.
+COREMARK_IPC = 2.05
+
+#: Per-thread activity of an unthrottled coremark thread.
+COREMARK_ACTIVITY = 0.93
+
+#: Chip-MIPS targets of the paper's three co-runner classes on seven cores.
+CORUNNER_MIPS = {"light": 13_000.0, "medium": 28_000.0, "heavy": 70_000.0}
+
+
+def coremark_profile() -> WorkloadProfile:
+    """The unthrottled coremark profile (core-contained, no memory traffic)."""
+    return WorkloadProfile(
+        name="coremark",
+        suite="synthetic",
+        activity=COREMARK_ACTIVITY,
+        ipc=COREMARK_IPC,
+        memory_intensity=0.02,
+        bandwidth_demand=0.3,
+        sharing_intensity=0.0,
+        serial_fraction=0.0,
+        ripple_scale=0.9,
+        droop_scale=0.85,
+        t1_seconds=60.0,
+        scalable=False,
+    )
+
+
+def throttled_corunner(
+    level: str,
+    n_cores: int = 7,
+    frequency: float = 4.2e9,
+) -> WorkloadProfile:
+    """A light/medium/heavy co-runner built from issue-throttled coremark.
+
+    Parameters
+    ----------
+    level:
+        ``"light"``, ``"medium"`` or ``"heavy"`` (Sec. 5.2.2's classes).
+    n_cores:
+        Number of cores the co-runner occupies (paper: the seven cores not
+        running WebSearch).
+    frequency:
+        Clock at which the MIPS target is defined.
+
+    The returned profile's per-thread IPC is chosen so that ``n_cores``
+    threads aggregate to the class's chip-MIPS target, and activity scales
+    proportionally from the unthrottled values — an issue-rate limiter cuts
+    switching and retirement together.
+    """
+    if level not in CORUNNER_MIPS:
+        raise WorkloadError(
+            f"unknown co-runner level {level!r}; pick from {sorted(CORUNNER_MIPS)}"
+        )
+    if n_cores < 1:
+        raise WorkloadError(f"n_cores must be >= 1, got {n_cores}")
+    if frequency <= 0:
+        raise WorkloadError("frequency must be positive")
+    target_mips = CORUNNER_MIPS[level]
+    ipc = target_mips / n_cores / (frequency / 1e6)
+    throttle = ipc / COREMARK_IPC
+    base = coremark_profile()
+    return WorkloadProfile(
+        name=f"corunner_{level}",
+        suite="synthetic",
+        activity=max(COREMARK_ACTIVITY * throttle, 0.02),
+        ipc=ipc,
+        memory_intensity=base.memory_intensity,
+        bandwidth_demand=base.bandwidth_demand * throttle,
+        sharing_intensity=0.0,
+        serial_fraction=0.0,
+        ripple_scale=base.ripple_scale * max(throttle, 0.3),
+        droop_scale=base.droop_scale * max(throttle, 0.3),
+        t1_seconds=base.t1_seconds,
+        scalable=False,
+    )

@@ -1,0 +1,192 @@
+"""WebSearch: a latency-critical datacenter workload with a QoS target.
+
+The paper's Sec. 5.2.2 evaluates adaptive mapping with WebSearch (after
+CloudSuite) running on one core, with its 90th-percentile query latency
+required to stay under 0.5 s.  Co-runners on the remaining cores change the
+chip's passive voltage drop, which moves the adaptive-guardbanding
+frequency of *WebSearch's* core, which moves its tail latency.
+
+The model is a discrete-event single-server FIFO queue:
+
+* queries arrive Poisson at a base rate, with per-window rate modulation
+  (lognormal) capturing the diurnal/bursty load variation that makes some
+  windows harder than others;
+* service times are exponential with a rate that scales with the core
+  frequency through the workload's frequency sensitivity;
+* each window yields one p90 sample; the *violation rate* is the fraction
+  of windows whose p90 exceeds the target — the quantity Fig. 17 plots as
+  a CDF.
+
+The base rates are calibrated so that WebSearch running alone (highest
+adaptive-guardbanding frequency) meets its target in every window — the
+paper's stated throughput-control setpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..errors import WorkloadError
+from .profile import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class WebSearchConfig:
+    """Calibration of the WebSearch latency model."""
+
+    #: Mean query arrival rate (queries/s).  Chosen close to saturation —
+    #: the regime where a few percent of frequency moves the tail hard.
+    arrival_rate: float = 45.0
+
+    #: Service rate (queries/s) at the reference frequency.
+    service_rate_ref: float = 52.3
+
+    #: Core frequency at which ``service_rate_ref`` holds (Hz) — the clock
+    #: the WebSearch core settles at with the *light* co-runner in place.
+    reference_frequency: float = 4.648e9
+
+    #: Fraction of service work that scales with core frequency.
+    frequency_sensitivity: float = 0.90
+
+    #: Lognormal sigma of per-window arrival-rate modulation.
+    rate_modulation_sigma: float = 0.040
+
+    #: 90th-percentile latency target (s).
+    p90_target: float = 0.5
+
+    #: Length of one measurement window (s).
+    window: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0 or self.service_rate_ref <= 0:
+            raise WorkloadError("rates must be positive")
+        if self.arrival_rate >= self.service_rate_ref:
+            raise WorkloadError(
+                "arrival rate must be below the reference service rate "
+                "(the queue must be stable at the design point)"
+            )
+        if not 0 < self.frequency_sensitivity <= 1:
+            raise WorkloadError("frequency_sensitivity must be in (0, 1]")
+        if self.p90_target <= 0 or self.window <= 0:
+            raise WorkloadError("target and window must be positive")
+
+
+class QueryLatencyModel:
+    """Single-server FIFO queue driven by one window's arrivals."""
+
+    def __init__(self, service_rate: float) -> None:
+        if service_rate <= 0:
+            raise WorkloadError("service_rate must be positive")
+        self._service_rate = service_rate
+
+    @property
+    def service_rate(self) -> float:
+        """Queries served per second at full pipeline."""
+        return self._service_rate
+
+    def simulate_window(
+        self, arrival_rate: float, window: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Latencies (s) of all queries completed inside one window.
+
+        Classic Lindley recursion: query ``i``'s departure is
+        ``max(arrival_i, departure_{i-1}) + service_i``.
+        """
+        if arrival_rate <= 0:
+            raise WorkloadError("arrival_rate must be positive")
+        if window <= 0:
+            raise WorkloadError("window must be positive")
+        n_expected = arrival_rate * window
+        count = int(rng.poisson(n_expected))
+        if count == 0:
+            return np.empty(0)
+        arrivals = np.sort(rng.uniform(0.0, window, size=count))
+        services = rng.exponential(1.0 / self._service_rate, size=count)
+        departures = np.empty(count)
+        prev = 0.0
+        for i in range(count):
+            start = max(arrivals[i], prev)
+            prev = start + services[i]
+            departures[i] = prev
+        return departures - arrivals
+
+    def window_p90(
+        self, arrival_rate: float, window: float, rng: np.random.Generator
+    ) -> float:
+        """90th-percentile latency of one window (0 when no query arrived)."""
+        latencies = self.simulate_window(arrival_rate, window, rng)
+        if latencies.size == 0:
+            return 0.0
+        return float(np.percentile(latencies, 90))
+
+
+class WebSearchModel:
+    """End-to-end WebSearch QoS model: frequency in, p90 distribution out."""
+
+    def __init__(self, config: WebSearchConfig = None) -> None:
+        self.config = config or WebSearchConfig()
+
+    def profile(self) -> WorkloadProfile:
+        """The placement profile of the WebSearch serving thread."""
+        return WorkloadProfile(
+            name="websearch",
+            suite="synthetic",
+            activity=0.78,
+            ipc=1.40,
+            memory_intensity=0.35,
+            bandwidth_demand=4.0,
+            sharing_intensity=0.0,
+            serial_fraction=0.0,
+            ripple_scale=0.9,
+            droop_scale=0.95,
+            t1_seconds=60.0,
+            scalable=False,
+        )
+
+    def service_rate(self, frequency: float) -> float:
+        """Query service rate (queries/s) at core frequency ``frequency``."""
+        if frequency <= 0:
+            raise WorkloadError("frequency must be positive")
+        cfg = self.config
+        fs = cfg.frequency_sensitivity
+        speedup = fs * (frequency / cfg.reference_frequency) + (1.0 - fs)
+        return cfg.service_rate_ref * speedup
+
+    def sample_p90s(
+        self, frequency: float, n_windows: int, seed: int = 11
+    ) -> np.ndarray:
+        """p90 latency (s) of ``n_windows`` consecutive measurement windows."""
+        if n_windows < 1:
+            raise WorkloadError(f"n_windows must be >= 1, got {n_windows}")
+        cfg = self.config
+        rng = np.random.default_rng(seed)
+        queue = QueryLatencyModel(self.service_rate(frequency))
+        p90s = np.empty(n_windows)
+        for i in range(n_windows):
+            modulation = float(
+                rng.lognormal(mean=0.0, sigma=cfg.rate_modulation_sigma)
+            )
+            p90s[i] = queue.window_p90(
+                cfg.arrival_rate * modulation, cfg.window, rng
+            )
+        return p90s
+
+    def violation_rate(
+        self, frequency: float, n_windows: int = 400, seed: int = 11
+    ) -> float:
+        """Fraction of windows whose p90 exceeds the QoS target."""
+        p90s = self.sample_p90s(frequency, n_windows, seed)
+        return float(np.mean(p90s > self.config.p90_target))
+
+    def latency_cdf(
+        self, frequency: float, n_windows: int = 400, seed: int = 11
+    ) -> tuple:
+        """(sorted p90 values, cumulative percentage) — Fig. 17's axes."""
+        p90s = np.sort(self.sample_p90s(frequency, n_windows, seed))
+        cumulative = np.arange(1, n_windows + 1) / n_windows * 100.0
+        return p90s, cumulative
+
+    def mean_p90(self, frequency: float, n_windows: int = 400, seed: int = 11) -> float:
+        """Mean of the per-window p90 latencies (s) — the paper's tail metric."""
+        return float(np.mean(self.sample_p90s(frequency, n_windows, seed)))

@@ -1,0 +1,155 @@
+"""Adaptive mapping: the Fig. 18 loop and its learned models."""
+
+import pytest
+
+from repro.core import (
+    AdaptiveMappingScheduler,
+    MipsFrequencyPredictor,
+    PredictorSample,
+    QosSpec,
+)
+from repro.core.adaptive_mapping import FrequencyQosModel
+from repro.errors import SchedulingError
+from repro.workloads.synthetic import throttled_corunner
+from repro.workloads.websearch import WebSearchModel
+
+
+def _predictor():
+    """A plausible platform predictor (matches the Fig. 16 fit shape)."""
+    samples = [
+        PredictorSample(chip_mips=m, frequency=4.62e9 - 2100.0 * m)
+        for m in (10_000, 30_000, 50_000, 70_000)
+    ]
+    return MipsFrequencyPredictor().fit(samples)
+
+
+@pytest.fixture
+def scheduler(server):
+    websearch = WebSearchModel()
+    return AdaptiveMappingScheduler(
+        server=server,
+        critical=websearch.profile(),
+        spec=QosSpec(violation_threshold=0.10),
+        candidates=[throttled_corunner(l) for l in ("light", "medium", "heavy")],
+        predictor=_predictor(),
+        latency_model=websearch,
+        windows_per_quantum=60,
+    )
+
+
+class TestFrequencyQosModel:
+    def test_observation_logging(self):
+        model = FrequencyQosModel()
+        model.observe(4.5e9, 0.2)
+        assert model.n_observations == 1
+
+    def test_interpolation_between_points(self):
+        model = FrequencyQosModel()
+        model.observe(4.4e9, 0.4)
+        model.observe(4.6e9, 0.0)
+        assert model.predict_violation(4.5e9) == pytest.approx(0.2)
+
+    def test_monotone_enforcement_is_conservative(self):
+        """A noisy good window at low frequency must not hide the bad one."""
+        model = FrequencyQosModel()
+        model.observe(4.4e9, 0.30)
+        model.observe(4.5e9, 0.05)
+        model.observe(4.5e9, 0.20)
+        assert model.predict_violation(4.4e9) == pytest.approx(0.30)
+        assert model.predict_violation(4.5e9) == pytest.approx(0.20)
+
+    def test_required_frequency_picks_lowest_compliant(self):
+        model = FrequencyQosModel()
+        model.observe(4.4e9, 0.4)
+        model.observe(4.5e9, 0.08)
+        model.observe(4.6e9, 0.01)
+        assert model.required_frequency(0.10) == pytest.approx(4.5e9)
+
+    def test_required_frequency_falls_back_to_best_known(self):
+        model = FrequencyQosModel()
+        model.observe(4.4e9, 0.5)
+        assert model.required_frequency(0.10) == pytest.approx(4.4e9)
+
+    def test_empty_model_raises(self):
+        with pytest.raises(SchedulingError):
+            FrequencyQosModel().predict_violation(4.5e9)
+        with pytest.raises(SchedulingError):
+            FrequencyQosModel().required_frequency(0.1)
+
+    def test_rejects_bad_observation(self):
+        model = FrequencyQosModel()
+        with pytest.raises(SchedulingError):
+            model.observe(0.0, 0.1)
+        with pytest.raises(SchedulingError):
+            model.observe(4.5e9, 1.5)
+
+
+class TestSchedulerMechanics:
+    def test_settle_places_critical_on_core0(self, scheduler, server):
+        scheduler.settle(throttled_corunner("light"))
+        assert server.sockets[0].chip.cores[0].threads[0].workload == "websearch"
+
+    def test_settle_fills_remaining_cores(self, scheduler, server):
+        scheduler.settle(throttled_corunner("heavy"))
+        assert server.sockets[0].chip.n_active_cores() == 8
+
+    def test_heavier_corunner_lower_frequency(self, scheduler):
+        light = scheduler.settle(throttled_corunner("light"))
+        heavy = scheduler.settle(throttled_corunner("heavy"))
+        assert heavy < light
+
+    def test_mix_mips_accounts_all_threads(self, scheduler):
+        heavy = throttled_corunner("heavy")
+        expected = scheduler.critical.mips_per_thread(4.2e9) + 7 * heavy.mips_per_thread(
+            4.2e9
+        )
+        assert scheduler.mix_mips(heavy) == pytest.approx(expected)
+
+    def test_step_rejects_unknown_corunner(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.step("corunner_nuclear")
+
+    def test_run_rejects_zero_quanta(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.run("corunner_light", quanta=0)
+
+
+class TestSchedulingBehavior:
+    def test_heavy_corunner_triggers_swap(self, scheduler):
+        decision = scheduler.step("corunner_heavy")
+        assert decision.violation_rate > scheduler.spec.violation_threshold
+        assert decision.swapped
+        assert decision.next_corunner != "corunner_heavy"
+
+    def test_run_converges_away_from_heavy(self, scheduler):
+        decisions = scheduler.run("corunner_heavy", quanta=4)
+        assert decisions[-1].corunner != "corunner_heavy"
+
+    def test_final_tail_latency_improves(self, scheduler):
+        decisions = scheduler.run("corunner_heavy", quanta=4)
+        assert decisions[-1].mean_tail_latency < decisions[0].mean_tail_latency
+
+    def test_frequency_insensitive_workload_never_swaps(self, server):
+        websearch = WebSearchModel()
+        scheduler = AdaptiveMappingScheduler(
+            server=server,
+            critical=websearch.profile(),
+            spec=QosSpec(violation_threshold=0.10, frequency_sensitive=False),
+            candidates=[throttled_corunner(l) for l in ("light", "heavy")],
+            predictor=_predictor(),
+            latency_model=websearch,
+            windows_per_quantum=40,
+        )
+        decision = scheduler.step("corunner_heavy")
+        assert not decision.swapped
+
+    def test_requires_candidates(self, server):
+        websearch = WebSearchModel()
+        with pytest.raises(SchedulingError):
+            AdaptiveMappingScheduler(
+                server=server,
+                critical=websearch.profile(),
+                spec=QosSpec(),
+                candidates=[],
+                predictor=_predictor(),
+            )

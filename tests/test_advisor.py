@@ -1,0 +1,91 @@
+"""The colocation advisor."""
+
+import pytest
+
+from repro.analysis.figures import fig16_mips_predictor
+from repro.core import MipsFrequencyPredictor
+from repro.core.advisor import ColocationAdvisor
+from repro.errors import SchedulingError
+from repro.workloads import all_profiles, get_profile
+from repro.workloads.websearch import WebSearchModel
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return fig16_mips_predictor().predictor
+
+
+@pytest.fixture
+def advisor(server, predictor):
+    return ColocationAdvisor(server, WebSearchModel().profile(), predictor)
+
+
+class TestRanking:
+    def test_light_candidates_rank_first(self, advisor):
+        candidates = [get_profile(n) for n in ("mcf", "lu_cb", "raytrace")]
+        verdicts = advisor.rank(candidates, required_frequency=4.40e9)
+        assert verdicts[0].candidate == "mcf"
+        assert verdicts[-1].candidate == "lu_cb"
+
+    def test_requirement_splits_catalog(self, advisor):
+        verdicts = advisor.rank(all_profiles(), required_frequency=4.50e9)
+        safe = {v.candidate for v in verdicts if v.predicted_safe}
+        unsafe = {v.candidate for v in verdicts if not v.predicted_safe}
+        assert "mcf" in safe
+        assert "lu_cb" in unsafe
+
+    def test_loose_requirement_accepts_everyone(self, advisor):
+        names = advisor.safe_candidates(all_profiles(), required_frequency=4.0e9)
+        assert len(names) == len(all_profiles())
+
+    def test_impossible_requirement_rejects_everyone(self, advisor):
+        names = advisor.safe_candidates(all_profiles(), required_frequency=4.8e9)
+        assert names == []
+
+    def test_rejects_empty_candidates(self, advisor):
+        with pytest.raises(SchedulingError):
+            advisor.rank([], 4.4e9)
+
+    def test_rejects_bad_requirement(self, advisor):
+        with pytest.raises(SchedulingError):
+            advisor.rank([get_profile("mcf")], 0.0)
+
+    def test_rejects_unfitted_predictor(self, server):
+        with pytest.raises(SchedulingError):
+            ColocationAdvisor(
+                server, WebSearchModel().profile(), MipsFrequencyPredictor()
+            )
+
+
+class TestVerification:
+    def test_borderline_candidates_get_verified(self, advisor):
+        candidates = [get_profile(n) for n in ("mcf", "raytrace", "lu_cb")]
+        verdicts = advisor.rank(
+            candidates, required_frequency=4.50e9, verify_margin=60e6
+        )
+        borderline = [
+            v for v in verdicts
+            if abs(v.predicted_frequency - 4.50e9) <= 60e6
+        ]
+        assert borderline
+        assert all(v.verified for v in borderline)
+
+    def test_clear_cases_skip_verification(self, advisor):
+        verdicts = advisor.rank(
+            [get_profile("mcf")], required_frequency=4.45e9, verify_margin=20e6
+        )
+        assert not verdicts[0].verified
+
+    def test_verified_frequency_close_to_prediction(self, advisor):
+        """The predictor's headline accuracy, exercised through the
+        advisor's verification path."""
+        verdicts = advisor.rank(
+            [get_profile("raytrace")],
+            required_frequency=4.50e9,
+            verify_margin=200e6,
+        )
+        verdict = verdicts[0]
+        assert verdict.verified
+        assert verdict.verified_frequency == pytest.approx(
+            verdict.predicted_frequency, rel=0.01
+        )

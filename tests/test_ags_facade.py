@@ -1,0 +1,74 @@
+"""The AGS facade: policy classification and dispatch."""
+
+import pytest
+
+from repro.core import AdaptiveGuardbandScheduler, AgsPolicy
+from repro.core.predictor import MipsFrequencyPredictor, PredictorSample
+from repro.core.qos import QosSpec
+from repro.errors import SchedulingError
+from repro.workloads.synthetic import throttled_corunner
+from repro.workloads.websearch import WebSearchModel
+
+
+@pytest.fixture
+def ags(server_config):
+    return AdaptiveGuardbandScheduler(server_config)
+
+
+class TestClassification:
+    def test_light_load_is_borrowing(self, ags):
+        assert ags.classify(4) is AgsPolicy.LOADLINE_BORROWING
+
+    def test_half_utilization_still_light(self, ags):
+        assert ags.classify(8) is AgsPolicy.LOADLINE_BORROWING
+
+    def test_heavy_load_is_mapping(self, ags):
+        assert ags.classify(12) is AgsPolicy.ADAPTIVE_MAPPING
+
+    def test_smt_counts_cores_not_threads(self, ags):
+        assert ags.classify(32, threads_per_core=4) is AgsPolicy.LOADLINE_BORROWING
+
+    def test_rejects_zero_threads(self, ags):
+        with pytest.raises(SchedulingError):
+            ags.classify(0)
+
+    def test_rejects_bad_threshold(self, server_config):
+        with pytest.raises(SchedulingError):
+            AdaptiveGuardbandScheduler(server_config, utilization_threshold=0.0)
+
+
+class TestBatchScheduling:
+    def test_light_load_spreads(self, ags, raytrace):
+        placement = ags.schedule_batch(raytrace, 6)
+        assert placement.threads_on(0) == 3
+        assert placement.threads_on(1) == 3
+
+    def test_ags_off_consolidates(self, ags, raytrace):
+        placement = ags.schedule_batch(raytrace, 6, use_ags=False)
+        assert placement.threads_on(0) == 6
+        assert placement.threads_on(1) == 0
+
+    def test_reserve_forwarded(self, ags, raytrace):
+        placement = ags.schedule_batch(raytrace, 4, total_cores_on=8)
+        assert placement.keep_on == (4, 4)
+
+
+class TestMappingFactory:
+    def test_builds_working_scheduler(self, ags, server):
+        websearch = WebSearchModel()
+        predictor = MipsFrequencyPredictor().fit(
+            [
+                PredictorSample(chip_mips=m, frequency=4.62e9 - 2100 * m)
+                for m in (10_000, 50_000)
+            ]
+        )
+        scheduler = ags.mapping_scheduler(
+            server=server,
+            critical=websearch.profile(),
+            spec=QosSpec(),
+            candidates=[throttled_corunner("light")],
+            predictor=predictor,
+            windows_per_quantum=20,
+        )
+        decision = scheduler.step("corunner_light")
+        assert decision.corunner == "corunner_light"

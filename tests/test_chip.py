@@ -1,0 +1,114 @@
+"""Power7Chip: structure, occupancy management, sensors, MIPS."""
+
+import pytest
+
+from repro.chip import Power7Chip
+from repro.chip.core import HardwareThread
+
+
+@pytest.fixture
+def chip(chip_config):
+    return Power7Chip(chip_config, seed=7)
+
+
+def _thread(activity=1.0, ipc=2.0):
+    return HardwareThread(workload="w", activity=activity, ipc=ipc)
+
+
+class TestStructure:
+    def test_eight_cores_eight_dplls(self, chip):
+        assert len(chip.cores) == 8
+        assert len(chip.dplls) == 8
+
+    def test_forty_cpms(self, chip):
+        assert len(chip.cpm_bank.all_cpms()) == 40
+
+
+class TestOccupancy:
+    def test_place_and_count_active(self, chip):
+        chip.place_thread(0, _thread())
+        chip.place_thread(3, _thread())
+        assert chip.n_active_cores() == 2
+        assert chip.active_core_ids() == [0, 3]
+
+    def test_clear_threads(self, chip):
+        chip.place_thread(0, _thread())
+        chip.clear_threads()
+        assert chip.n_active_cores() == 0
+
+    def test_gate_unused_keeps_reserve(self, chip):
+        chip.place_thread(0, _thread())
+        chip.gate_unused(keep_on=4)
+        states = chip.core_states()
+        assert sum(1 for s in states if not s.gated) == 4
+        assert not states[0].gated
+
+    def test_gate_unused_never_gates_busy_cores(self, chip):
+        for core_id in range(6):
+            chip.place_thread(core_id, _thread())
+        chip.gate_unused(keep_on=2)
+        states = chip.core_states()
+        assert sum(1 for s in states if not s.gated) == 6
+
+    def test_ungate_all(self, chip):
+        chip.gate_unused(keep_on=0)
+        chip.ungate_all()
+        assert all(not s.gated for s in chip.core_states())
+
+    def test_gate_unused_rejects_negative(self, chip):
+        with pytest.raises(ValueError):
+            chip.gate_unused(keep_on=-1)
+
+
+class TestSensorsAndActuators:
+    def test_set_all_frequencies(self, chip):
+        chip.set_all_frequencies(3.5e9)
+        assert all(f == pytest.approx(3.5e9) for f in chip.frequencies())
+
+    def test_power_uses_occupancy(self, chip):
+        voltages = [1.2] * 8
+        idle = chip.power(voltages).total
+        chip.place_thread(0, _thread())
+        busy = chip.power(voltages).total
+        assert busy > idle + 5
+
+    def test_margins_per_core(self, chip):
+        chip.set_all_frequencies(4.2e9)
+        margins = chip.margins([1.2] * 8)
+        expected = 1.2 - chip.config.vmin(chip.frequencies()[0])
+        assert all(m == pytest.approx(expected) for m in margins)
+
+    def test_margins_rejects_wrong_length(self, chip):
+        with pytest.raises(ValueError):
+            chip.margins([1.2] * 3)
+
+    def test_cpm_codes_shape(self, chip):
+        codes = chip.cpm_codes([1.2] * 8)
+        assert len(codes) == 8
+        assert all(len(core_codes) == 5 for core_codes in codes)
+
+    def test_worst_codes_are_minima(self, chip):
+        codes = chip.cpm_codes([1.2] * 8)
+        worst = chip.worst_cpm_codes([1.2] * 8)
+        assert worst == [min(c) for c in codes]
+
+    def test_lower_voltage_lower_codes(self, chip):
+        high = sum(chip.worst_cpm_codes([1.22] * 8))
+        low = sum(chip.worst_cpm_codes([1.14] * 8))
+        assert low < high
+
+
+class TestChipMips:
+    def test_idle_chip_zero_mips(self, chip):
+        assert chip.chip_mips() == 0.0
+
+    def test_mips_scales_with_threads(self, chip):
+        chip.place_thread(0, _thread(ipc=2.0))
+        one = chip.chip_mips()
+        chip.place_thread(1, _thread(ipc=2.0))
+        assert chip.chip_mips() == pytest.approx(2 * one)
+
+    def test_mips_value(self, chip):
+        chip.set_all_frequencies(4.2e9)
+        chip.place_thread(0, _thread(ipc=2.0))
+        assert chip.chip_mips() == pytest.approx(2.0 * 4200.0)

@@ -1,0 +1,83 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_measure_defaults(self):
+        args = build_parser().parse_args(["measure", "raytrace"])
+        assert args.threads == 1
+        assert args.mode == "undervolt"
+
+
+class TestCommands:
+    def test_workloads_lists_catalog(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "raytrace" in out
+        assert "GemsFDTD" in out
+        assert "spec2006" in out
+
+    def test_measure_undervolt(self, capsys):
+        assert main(["measure", "raytrace", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "power saving" in out
+        assert "undervolt" in out
+
+    def test_measure_overclock(self, capsys):
+        assert main(["measure", "lu_cb", "-n", "2", "-m", "overclock"]) == 0
+        out = capsys.readouterr().out
+        assert "frequency boost" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "swaptions"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 9  # header + 8 core counts
+
+    def test_audit_passes_on_safe_state(self, capsys):
+        assert main(["audit", "raytrace", "-n", "4"]) == 0
+        assert "PASSED" in capsys.readouterr().out
+
+    def test_figure_fig3(self, capsys):
+        assert main(["figure", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "8 cores" in out
+
+    def test_figure_fig16(self, capsys):
+        assert main(["figure", "fig16"]) == 0
+        assert "RMSE" in capsys.readouterr().out
+
+    def test_unknown_workload_raises(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            main(["measure", "doom"])
+
+
+class TestAllFigurePrinters:
+    @pytest.mark.parametrize(
+        "name",
+        ["fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
+         "fig12", "fig13", "fig14", "fig15", "fig16", "fig17"],
+    )
+    def test_figure_prints_nonempty(self, capsys, name):
+        assert main(["figure", name]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) >= 1
+        assert "Fig" in out or "RMSE" in out or "r^2" in out

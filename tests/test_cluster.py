@@ -1,0 +1,128 @@
+"""Cluster-level AGS: two-level scheduling and evaluation."""
+
+import pytest
+
+from repro.core import ClusterScheduler, Job
+from repro.errors import SchedulingError
+from repro.workloads import get_profile
+
+
+@pytest.fixture
+def scheduler(server_config):
+    return ClusterScheduler(server_config, n_servers=4)
+
+
+def _jobs(*specs):
+    return [Job(get_profile(name), n) for name, n in specs]
+
+
+class TestJob:
+    def test_rejects_zero_threads(self, raytrace):
+        with pytest.raises(SchedulingError):
+            Job(raytrace, 0)
+
+
+class TestAcrossServerPacking:
+    def test_consolidate_uses_fewest_servers(self, scheduler):
+        jobs = _jobs(("raytrace", 8), ("lu_cb", 8))
+        plan = scheduler.schedule(jobs, across="consolidate")
+        assert plan.n_servers_on == 1
+
+    def test_consolidate_spills_when_full(self, scheduler):
+        jobs = _jobs(("raytrace", 12), ("lu_cb", 12))
+        plan = scheduler.schedule(jobs, across="consolidate")
+        assert plan.n_servers_on == 2
+
+    def test_spread_uses_many_servers(self, scheduler):
+        jobs = _jobs(("raytrace", 4), ("lu_cb", 4), ("mcf", 4), ("radix", 4))
+        plan = scheduler.schedule(jobs, across="spread")
+        assert plan.n_servers_on == 4
+
+    def test_first_fit_decreasing_order(self, scheduler):
+        """Big jobs place first, so a 12+4+4 mix packs into two servers."""
+        jobs = _jobs(("raytrace", 4), ("lu_cb", 12), ("mcf", 4))
+        plan = scheduler.schedule(jobs, across="consolidate")
+        assert plan.n_servers_on <= 2
+
+    def test_rejects_oversized_job(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.schedule(_jobs(("raytrace", 17)))
+
+    def test_rejects_overflowing_cluster(self, server_config):
+        small = ClusterScheduler(server_config, n_servers=1)
+        with pytest.raises(SchedulingError):
+            small.schedule(_jobs(("raytrace", 12), ("lu_cb", 12)))
+
+    def test_rejects_unknown_policies(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.schedule(_jobs(("raytrace", 2)), within="magic")
+        with pytest.raises(SchedulingError):
+            scheduler.schedule(_jobs(("raytrace", 2)), across="everywhere")
+
+
+class TestWithinServerPlacement:
+    def test_borrowing_balances_sockets(self, scheduler):
+        plan = scheduler.schedule(_jobs(("raytrace", 8)), within="borrowing")
+        placement = plan.placements[0]
+        assert placement.threads_on(0) == 4
+        assert placement.threads_on(1) == 4
+
+    def test_consolidation_packs_socket_zero(self, scheduler):
+        plan = scheduler.schedule(_jobs(("raytrace", 8)), within="consolidation")
+        placement = plan.placements[0]
+        assert placement.threads_on(0) == 8
+        assert placement.threads_on(1) == 0
+
+    def test_multiple_jobs_share_a_server(self, scheduler):
+        plan = scheduler.schedule(
+            _jobs(("raytrace", 6), ("mcf", 6)), within="borrowing"
+        )
+        placement = plan.placements[0]
+        assert placement.total_threads == 12
+        assert set(placement.workloads()) == {"raytrace", "mcf"}
+
+    def test_busy_cores_gated_exactly(self, scheduler):
+        plan = scheduler.schedule(_jobs(("raytrace", 6)), within="borrowing")
+        assert plan.placements[0].keep_on == (3, 3)
+
+    def test_off_servers_have_no_placement(self, scheduler):
+        plan = scheduler.schedule(_jobs(("raytrace", 2)))
+        assert plan.placements[0] is not None
+        assert all(p is None for p in plan.placements[1:])
+
+
+class TestEvaluation:
+    def test_off_servers_draw_nothing(self, scheduler):
+        plan = scheduler.schedule(_jobs(("raytrace", 4)))
+        measurement = scheduler.evaluate(plan)
+        assert measurement.server_power[0] > 0
+        assert all(p == 0.0 for p in measurement.server_power[1:])
+
+    def test_consolidate_beats_spread_on_cluster_power(self, scheduler):
+        """The paper's cluster wisdom: peripheral power dominates, so pack
+        servers first."""
+        jobs = _jobs(("raytrace", 4), ("lu_cb", 4), ("mcf", 4), ("radix", 4))
+        packed = scheduler.evaluate(scheduler.schedule(jobs, across="consolidate"))
+        spread = scheduler.evaluate(scheduler.schedule(jobs, across="spread"))
+        assert packed.cluster_power < spread.cluster_power
+
+    def test_borrowing_beats_consolidation_within_server(self, scheduler):
+        jobs = _jobs(("raytrace", 8))
+        borrowed = scheduler.evaluate(scheduler.schedule(jobs, within="borrowing"))
+        packed = scheduler.evaluate(scheduler.schedule(jobs, within="consolidation"))
+        assert borrowed.cluster_chip_power < packed.cluster_chip_power
+
+    def test_two_level_policy_beats_both_single_levels(self, scheduler):
+        """Consolidate across + borrow within <= any other combination."""
+        jobs = _jobs(("raytrace", 6), ("mcf", 6))
+        best = scheduler.evaluate(
+            scheduler.schedule(jobs, within="borrowing", across="consolidate")
+        )
+        worst = scheduler.evaluate(
+            scheduler.schedule(jobs, within="consolidation", across="spread")
+        )
+        assert best.cluster_power < worst.cluster_power
+
+    def test_rejects_zero_servers(self, server_config):
+        with pytest.raises(SchedulingError):
+            ClusterScheduler(server_config, n_servers=0)

@@ -1,0 +1,150 @@
+"""Configuration dataclasses: defaults, derived values, validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ChipConfig,
+    DidtConfig,
+    GuardbandConfig,
+    PdnConfig,
+    ServerConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestChipConfigDefaults:
+    def test_power7_core_count(self, chip_config):
+        assert chip_config.n_cores == 8
+
+    def test_smt4(self, chip_config):
+        assert chip_config.smt_ways == 4
+
+    def test_dvfs_range(self, chip_config):
+        assert chip_config.f_min == pytest.approx(2.8e9)
+        assert chip_config.f_nominal == pytest.approx(4.2e9)
+
+    def test_frequency_step_28mhz(self, chip_config):
+        assert chip_config.f_step == pytest.approx(28e6)
+
+    def test_forty_cpms(self, chip_config):
+        assert chip_config.n_cpms == 40
+
+    def test_cpm_bit_near_21mv(self, chip_config):
+        assert chip_config.cpm_mv_per_bit == pytest.approx(0.021)
+
+    def test_vmin_at_nominal_frequency(self, chip_config):
+        assert chip_config.vmin(4.2e9) == pytest.approx(1.050, abs=1e-3)
+
+    def test_vmin_monotone_in_frequency(self, chip_config):
+        assert chip_config.vmin(4.2e9) > chip_config.vmin(2.8e9)
+
+    def test_fmax_inverts_vmin(self, chip_config):
+        voltage = chip_config.vmin(3.5e9)
+        assert chip_config.fmax_at(voltage) == pytest.approx(3.5e9)
+
+
+class TestChipConfigValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            ChipConfig(n_cores=0)
+
+    def test_rejects_inverted_frequency_range(self):
+        with pytest.raises(ConfigError):
+            ChipConfig(f_min=5e9, f_nominal=4.2e9)
+
+    def test_rejects_ceiling_below_nominal(self):
+        with pytest.raises(ConfigError):
+            ChipConfig(f_ceiling=4.0e9)
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ConfigError):
+            ChipConfig(f_step=-1.0)
+
+    def test_rejects_negative_vmin_slope(self):
+        with pytest.raises(ConfigError):
+            ChipConfig(vmin_slope=-0.1)
+
+    def test_rejects_gate_residual_above_one(self):
+        with pytest.raises(ConfigError):
+            ChipConfig(power_gate_residual=1.5)
+
+    def test_rejects_zero_smt(self):
+        with pytest.raises(ConfigError):
+            ChipConfig(smt_ways=0)
+
+
+class TestDidtConfig:
+    def test_defaults_valid(self):
+        DidtConfig()
+
+    def test_rejects_negative_ripple(self):
+        with pytest.raises(ConfigError):
+            DidtConfig(ripple_single_core=-0.001)
+
+    def test_rejects_negative_droop_rate(self):
+        with pytest.raises(ConfigError):
+            DidtConfig(droop_rate_per_core=-1.0)
+
+    def test_rejects_negative_smoothing(self):
+        with pytest.raises(ConfigError):
+            DidtConfig(ripple_smoothing_exponent=-0.5)
+
+
+class TestPdnConfig:
+    def test_vrm_step_625_microvolt(self, pdn_config):
+        assert pdn_config.vrm_step == pytest.approx(6.25e-3)
+
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(ConfigError):
+            PdnConfig(r_loadline=-1e-3)
+
+    def test_rejects_coupling_above_one(self):
+        with pytest.raises(ConfigError):
+            PdnConfig(ir_neighbour_coupling=1.5)
+
+    def test_rejects_zero_vrm_step(self):
+        with pytest.raises(ConfigError):
+            PdnConfig(vrm_step=0.0)
+
+
+class TestGuardbandConfig:
+    def test_control_interval_32ms(self):
+        assert GuardbandConfig().control_interval == pytest.approx(0.032)
+
+    def test_calibration_code_2(self):
+        assert GuardbandConfig().calibration_code == 2
+
+    def test_rejects_zero_guardband(self):
+        with pytest.raises(ConfigError):
+            GuardbandConfig(static_guardband=0.0)
+
+    def test_rejects_negative_calibration_code(self):
+        with pytest.raises(ConfigError):
+            GuardbandConfig(calibration_code=-1)
+
+
+class TestServerConfig:
+    def test_two_sockets(self, server_config):
+        assert server_config.n_sockets == 2
+
+    def test_sixteen_total_cores(self, server_config):
+        assert server_config.total_cores == 16
+
+    def test_static_vdd_near_1235mv(self, server_config):
+        """Fig. 10b: adaptive Vdd selections of 1170–1220 mV imply a static
+        rail around 1235 mV."""
+        assert server_config.static_vdd == pytest.approx(1.235, abs=0.005)
+
+    def test_rejects_zero_sockets(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(n_sockets=0)
+
+    def test_rejects_negative_peripheral_power(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(peripheral_power=-1.0)
+
+    def test_configs_are_frozen(self, server_config):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            server_config.n_sockets = 4

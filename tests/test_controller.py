@@ -1,0 +1,60 @@
+"""GuardbandController facade: mode dispatch and operating points."""
+
+import pytest
+
+from repro.guardband import GuardbandMode
+
+
+@pytest.fixture
+def controller(server, raytrace):
+    server.place(0, raytrace, 4)
+    return server.controllers[0]
+
+
+class TestDispatch:
+    def test_static_mode(self, controller, server_config):
+        point = controller.operate(GuardbandMode.STATIC)
+        assert point.mode is GuardbandMode.STATIC
+        assert point.undervolt == 0.0
+        assert point.frequency == pytest.approx(server_config.chip.f_nominal)
+
+    def test_undervolt_mode(self, controller, server_config):
+        point = controller.operate(GuardbandMode.UNDERVOLT)
+        assert point.mode is GuardbandMode.UNDERVOLT
+        assert point.undervolt > 0
+        assert point.setpoint < server_config.static_vdd
+
+    def test_overclock_mode(self, controller, server_config):
+        point = controller.operate(GuardbandMode.OVERCLOCK)
+        assert point.mode is GuardbandMode.OVERCLOCK
+        assert point.frequency > server_config.chip.f_nominal
+        assert point.undervolt == 0.0
+
+    def test_rejects_unknown_mode(self, controller):
+        with pytest.raises(ValueError):
+            controller.operate("undervolt")
+
+
+class TestOrdering:
+    def test_undervolt_saves_power_vs_static(self, controller):
+        static = controller.operate(GuardbandMode.STATIC)
+        undervolt = controller.operate(GuardbandMode.UNDERVOLT)
+        assert undervolt.chip_power < static.chip_power
+
+    def test_overclock_burns_more_than_static(self, controller):
+        static = controller.operate(GuardbandMode.STATIC)
+        overclock = controller.operate(GuardbandMode.OVERCLOCK)
+        assert overclock.chip_power > static.chip_power
+
+    def test_calibration_happens_once(self, controller):
+        controller.operate(GuardbandMode.STATIC)
+        assert controller._calibrated
+        # A second operate must not re-calibrate (same margin anchor).
+        margin_before = controller.socket.chip.cpm_bank.core_cpms(0)[0].calibrated_margin
+        controller.operate(GuardbandMode.UNDERVOLT)
+        margin_after = controller.socket.chip.cpm_bank.core_cpms(0)[0].calibrated_margin
+        assert margin_before == margin_after
+
+    def test_explicit_calibrate_returns_margin(self, controller):
+        margin = controller.calibrate()
+        assert margin == pytest.approx(0.045, abs=0.002)

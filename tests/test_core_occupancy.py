@@ -1,0 +1,120 @@
+"""Power7Core occupancy: SMT slots, gating, activity/IPC aggregation."""
+
+import pytest
+
+from repro.chip.core import (
+    SMT_ACTIVITY_EXPONENT,
+    SMT_YIELD_EXPONENT,
+    CoreState,
+    HardwareThread,
+    Power7Core,
+)
+
+
+@pytest.fixture
+def core(chip_config):
+    return Power7Core(chip_config, core_id=0)
+
+
+def _thread(activity=1.0, ipc=2.0, workload="w"):
+    return HardwareThread(workload=workload, activity=activity, ipc=ipc)
+
+
+class TestPlacement:
+    def test_place_fills_slot(self, core):
+        core.place(_thread())
+        assert core.n_threads == 1
+        assert core.free_slots == 3
+
+    def test_smt4_capacity(self, core):
+        for _ in range(4):
+            core.place(_thread())
+        with pytest.raises(ValueError):
+            core.place(_thread())
+
+    def test_evict_all(self, core):
+        core.place(_thread(workload="a"))
+        core.place(_thread(workload="b"))
+        removed = core.evict()
+        assert len(removed) == 2
+        assert core.n_threads == 0
+
+    def test_evict_by_workload(self, core):
+        core.place(_thread(workload="a"))
+        core.place(_thread(workload="b"))
+        removed = core.evict("a")
+        assert [t.workload for t in removed] == ["a"]
+        assert core.n_threads == 1
+
+    def test_thread_validation(self):
+        with pytest.raises(ValueError):
+            HardwareThread(workload="w", activity=-0.1, ipc=1.0)
+        with pytest.raises(ValueError):
+            HardwareThread(workload="w", activity=1.0, ipc=-1.0)
+
+
+class TestGating:
+    def test_gate_empty_core(self, core):
+        core.gate()
+        assert core.gated
+        assert core.free_slots == 0
+
+    def test_cannot_gate_busy_core(self, core):
+        core.place(_thread())
+        with pytest.raises(ValueError):
+            core.gate()
+
+    def test_cannot_place_on_gated_core(self, core):
+        core.gate()
+        with pytest.raises(ValueError):
+            core.place(_thread())
+
+    def test_ungate_restores_slots(self, core, chip_config):
+        core.gate()
+        core.ungate()
+        assert core.free_slots == chip_config.smt_ways
+
+
+class TestStateAggregation:
+    def test_gated_state(self, core):
+        core.gate()
+        state = core.state()
+        assert state == CoreState(gated=True, n_threads=0, activity=0.0, ipc=0.0)
+        assert not state.active
+
+    def test_idle_state_keeps_clock_activity(self, core, chip_config):
+        state = core.state()
+        assert state.activity == chip_config.idle_activity
+        assert state.ipc == 0.0
+        assert not state.active
+
+    def test_single_thread_passthrough(self, core):
+        core.place(_thread(activity=0.9, ipc=1.8))
+        state = core.state()
+        assert state.activity == pytest.approx(0.9)
+        assert state.ipc == pytest.approx(1.8)
+        assert state.active
+
+    def test_smt_throughput_yield(self, core):
+        for _ in range(4):
+            core.place(_thread(activity=0.9, ipc=1.8))
+        state = core.state()
+        assert state.ipc == pytest.approx(1.8 * 4**SMT_YIELD_EXPONENT)
+
+    def test_smt_activity_grows_slower_than_throughput(self, core):
+        for _ in range(4):
+            core.place(_thread(activity=0.9, ipc=1.8))
+        state = core.state()
+        assert state.activity == pytest.approx(0.9 * 4**SMT_ACTIVITY_EXPONENT)
+        assert state.activity / 0.9 < state.ipc / 1.8
+
+    def test_mixed_threads_average(self, core):
+        core.place(_thread(activity=0.4, ipc=1.0))
+        core.place(_thread(activity=0.8, ipc=2.0))
+        state = core.state()
+        assert state.activity == pytest.approx(0.6 * 2**SMT_ACTIVITY_EXPONENT)
+        assert state.ipc == pytest.approx(1.5 * 2**SMT_YIELD_EXPONENT)
+
+    def test_activity_floor_is_idle_level(self, core, chip_config):
+        core.place(_thread(activity=0.001, ipc=0.01))
+        assert core.state().activity == chip_config.idle_activity

@@ -1,0 +1,118 @@
+"""Critical path monitors: transfer function, calibration, bank behavior."""
+
+import pytest
+
+from repro.chip.cpm import CpmBank, CriticalPathMonitor
+from repro.errors import CalibrationError
+from repro.floorplan import Floorplan
+
+
+@pytest.fixture
+def cpm(chip_config):
+    return CriticalPathMonitor(chip_config)
+
+
+@pytest.fixture
+def bank(chip_config):
+    return CpmBank(chip_config, Floorplan(chip_config.n_cores), seed=7)
+
+
+class TestTransferFunction:
+    def test_calibrated_margin_reads_calibration_code(self, cpm):
+        assert cpm.read(cpm.calibrated_margin, 4.2e9) == cpm.calibration_code
+
+    def test_more_margin_reads_higher(self, cpm):
+        base = cpm.read(cpm.calibrated_margin, 4.2e9)
+        assert cpm.read(cpm.calibrated_margin + 0.063, 4.2e9) > base
+
+    def test_less_margin_reads_lower(self, cpm):
+        base = cpm.read(cpm.calibrated_margin, 4.2e9)
+        assert cpm.read(cpm.calibrated_margin - 0.042, 4.2e9) < base
+
+    def test_saturates_at_zero(self, cpm):
+        assert cpm.read(-1.0, 4.2e9) == 0
+
+    def test_saturates_at_max_code(self, cpm, chip_config):
+        assert cpm.read(1.0, 4.2e9) == chip_config.cpm_code_max
+
+    def test_one_bit_is_about_21mv_at_nominal(self, cpm):
+        assert cpm.volts_per_bit(4.2e9) == pytest.approx(0.021, rel=0.01)
+
+    def test_bit_spans_more_voltage_at_lower_frequency(self, cpm):
+        assert cpm.volts_per_bit(2.8e9) > cpm.volts_per_bit(4.2e9)
+
+    def test_rejects_nonpositive_frequency(self, cpm):
+        with pytest.raises(ValueError):
+            cpm.volts_per_bit(0.0)
+
+    def test_margin_for_code_inverts_read(self, cpm):
+        margin = cpm.margin_for_code(7, 4.2e9)
+        assert cpm.read(margin, 4.2e9) == 7
+
+
+class TestRecalibration:
+    def test_recalibrate_moves_anchor(self, cpm):
+        cpm.recalibrate(0.080, 5, 4.2e9)
+        assert cpm.read(0.080, 4.2e9) == 5
+
+    def test_recalibration_absorbs_offset(self, chip_config):
+        skewed = CriticalPathMonitor(chip_config, code_offset=1.7)
+        skewed.recalibrate(0.042, 2, 4.2e9)
+        assert skewed.read(0.042, 4.2e9) == 2
+
+    def test_rejects_out_of_range_code(self, cpm):
+        with pytest.raises(CalibrationError):
+            cpm.recalibrate(0.042, 99, 4.2e9)
+
+    def test_rejects_nonpositive_sensitivity(self, chip_config):
+        with pytest.raises(ValueError):
+            CriticalPathMonitor(chip_config, sensitivity_scale=0.0)
+
+
+class TestCpmBank:
+    def test_forty_cpms_total(self, bank):
+        assert len(bank.all_cpms()) == 40
+
+    def test_five_cpms_per_core(self, bank):
+        assert len(bank.core_cpms(0)) == 5
+
+    def test_worst_code_is_minimum(self, bank):
+        codes = bank.read_core(3, 0.060, 4.2e9)
+        assert bank.worst_code(3, 0.060, 4.2e9) == min(codes)
+
+    def test_process_variation_spreads_sensitivity(self, bank):
+        sensitivities = {
+            round(cpm.volts_per_bit(4.2e9), 6) for cpm in bank.all_cpms()
+        }
+        assert len(sensitivities) > 10
+
+    def test_same_seed_reproducible(self, chip_config):
+        plan = Floorplan(chip_config.n_cores)
+        a = CpmBank(chip_config, plan, seed=11)
+        b = CpmBank(chip_config, plan, seed=11)
+        for cpm_a, cpm_b in zip(a.all_cpms(), b.all_cpms()):
+            assert cpm_a.volts_per_bit(4.2e9) == cpm_b.volts_per_bit(4.2e9)
+
+    def test_different_seed_differs(self, chip_config):
+        plan = Floorplan(chip_config.n_cores)
+        a = CpmBank(chip_config, plan, seed=11)
+        b = CpmBank(chip_config, plan, seed=13)
+        assert any(
+            cpm_a.volts_per_bit(4.2e9) != cpm_b.volts_per_bit(4.2e9)
+            for cpm_a, cpm_b in zip(a.all_cpms(), b.all_cpms())
+        )
+
+    def test_calibrate_aligns_every_cpm(self, bank):
+        bank.calibrate(margin=0.045, frequency=4.2e9, target_code=2)
+        for core_id in range(bank.n_cores):
+            assert all(
+                code == 2 for code in bank.read_core(core_id, 0.045, 4.2e9)
+            )
+
+    def test_calibrated_bank_still_varies_off_anchor(self, bank):
+        """Sensitivity differences persist away from the calibration point."""
+        bank.calibrate(margin=0.045, frequency=4.2e9, target_code=2)
+        codes = set()
+        for core_id in range(bank.n_cores):
+            codes.update(bank.read_core(core_id, 0.150, 4.2e9))
+        assert len(codes) > 1

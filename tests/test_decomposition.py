@@ -1,0 +1,70 @@
+"""Measurement-side drop decomposition (the Sec. 4.3 arithmetic)."""
+
+import pytest
+
+from repro.pdn import DecomposedDrop, DropDecomposer
+
+
+@pytest.fixture
+def decomposer(pdn_config):
+    return DropDecomposer(pdn_config)
+
+
+class TestPassiveFromCurrent:
+    def test_proportional_to_current(self, decomposer, pdn_config):
+        loadline, ir = decomposer.passive_from_current(100.0)
+        assert loadline == pytest.approx(pdn_config.r_loadline * 100.0)
+        assert ir == pytest.approx(pdn_config.r_ir_shared * 100.0)
+
+    def test_rejects_negative_current(self, decomposer):
+        with pytest.raises(ValueError):
+            decomposer.passive_from_current(-1.0)
+
+
+class TestDecompose:
+    def test_components_reconstruct_sticky_total(self, decomposer):
+        result = decomposer.decompose(
+            chip_current=100.0,
+            sample_mode_drop=0.060,
+            sticky_mode_drop=0.085,
+            local_ir=0.010,
+        )
+        assert result.total == pytest.approx(0.085)
+
+    def test_typical_is_sample_minus_passive(self, decomposer, pdn_config):
+        result = decomposer.decompose(100.0, 0.060, 0.085, local_ir=0.010)
+        passive = (pdn_config.r_loadline + pdn_config.r_ir_shared) * 100.0 + 0.010
+        assert result.typical_didt == pytest.approx(0.060 - passive)
+
+    def test_worst_is_sticky_minus_sample(self, decomposer):
+        result = decomposer.decompose(100.0, 0.060, 0.085)
+        assert result.worst_didt == pytest.approx(0.025)
+
+    def test_quiet_window_has_zero_worst(self, decomposer):
+        result = decomposer.decompose(100.0, 0.060, 0.060)
+        assert result.worst_didt == 0.0
+
+    def test_typical_clamped_at_zero(self, decomposer):
+        """Sensor noise can make sample drop < passive estimate; the
+        decomposition never reports negative noise."""
+        result = decomposer.decompose(200.0, 0.010, 0.015)
+        assert result.typical_didt == 0.0
+
+    def test_passive_property(self, decomposer):
+        result = decomposer.decompose(100.0, 0.060, 0.085, local_ir=0.010)
+        assert result.passive == pytest.approx(result.loadline + result.ir_drop)
+
+
+class TestPercentConversion:
+    def test_as_percent_of_nominal(self):
+        drop = DecomposedDrop(
+            loadline=0.0247, ir_drop=0.0124, typical_didt=0.0062, worst_didt=0.0185
+        )
+        percent = drop.as_percent_of(1.2375)
+        assert percent.loadline == pytest.approx(2.0, abs=0.01)
+        assert percent.total == pytest.approx(drop.total / 1.2375 * 100)
+
+    def test_rejects_nonpositive_nominal(self):
+        drop = DecomposedDrop(0.01, 0.01, 0.01, 0.01)
+        with pytest.raises(ValueError):
+            drop.as_percent_of(0.0)

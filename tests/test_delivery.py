@@ -1,0 +1,80 @@
+"""PowerDeliveryPath: end-to-end drop composition per socket."""
+
+import pytest
+
+from repro.floorplan import Floorplan
+from repro.pdn import (
+    DidtNoiseModel,
+    PowerDeliveryPath,
+    VoltageRegulatorModule,
+)
+
+
+@pytest.fixture
+def path(pdn_config):
+    vrm = VoltageRegulatorModule(pdn_config, n_rails=2)
+    path = PowerDeliveryPath(pdn_config, Floorplan(8), vrm, rail=0)
+    path.set_voltage(1.2375)
+    return path
+
+
+class TestDeliver:
+    def test_voltages_below_setpoint_under_load(self, path):
+        breakdown = path.deliver([8.0] * 8, uncore_current=5.0, n_active_cores=8)
+        assert all(v < 1.2375 for v in breakdown.core_voltages)
+
+    def test_zero_load_only_quantization(self, path):
+        breakdown = path.deliver([0.0] * 8, uncore_current=0.0, n_active_cores=0)
+        assert all(v == pytest.approx(path.setpoint) for v in breakdown.core_voltages)
+
+    def test_loadline_tracks_total_current(self, path, pdn_config):
+        breakdown = path.deliver([10.0] * 8, uncore_current=20.0, n_active_cores=8)
+        assert breakdown.loadline == pytest.approx(pdn_config.r_loadline * 100.0)
+
+    def test_records_current_on_vrm_sensor(self, path):
+        path.deliver([10.0] * 8, uncore_current=20.0, n_active_cores=8)
+        assert path.vrm.sensed_current(0) == pytest.approx(100.0)
+
+    def test_uncore_current_contributes_no_local_drop(self, path):
+        only_uncore = path.deliver([0.0] * 8, uncore_current=50.0, n_active_cores=0)
+        assert all(local == 0.0 for local in only_uncore.ir_local)
+        assert only_uncore.loadline > 0
+
+    def test_rejects_negative_uncore_current(self, path):
+        with pytest.raises(ValueError):
+            path.deliver([0.0] * 8, uncore_current=-1.0, n_active_cores=0)
+
+    def test_noise_model_swap_changes_ripple(self, path, pdn_config):
+        base = path.deliver([8.0] * 8, 5.0, 8)
+        path.set_noise(DidtNoiseModel(pdn_config.didt, ripple_scale=2.0))
+        scaled = path.deliver([8.0] * 8, 5.0, 8)
+        assert scaled.typical_didt == pytest.approx(2 * base.typical_didt)
+
+
+class TestDropBreakdown:
+    def test_passive_at_core(self, path):
+        breakdown = path.deliver([8.0] * 8, 5.0, 8)
+        expected = breakdown.loadline + breakdown.ir_shared + breakdown.ir_local[0]
+        assert breakdown.passive_at(0) == pytest.approx(expected)
+
+    def test_total_includes_typical_didt(self, path):
+        breakdown = path.deliver([8.0] * 8, 5.0, 8)
+        assert breakdown.total_at(0) == pytest.approx(
+            breakdown.passive_at(0) + breakdown.typical_didt
+        )
+
+    def test_worst_total_includes_droop(self, path):
+        breakdown = path.deliver([8.0] * 8, 5.0, 8)
+        assert breakdown.worst_total_at(0) > breakdown.total_at(0)
+
+    def test_worst_core_has_min_voltage(self, path):
+        breakdown = path.deliver([4, 6, 8, 4, 6, 8, 4, 6], 5.0, 8)
+        worst = breakdown.worst_core
+        assert breakdown.core_voltages[worst] == breakdown.min_voltage
+
+    def test_core_voltage_equals_setpoint_minus_drop(self, path):
+        breakdown = path.deliver([8.0] * 8, 5.0, 8)
+        for core_id, voltage in enumerate(breakdown.core_voltages):
+            assert voltage == pytest.approx(
+                breakdown.setpoint - breakdown.total_at(core_id)
+            )

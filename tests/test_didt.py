@@ -1,0 +1,101 @@
+"""di/dt noise: smoothing, alignment, event sampling."""
+
+import numpy as np
+import pytest
+
+from repro.config import DidtConfig
+from repro.pdn import DidtNoiseModel
+
+
+@pytest.fixture
+def noise():
+    return DidtNoiseModel(DidtConfig())
+
+
+class TestTypicalRipple:
+    def test_zero_cores_no_ripple(self, noise):
+        assert noise.typical_ripple(0) == 0.0
+
+    def test_single_core_is_configured_amplitude(self, noise):
+        assert noise.typical_ripple(1) == pytest.approx(
+            DidtConfig().ripple_single_core
+        )
+
+    def test_ripple_shrinks_with_core_count(self, noise):
+        """Sec. 4.3: typical-case noise gets smaller when cores stagger."""
+        values = [noise.typical_ripple(n) for n in range(1, 9)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_workload_scale_multiplies(self):
+        heavy = DidtNoiseModel(DidtConfig(), ripple_scale=1.5)
+        light = DidtNoiseModel(DidtConfig(), ripple_scale=0.5)
+        assert heavy.typical_ripple(4) == pytest.approx(3 * light.typical_ripple(4))
+
+    def test_rejects_negative_cores(self, noise):
+        with pytest.raises(ValueError):
+            noise.typical_ripple(-1)
+
+
+class TestWorstDroop:
+    def test_zero_cores_no_droop(self, noise):
+        assert noise.worst_droop(0) == 0.0
+
+    def test_droop_grows_with_core_count(self, noise):
+        """Sec. 4.3: worst-case alignment droops grow with active cores."""
+        values = [noise.worst_droop(n) for n in range(1, 9)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_eight_core_growth_matches_alignment_gain(self, noise):
+        config = DidtConfig()
+        expected = config.droop_single_core * (1 + config.droop_alignment_gain)
+        assert noise.worst_droop(8) == pytest.approx(expected)
+
+    def test_droop_scale_multiplies(self):
+        scaled = DidtNoiseModel(DidtConfig(), droop_scale=2.0)
+        base = DidtNoiseModel(DidtConfig())
+        assert scaled.worst_droop(4) == pytest.approx(2 * base.worst_droop(4))
+
+    def test_rejects_negative_scales(self):
+        with pytest.raises(ValueError):
+            DidtNoiseModel(DidtConfig(), ripple_scale=-1.0)
+
+
+class TestEventSampling:
+    def test_no_events_with_zero_cores(self, noise):
+        rng = np.random.default_rng(1)
+        assert noise.sample_events(0, 1.0, rng) == []
+
+    def test_event_rate_scales_with_cores(self, noise):
+        assert noise.event_rate(8) == pytest.approx(8 * noise.event_rate(1))
+
+    def test_mean_event_count_matches_rate(self, noise):
+        rng = np.random.default_rng(2)
+        counts = [len(noise.sample_events(8, 1.0, rng)) for _ in range(300)]
+        assert np.mean(counts) == pytest.approx(noise.event_rate(8), rel=0.15)
+
+    def test_event_magnitudes_near_worst_droop(self, noise):
+        rng = np.random.default_rng(3)
+        events = noise.sample_events(8, 10.0, rng)
+        magnitude = noise.worst_droop(8)
+        assert events
+        for event in events:
+            assert 0.75 * magnitude <= event.magnitude <= 1.25 * magnitude
+
+    def test_event_times_inside_window(self, noise):
+        rng = np.random.default_rng(4)
+        for event in noise.sample_events(8, 2.5, rng):
+            assert 0.0 <= event.time <= 2.5
+
+    def test_worst_in_window_zero_when_quiet(self, noise):
+        rng = np.random.default_rng(5)
+        observations = [noise.worst_in_window(1, 0.032, rng) for _ in range(200)]
+        assert any(obs == 0.0 for obs in observations)
+
+    def test_worst_in_window_seeded_reproducible(self, noise):
+        a = noise.worst_in_window(8, 0.032, np.random.default_rng(9))
+        b = noise.worst_in_window(8, 0.032, np.random.default_rng(9))
+        assert a == b
+
+    def test_rejects_nonpositive_window(self, noise):
+        with pytest.raises(ValueError):
+            noise.sample_events(1, 0.0, np.random.default_rng(1))

@@ -1,0 +1,73 @@
+"""Per-core DPLL: slew limits, clamping, grid quantization."""
+
+import pytest
+
+from repro.chip.dpll import DigitalPll
+
+
+@pytest.fixture
+def dpll(chip_config):
+    return DigitalPll(chip_config)
+
+
+class TestInitialState:
+    def test_starts_at_nominal(self, dpll, chip_config):
+        assert dpll.frequency == pytest.approx(chip_config.f_nominal)
+
+    def test_custom_initial_clamped(self, chip_config):
+        dpll = DigitalPll(chip_config, initial_frequency=9e9)
+        assert dpll.frequency == chip_config.f_ceiling
+
+
+class TestSlewLimits:
+    def test_seven_percent_in_ten_ns(self, dpll, chip_config):
+        assert dpll.max_slew(chip_config.dpll_slew_interval) == pytest.approx(
+            chip_config.dpll_slew_fraction
+        )
+
+    def test_slew_compounds_over_longer_windows(self, dpll, chip_config):
+        assert dpll.max_slew(2 * chip_config.dpll_slew_interval) == pytest.approx(
+            1.07**2 - 1.0
+        )
+
+    def test_zero_duration_means_no_move(self, dpll):
+        assert dpll.max_slew(0.0) == pytest.approx(0.0)
+
+    def test_rejects_negative_duration(self, dpll):
+        with pytest.raises(ValueError):
+            dpll.max_slew(-1.0)
+
+
+class TestStep:
+    def test_large_window_reaches_target(self, dpll):
+        reached = dpll.step(4.48e9, duration=1e-6)
+        assert reached
+        assert dpll.frequency == pytest.approx(4.48e9, rel=0.01)
+
+    def test_tiny_window_truncates_move(self, dpll, chip_config):
+        start = dpll.frequency
+        reached = dpll.step(chip_config.f_min, duration=chip_config.dpll_slew_interval)
+        assert not reached
+        assert dpll.frequency > chip_config.f_min
+        assert dpll.frequency < start
+
+    def test_step_clamps_to_ceiling(self, dpll, chip_config):
+        dpll.step(9e9, duration=1.0)
+        assert dpll.frequency <= chip_config.f_ceiling
+
+    def test_result_lands_on_grid(self, dpll, chip_config):
+        dpll.step(4.3331e9, duration=1.0)
+        steps = dpll.frequency / chip_config.f_step
+        assert steps == pytest.approx(round(steps))
+
+
+class TestSetFrequency:
+    def test_direct_set_quantizes(self, dpll, chip_config):
+        dpll.set_frequency(4.211e9)
+        assert dpll.frequency <= 4.211e9
+        steps = dpll.frequency / chip_config.f_step
+        assert steps == pytest.approx(round(steps))
+
+    def test_direct_set_clamps(self, dpll, chip_config):
+        dpll.set_frequency(1e9)
+        assert dpll.frequency >= chip_config.f_min

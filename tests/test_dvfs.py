@@ -1,0 +1,72 @@
+"""DVFS operating-point table."""
+
+import pytest
+
+from repro.chip.dvfs import DvfsTable
+from repro.config import GuardbandConfig
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def table(chip_config):
+    return DvfsTable(chip_config, GuardbandConfig())
+
+
+class TestConstruction:
+    def test_spans_dvfs_range(self, table, chip_config):
+        assert table.pmin.frequency == pytest.approx(chip_config.f_min)
+        assert table.pmax.frequency == pytest.approx(chip_config.f_nominal)
+
+    def test_28mhz_granularity(self, table, chip_config):
+        expected = int((chip_config.f_nominal - chip_config.f_min) / chip_config.f_step) + 1
+        assert len(table) == expected
+
+    def test_step_multiple_coarsens(self, chip_config):
+        fine = DvfsTable(chip_config, GuardbandConfig(), step_multiple=1)
+        coarse = DvfsTable(chip_config, GuardbandConfig(), step_multiple=10)
+        assert len(coarse) < len(fine)
+
+    def test_voltages_are_wall_plus_guardband(self, table, chip_config):
+        guardband = GuardbandConfig().static_guardband
+        for point in table.points:
+            assert point.voltage == pytest.approx(
+                chip_config.vmin(point.frequency) + guardband
+            )
+
+    def test_voltage_monotone_in_frequency(self, table):
+        voltages = [p.voltage for p in table.points]
+        assert all(b > a for a, b in zip(voltages, voltages[1:]))
+
+    def test_indices_sequential(self, table):
+        assert [p.index for p in table.points] == list(range(len(table)))
+
+    def test_rejects_zero_step_multiple(self, chip_config):
+        with pytest.raises(ConfigError):
+            DvfsTable(chip_config, GuardbandConfig(), step_multiple=0)
+
+
+class TestQueries:
+    def test_point_for_frequency_rounds_up(self, table, chip_config):
+        mid = chip_config.f_min + 1.5 * chip_config.f_step
+        point = table.point_for_frequency(mid)
+        assert point.frequency >= mid - 1e-3
+
+    def test_point_for_exact_frequency(self, table, chip_config):
+        point = table.point_for_frequency(chip_config.f_nominal)
+        assert point is table.pmax
+
+    def test_point_for_frequency_rejects_above_table(self, table):
+        with pytest.raises(ConfigError):
+            table.point_for_frequency(5.0e9)
+
+    def test_voltage_budget_picks_fastest_affordable(self, table):
+        budget = table.points[5].voltage + 1e-6
+        point = table.point_for_voltage_budget(budget)
+        assert point.index == 5
+
+    def test_voltage_budget_rejects_below_pmin(self, table):
+        with pytest.raises(ConfigError):
+            table.point_for_voltage_budget(table.pmin.voltage - 0.01)
+
+    def test_getitem(self, table):
+        assert table[0] is table.pmin

@@ -1,0 +1,82 @@
+"""Trace-driven AGS: diurnal traces and the replay driver."""
+
+import pytest
+
+from repro.core import DynamicAgsDriver, diurnal_trace
+from repro.errors import SchedulingError
+
+
+@pytest.fixture
+def driver(server, raytrace):
+    return DynamicAgsDriver(server, raytrace, interval_seconds=60.0)
+
+
+class TestDiurnalTrace:
+    def test_length(self):
+        assert len(diurnal_trace(24)) == 24
+
+    def test_bounds(self):
+        trace = diurnal_trace(24, low=1, high=8)
+        assert min(trace) == 1
+        assert max(trace) == 8
+
+    def test_peak_in_the_middle(self):
+        trace = diurnal_trace(24, low=1, high=8)
+        assert trace.index(max(trace)) in range(8, 16)
+
+    def test_starts_and_ends_low(self):
+        trace = diurnal_trace(24, low=2, high=7)
+        assert trace[0] == 2
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(SchedulingError):
+            diurnal_trace(24, low=5, high=3)
+        with pytest.raises(SchedulingError):
+            diurnal_trace(1)
+
+
+class TestReplay:
+    def test_interval_per_trace_entry(self, driver):
+        result = driver.replay([1, 2, 3])
+        assert len(result.intervals) == 3
+        assert [i.demand for i in result.intervals] == [1, 2, 3]
+
+    def test_hysteresis_skips_flat_segments(self, driver):
+        result = driver.replay([2, 2, 2, 4, 4])
+        rescheduled = [i.rescheduled for i in result.intervals]
+        assert rescheduled == [True, False, False, True, False]
+
+    def test_flat_segments_reuse_power(self, driver):
+        result = driver.replay([3, 3, 3])
+        powers = {i.ags_power for i in result.intervals}
+        assert len(powers) == 1
+
+    def test_ags_saves_power_every_interval(self, driver):
+        result = driver.replay(diurnal_trace(8, low=1, high=8))
+        for interval in result.intervals:
+            assert interval.ags_power <= interval.baseline_power + 0.5
+
+    def test_energy_integral(self, driver):
+        result = driver.replay([2, 2])
+        expected = sum(i.ags_power for i in result.intervals) * 60.0
+        assert result.ags_energy == pytest.approx(expected)
+
+    def test_diurnal_day_saves_energy(self, driver):
+        result = driver.replay(diurnal_trace(12, low=1, high=8))
+        assert result.energy_saving_fraction > 0.01
+
+    def test_reschedule_count(self, driver):
+        result = driver.replay([1, 1, 2, 2, 1])
+        assert result.n_reschedules == 3
+
+    def test_rejects_empty_trace(self, driver):
+        with pytest.raises(SchedulingError):
+            driver.replay([])
+
+    def test_rejects_zero_demand(self, driver):
+        with pytest.raises(SchedulingError):
+            driver.replay([1, 0, 2])
+
+    def test_rejects_bad_interval(self, server, raytrace):
+        with pytest.raises(SchedulingError):
+            DynamicAgsDriver(server, raytrace, interval_seconds=0.0)

@@ -1,0 +1,123 @@
+"""Transient engine: firmware dynamics tick by tick."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.guardband import GuardbandMode
+from repro.sim.engine import TransientEngine
+
+
+@pytest.fixture
+def loaded_socket(server, raytrace):
+    server.place(0, raytrace, 4)
+    return server.sockets[0]
+
+
+class TestStaticMode:
+    def test_setpoint_never_moves(self, loaded_socket, server_config):
+        engine = TransientEngine(loaded_socket, GuardbandMode.STATIC)
+        results = engine.run(10)
+        assert all(
+            r.setpoint == pytest.approx(server_config.static_vdd, abs=0.007)
+            for r in results
+        )
+
+    def test_no_violations_under_static_guardband(self, loaded_socket):
+        engine = TransientEngine(loaded_socket, GuardbandMode.STATIC)
+        assert not any(r.violation for r in engine.run(20))
+
+
+class TestUndervoltMode:
+    def test_setpoint_descends_from_static(self, loaded_socket, server_config):
+        engine = TransientEngine(loaded_socket, GuardbandMode.UNDERVOLT, seed=3)
+        results = engine.run(40)
+        assert results[-1].setpoint < server_config.static_vdd - 0.02
+
+    def test_hovers_near_steady_state_policy(self, loaded_socket, server_config):
+        """After enough windows to witness deep droop events, the transient
+        loop hovers in the neighbourhood of the steady-state solution."""
+        from repro.guardband.undervolt import UndervoltPolicy
+
+        engine = TransientEngine(loaded_socket, GuardbandMode.UNDERVOLT, seed=3)
+        results = engine.run(250)
+        late = [r.setpoint for r in results[-50:]]
+        policy = UndervoltPolicy(server_config)
+        steady = policy.converge(loaded_socket).setpoint
+        step = server_config.pdn.vrm_step
+        # Event-depth jitter (±20%) means the latched floor can sit a few
+        # steps either side of the deterministic steady-state answer.
+        assert min(late) >= steady - 6 * step
+        assert max(late) <= steady + 6 * step
+
+    def test_latched_floor_tightens_over_time(self, loaded_socket):
+        """The hover band in the second half of a run is no wider than in
+        the first half — the floor latch prevents deep re-probing."""
+        engine = TransientEngine(loaded_socket, GuardbandMode.UNDERVOLT, seed=3)
+        results = engine.run(240)
+        early = [r.setpoint for r in results[40:140]]
+        late = [r.setpoint for r in results[140:]]
+        assert (max(late) - min(late)) <= (max(early) - min(early))
+
+    def test_violation_triggers_backoff(self, loaded_socket):
+        engine = TransientEngine(loaded_socket, GuardbandMode.UNDERVOLT, seed=3)
+        results = engine.run(80)
+        for prev, curr in zip(results, results[1:]):
+            if prev.violation:
+                assert curr.setpoint >= prev.setpoint
+
+    def test_never_exceeds_static_rail(self, loaded_socket, server_config):
+        ceiling = server_config.static_vdd + server_config.pdn.vrm_step
+        engine = TransientEngine(loaded_socket, GuardbandMode.UNDERVOLT, seed=3)
+        for r in engine.run(60):
+            assert r.setpoint <= ceiling
+
+
+class TestOverclockMode:
+    def test_boosts_above_nominal(self, loaded_socket, server_config):
+        engine = TransientEngine(loaded_socket, GuardbandMode.OVERCLOCK)
+        result = engine.tick()
+        assert result.solution.mean_frequency > server_config.chip.f_nominal
+
+    def test_setpoint_fixed(self, loaded_socket, server_config):
+        engine = TransientEngine(loaded_socket, GuardbandMode.OVERCLOCK)
+        results = engine.run(10)
+        assert all(
+            r.setpoint == pytest.approx(server_config.static_vdd, abs=0.007)
+            for r in results
+        )
+
+
+class TestTelemetryIntegration:
+    def test_trace_grows_per_tick(self, loaded_socket):
+        engine = TransientEngine(loaded_socket, GuardbandMode.UNDERVOLT)
+        engine.run(5)
+        assert len(engine.trace) == 5
+
+    def test_time_advances_by_interval(self, loaded_socket, server_config):
+        engine = TransientEngine(loaded_socket, GuardbandMode.UNDERVOLT)
+        engine.run(3)
+        assert engine.time == pytest.approx(
+            3 * server_config.guardband.control_interval
+        )
+
+    def test_power_series_recorded(self, loaded_socket):
+        engine = TransientEngine(loaded_socket, GuardbandMode.UNDERVOLT)
+        engine.run(5)
+        series = engine.trace.series("vdd_power")
+        assert len(series) == 5
+        assert all(p > 0 for p in series)
+
+    def test_rejects_zero_ticks(self, loaded_socket):
+        engine = TransientEngine(loaded_socket, GuardbandMode.UNDERVOLT)
+        with pytest.raises(ReproError):
+            engine.run(0)
+
+    def test_seeded_runs_reproducible(self, server, raytrace):
+        server.place(0, raytrace, 4)
+        a = TransientEngine(server.sockets[0], GuardbandMode.UNDERVOLT, seed=9)
+        trace_a = [r.setpoint for r in a.run(30)]
+        server.clear()
+        server.place(0, raytrace, 4)
+        b = TransientEngine(server.sockets[0], GuardbandMode.UNDERVOLT, seed=9)
+        trace_b = [r.setpoint for r in b.run(30)]
+        assert trace_a == trace_b

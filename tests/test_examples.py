@@ -1,0 +1,42 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Each example is a deliverable; these tests keep them from rotting as the
+library evolves.  They run the scripts in-process via ``runpy`` (same
+interpreter, no subprocess overhead) and check for the banner lines that
+prove the interesting part executed.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+#: script name -> substring its stdout must contain.
+EXPECTED_BANNERS = {
+    "quickstart.py": "paper's central",
+    "loadline_borrowing_datacenter.py": "queue-average chip power",
+    "websearch_qos.py": "Adaptive mapping, starting blindly",
+    "voltage_drop_anatomy.py": "Passive drop (loadline + IR)",
+    "firmware_transient.py": "converged from",
+    "cluster_scheduling.py": "two-level AGS saves",
+    "diurnal_energy_proportionality.py": "day's chip energy",
+    "colocation_advisor.py": "malicious co-runners",
+    "power_capping.py": "Harvested guardband",
+}
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(EXPECTED_BANNERS), (
+        "keep EXPECTED_BANNERS in sync with examples/"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_BANNERS))
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert EXPECTED_BANNERS[script] in out
+    assert len(out.splitlines()) >= 5

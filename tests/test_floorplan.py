@@ -1,0 +1,108 @@
+"""Floorplan geometry: positions, adjacency, coupling, CPM placement."""
+
+import pytest
+
+from repro.floorplan import CPM_UNITS, Floorplan
+
+
+class TestPositions:
+    def test_eight_cores_two_rows(self):
+        plan = Floorplan(8)
+        assert plan.position(0).row == 0
+        assert plan.position(3).row == 0
+        assert plan.position(4).row == 1
+        assert plan.position(7).row == 1
+
+    def test_columns_wrap_at_four(self):
+        plan = Floorplan(8)
+        assert plan.position(0).column == 0
+        assert plan.position(5).column == 1
+
+    def test_rejects_too_many_cores(self):
+        with pytest.raises(ValueError):
+            Floorplan(9)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            Floorplan(0)
+
+    def test_rejects_bad_core_id(self):
+        with pytest.raises(ValueError):
+            Floorplan(8).position(8)
+
+
+class TestDistances:
+    def test_horizontal_neighbours(self):
+        assert Floorplan(8).distance(0, 1) == 1
+
+    def test_vertical_neighbours(self):
+        assert Floorplan(8).distance(0, 4) == 1
+
+    def test_diagonal_is_two(self):
+        assert Floorplan(8).distance(0, 5) == 2
+
+    def test_corner_to_corner(self):
+        assert Floorplan(8).distance(0, 7) == 4
+
+    def test_distance_symmetric(self):
+        plan = Floorplan(8)
+        for a in range(8):
+            for b in range(8):
+                assert plan.distance(a, b) == plan.distance(b, a)
+
+    def test_self_distance_zero(self):
+        assert Floorplan(8).distance(3, 3) == 0
+
+
+class TestNeighbours:
+    def test_corner_core_has_two_neighbours(self):
+        assert sorted(Floorplan(8).neighbours(0)) == [1, 4]
+
+    def test_middle_core_has_three_neighbours(self):
+        assert sorted(Floorplan(8).neighbours(1)) == [0, 2, 5]
+
+    def test_bottom_row_neighbours(self):
+        assert sorted(Floorplan(8).neighbours(6)) == [2, 5, 7]
+
+
+class TestCouplingWeights:
+    def test_diagonal_is_one(self):
+        weights = Floorplan(8).coupling_weights(0.4)
+        for i in range(8):
+            assert weights[i][i] == 1.0
+
+    def test_neighbour_weight_equals_coupling(self):
+        weights = Floorplan(8).coupling_weights(0.4)
+        assert weights[0][1] == pytest.approx(0.4)
+
+    def test_weight_decays_geometrically(self):
+        weights = Floorplan(8).coupling_weights(0.4)
+        assert weights[0][2] == pytest.approx(0.4**2)
+        assert weights[0][7] == pytest.approx(0.4**4)
+
+    def test_zero_coupling_gives_identity(self):
+        weights = Floorplan(8).coupling_weights(0.0)
+        for i in range(8):
+            for j in range(8):
+                assert weights[i][j] == (1.0 if i == j else 0.0)
+
+    def test_rejects_coupling_above_one(self):
+        with pytest.raises(ValueError):
+            Floorplan(8).coupling_weights(1.2)
+
+
+class TestCpmLocations:
+    def test_five_units_per_core(self):
+        locations = Floorplan(8).cpm_locations(5)
+        assert all(len(units) == 5 for units in locations.values())
+
+    def test_units_drawn_from_catalog(self):
+        locations = Floorplan(8).cpm_locations(5)
+        assert set(locations[0]) <= set(CPM_UNITS)
+
+    def test_every_core_covered(self):
+        assert set(Floorplan(8).cpm_locations(5)) == set(range(8))
+
+    def test_rejects_zero_cpms(self):
+        with pytest.raises(ValueError):
+            Floorplan(8).cpm_locations(0)

@@ -1,0 +1,77 @@
+"""Mixed-placement measurement: per-workload views of a colocation."""
+
+import pytest
+
+from repro.core.evaluate import measure_mixed
+from repro.core.placement import Placement, ThreadGroup
+from repro.errors import SchedulingError
+from repro.guardband import GuardbandMode
+from repro.workloads import get_profile
+
+
+@pytest.fixture
+def mixed_placement(raytrace):
+    mcf = get_profile("mcf")
+    return Placement(
+        groups=(
+            (ThreadGroup(raytrace, 2), ThreadGroup(mcf, 2)),
+            (ThreadGroup(raytrace, 2), ThreadGroup(mcf, 2)),
+        ),
+        keep_on=(4, 4),
+    )
+
+
+class TestMeasureMixed:
+    def test_per_workload_outcomes(self, server, mixed_placement):
+        measured = measure_mixed(server, mixed_placement, GuardbandMode.UNDERVOLT)
+        assert set(measured.outcomes) == {"raytrace", "mcf"}
+
+    def test_shared_power_single_number(self, server, mixed_placement):
+        measured = measure_mixed(server, mixed_placement, GuardbandMode.UNDERVOLT)
+        assert measured.chip_power > 0
+        assert measured.point.mode is GuardbandMode.UNDERVOLT
+
+    def test_runtime_reflects_each_profile(self, server, mixed_placement):
+        measured = measure_mixed(server, mixed_placement, GuardbandMode.OVERCLOCK)
+        raytrace = measured.outcome("raytrace")
+        mcf = measured.outcome("mcf")
+        assert raytrace.execution_time != mcf.execution_time
+        assert raytrace.mips > mcf.mips  # raytrace's IPC is far higher
+
+    def test_unknown_workload_rejected(self, server, mixed_placement):
+        measured = measure_mixed(server, mixed_placement, GuardbandMode.UNDERVOLT)
+        with pytest.raises(SchedulingError):
+            measured.outcome("lbm")
+
+    def test_heavier_mix_lower_frequency(self, server, raytrace):
+        lu_cb = get_profile("lu_cb")
+        mcf = get_profile("mcf")
+        heavy = Placement(groups=((ThreadGroup(lu_cb, 8),), ()))
+        light = Placement(groups=((ThreadGroup(mcf, 8),), ()))
+        f_heavy = measure_mixed(
+            server, heavy, GuardbandMode.OVERCLOCK
+        ).point.socket_point(0).solution.mean_frequency
+        f_light = measure_mixed(
+            server, light, GuardbandMode.OVERCLOCK
+        ).point.socket_point(0).solution.mean_frequency
+        assert f_heavy < f_light
+
+    def test_colocated_victim_slows_with_aggressor(self, server):
+        """A colocation study end to end: the same workload's settled
+        frequency depends on who shares the chip."""
+        coremark = get_profile("swaptions")
+        lu_cb = get_profile("lu_cb")
+        mcf = get_profile("mcf")
+        with_heavy = Placement(
+            groups=((ThreadGroup(coremark, 1), ThreadGroup(lu_cb, 7)), ())
+        )
+        with_light = Placement(
+            groups=((ThreadGroup(coremark, 1), ThreadGroup(mcf, 7)), ())
+        )
+        f_heavy = measure_mixed(
+            server, with_heavy, GuardbandMode.OVERCLOCK
+        ).point.socket_point(0).solution.frequencies[0]
+        f_light = measure_mixed(
+            server, with_light, GuardbandMode.OVERCLOCK
+        ).point.socket_point(0).solution.frequencies[0]
+        assert f_light > f_heavy

@@ -1,0 +1,293 @@
+"""Integration tests pinning the paper's headline quantitative claims.
+
+Each test reproduces one published number on the simulated platform and
+asserts the measured value lands in a band around it.  Bands are loose
+enough to survive refactoring but tight enough that a broken model fails.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figures
+from repro.guardband import GuardbandMode
+from repro.workloads import SCALABLE_BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def fig5_undervolt():
+    return figures.fig5_workload_heterogeneity(
+        GuardbandMode.UNDERVOLT, workloads=SCALABLE_BENCHMARKS
+    )
+
+
+@pytest.fixture(scope="module")
+def fig5_overclock():
+    return figures.fig5_workload_heterogeneity(
+        GuardbandMode.OVERCLOCK, workloads=SCALABLE_BENCHMARKS
+    )
+
+
+class TestSection3CoreScaling:
+    """Sec. 3.2: raytrace power saving 13% → 3%; lu_cb boost 10% → 4%."""
+
+    def test_raytrace_one_core_saving_near_13_percent(self):
+        series = figures.fig3_core_scaling_power()
+        assert series.power_saving_percent(0) == pytest.approx(13.0, abs=2.0)
+
+    def test_raytrace_eight_core_saving_near_3_percent(self):
+        series = figures.fig3_core_scaling_power()
+        assert series.power_saving_percent(7) == pytest.approx(3.0, abs=1.8)
+
+    def test_raytrace_chip_power_range_matches_fig3a(self):
+        series = figures.fig3_core_scaling_power()
+        assert series.static_power[0] == pytest.approx(72.0, abs=8.0)
+        assert series.static_power[7] == pytest.approx(140.0, abs=12.0)
+
+    def test_saving_monotone_decreasing(self):
+        series = figures.fig3_core_scaling_power()
+        savings = [series.power_saving_percent(i) for i in range(8)]
+        assert all(b <= a + 0.3 for a, b in zip(savings, savings[1:]))
+
+    def test_edp_improves_most_at_low_core_counts(self):
+        series = figures.fig3_core_scaling_power()
+        edp_gain = [
+            1 - series.adaptive_edp[i] / series.static_edp[i] for i in range(8)
+        ]
+        assert edp_gain[0] > edp_gain[7]
+
+    def test_lu_cb_boost_declines_with_cores(self):
+        series = figures.fig4_core_scaling_frequency()
+        assert series.frequency_boost_percent(0) == pytest.approx(9.0, abs=1.5)
+        assert series.frequency_boost_percent(7) == pytest.approx(5.0, abs=2.0)
+        assert series.frequency_boost_percent(0) > series.frequency_boost_percent(7)
+
+    def test_lu_cb_speedup_tracks_boost(self):
+        """Fig. 4b: 8% speedup at one core, ~3% at eight."""
+        series = figures.fig4_core_scaling_frequency()
+        assert series.speedup_percent(0) == pytest.approx(8.0, abs=1.5)
+        assert series.speedup_percent(7) < series.speedup_percent(0)
+
+
+class TestSection33Heterogeneity:
+    """Sec. 3.3's quoted averages: 13.3% / 10% / 6.4% at 1/2/8 cores."""
+
+    def test_one_core_average_saving(self, fig5_undervolt):
+        assert fig5_undervolt.average(0) == pytest.approx(13.3, abs=1.0)
+
+    def test_one_core_saving_range(self, fig5_undervolt):
+        values = [series[0] for series in fig5_undervolt.improvements.values()]
+        assert min(values) == pytest.approx(10.7, abs=1.5)
+        assert max(values) == pytest.approx(14.8, abs=1.5)
+
+    def test_eight_core_average_saving(self, fig5_undervolt):
+        assert fig5_undervolt.average(7) == pytest.approx(6.4, abs=2.0)
+
+    def test_spread_magnifies_at_eight_cores(self, fig5_undervolt):
+        assert fig5_undervolt.spread(7) > fig5_undervolt.spread(0)
+
+    def test_every_workload_still_improves(self, fig5_undervolt):
+        for series in fig5_undervolt.improvements.values():
+            assert all(v > -0.5 for v in series)
+
+    def test_boost_average_near_9_6_percent(self, fig5_overclock):
+        assert fig5_overclock.average(0) == pytest.approx(9.6, abs=1.0)
+
+    def test_radix_boost_stays_high_at_eight_cores(self, fig5_overclock):
+        assert fig5_overclock.improvements["radix"][7] > 7.0
+
+    def test_lu_cb_boost_drops_hard(self, fig5_overclock):
+        lu_cb = fig5_overclock.improvements["lu_cb"]
+        assert lu_cb[0] - lu_cb[7] > 2.0
+
+
+class TestSection4RootCause:
+    """Sec. 4: CPM sensitivity, drop scaling, decomposition, correlations."""
+
+    def test_cpm_bit_near_21mv(self):
+        result = figures.fig6_cpm_voltage_mapping()
+        assert result.mv_per_bit == pytest.approx(21.0, abs=2.5)
+
+    def test_cpm_mapping_linear(self):
+        result = figures.fig6_cpm_voltage_mapping()
+        assert result.nominal_fit.r_squared > 0.98
+
+    def test_voltage_drop_grows_with_cores(self):
+        drops = figures.fig7_voltage_drop_scaling(workloads=("lu_cb",))["lu_cb"]
+        core0 = drops.drops_percent[0]
+        assert core0[7] > core0[0]
+
+    def test_idle_core_sees_global_drop(self):
+        """Core 7 experiences rising drop while only cores 0-3 run."""
+        drops = figures.fig7_voltage_drop_scaling(workloads=("lu_cb",))["lu_cb"]
+        core7 = drops.drops_percent[7]
+        assert core7[3] > core7[0] - 0.05
+        assert core7[3] > 1.0
+
+    def test_core_activation_bumps_its_own_drop(self):
+        drops = figures.fig7_voltage_drop_scaling(workloads=("lu_cb",))["lu_cb"]
+        core7 = drops.drops_percent[7]
+        jump_when_activated = core7[7] - core7[6]
+        earlier_steps = np.diff(core7[:7])
+        assert jump_when_activated > max(earlier_steps)
+
+    def test_passive_dominates_decomposition(self):
+        series = figures.fig9_drop_decomposition(workloads=("raytrace",))["raytrace"]
+        passive = series.loadline[7] + series.ir_drop[7]
+        noise = series.typical_didt[7] + series.worst_didt[7]
+        assert passive > noise
+
+    def test_typical_didt_shrinks_with_cores(self):
+        series = figures.fig9_drop_decomposition(workloads=("raytrace",))["raytrace"]
+        assert series.typical_didt[7] < series.typical_didt[0]
+
+    def test_passive_grows_with_cores(self):
+        series = figures.fig9_drop_decomposition(workloads=("raytrace",))["raytrace"]
+        assert series.loadline[7] > series.loadline[0]
+        assert series.ir_drop[7] > series.ir_drop[0]
+
+    def test_fig10_power_drop_correlation_strong(self):
+        result = figures.fig10_passive_drop_correlation()
+        assert result.power_vs_drop.r_squared > 0.9
+
+    def test_fig10_undervolt_anticorrelates_with_drop(self):
+        result = figures.fig10_passive_drop_correlation()
+        assert result.drop_vs_undervolt.slope < 0
+
+    def test_fig10_passive_drop_range(self):
+        """Fig. 10a: loadline + IR spans roughly 40-80 mV at eight cores."""
+        result = figures.fig10_passive_drop_correlation()
+        drops = result.column("passive_drop_mv")
+        assert min(drops) > 25
+        assert max(drops) < 110
+
+    def test_fig10_chip_power_range(self):
+        """Fig. 10a: chip power spans roughly 80-140 W at eight cores."""
+        result = figures.fig10_passive_drop_correlation()
+        power = result.column("chip_power")
+        assert min(power) > 70
+        assert max(power) < 160
+
+
+class TestSection5LoadlineBorrowing:
+    """Sec. 5.1: borrowing gains 1.6/4.2/8.5% at 2/4/8 cores; avg 6.2%."""
+
+    def test_fig12_borrowing_gain_grows_with_cores(self):
+        series = figures.fig12_borrowing_scaling()
+        assert series.borrowing_gain_percent(7) > series.borrowing_gain_percent(1)
+
+    def test_fig12_eight_core_gain_substantial(self):
+        series = figures.fig12_borrowing_scaling()
+        assert series.borrowing_gain_percent(7) == pytest.approx(8.5, abs=4.0)
+
+    def test_fig12_borrowing_undervolts_deeper(self):
+        series = figures.fig12_borrowing_scaling()
+        for i in range(1, 8):
+            assert series.borrowing_undervolt_mv[i] > series.baseline_undervolt_mv[i]
+
+    def test_fig13_borrowing_roughly_doubles_improvement(self):
+        series = figures.fig13_borrowing_all_workloads(
+            workloads=("raytrace", "lu_cb", "swaptions", "radix")
+        )
+        baseline = series.average(7, "baseline")
+        borrowing = series.average(7, "borrowing")
+        assert borrowing > 1.5 * baseline
+
+    def test_fig14_mean_power_improvement(self):
+        result = figures.fig14_borrowing_energy()
+        assert result.mean_power_improvement == pytest.approx(6.2, abs=3.0)
+
+    def test_fig14_mean_energy_improvement(self):
+        result = figures.fig14_borrowing_energy()
+        assert result.mean_energy_improvement == pytest.approx(7.7, abs=5.0)
+
+    def test_fig14_sharing_kernels_lose(self):
+        result = figures.fig14_borrowing_energy()
+        losers = {r.workload for r in result.rows[:3]}
+        assert {"lu_ncb", "radiosity"} <= losers
+
+    def test_fig14_bandwidth_kernels_win_big(self):
+        result = figures.fig14_borrowing_energy()
+        winners = {r.workload for r in result.rows[-5:]}
+        assert len(winners & {"radix", "fft", "lbm", "GemsFDTD", "zeusmp"}) >= 4
+        assert result.rows[-1].energy_improvement_percent > 40
+
+    def test_fig14_relief_can_raise_power(self):
+        """The paper's radix/fft observation: borrowing sometimes costs
+        power while still winning energy."""
+        result = figures.fig14_borrowing_energy()
+        radix = result.row("radix")
+        assert radix.power_improvement_percent < 2.0
+        assert radix.energy_improvement_percent > 30.0
+
+
+class TestSection52AdaptiveMapping:
+    """Sec. 5.2: colocation effects, the predictor, WebSearch QoS."""
+
+    def test_fig15_coremark_only_near_4517mhz(self):
+        points = figures.fig15_colocation_frequency(others=("lu_cb",))
+        solo = [p for p in points if p.n_other == 0][0]
+        assert solo.coremark_frequency / 1e6 == pytest.approx(4517, abs=40)
+
+    def test_fig15_lu_cb_drags_frequency_down(self):
+        points = figures.fig15_colocation_frequency(others=("lu_cb",))
+        most_lu = [p for p in points if p.n_coremark == 1][0]
+        solo = [p for p in points if p.n_other == 0][0]
+        assert most_lu.coremark_frequency < solo.coremark_frequency - 20e6
+
+    def test_fig15_mcf_raises_frequency(self):
+        points = figures.fig15_colocation_frequency(others=("mcf",))
+        most_mcf = [p for p in points if p.n_coremark == 1][0]
+        solo = [p for p in points if p.n_other == 0][0]
+        assert most_mcf.coremark_frequency > solo.coremark_frequency + 20e6
+
+    def test_fig15_span_over_100mhz(self):
+        points = figures.fig15_colocation_frequency()
+        freqs = [p.coremark_frequency for p in points]
+        assert max(freqs) - min(freqs) > 100e6
+
+    def test_fig16_rmse_near_paper(self):
+        """The paper quotes 0.3% RMSE for the MIPS-based linear model."""
+        result = figures.fig16_mips_predictor()
+        assert result.relative_rmse < 0.006
+
+    def test_fig16_mips_range(self):
+        result = figures.fig16_mips_predictor()
+        mips = [s.chip_mips for s in result.samples]
+        assert min(mips) < 20_000
+        assert max(mips) > 60_000
+
+    def test_fig17_violation_ordering(self):
+        result = figures.fig17_websearch_qos(n_windows=300)
+        assert (
+            result.violation_rates["heavy"]
+            > result.violation_rates["medium"]
+            >= result.violation_rates["light"]
+        )
+
+    def test_fig17_heavy_violates_hard(self):
+        result = figures.fig17_websearch_qos(n_windows=300)
+        assert result.violation_rates["heavy"] > 0.15
+
+    def test_fig17_light_acceptable(self):
+        result = figures.fig17_websearch_qos(n_windows=300)
+        assert result.violation_rates["light"] < 0.10
+
+    def test_fig17_scheduler_escapes_heavy(self):
+        result = figures.fig17_websearch_qos(n_windows=300)
+        assert result.decisions[0].corunner == "corunner_heavy"
+        assert result.decisions[-1].corunner != "corunner_heavy"
+
+    def test_fig17_tail_latency_improves(self):
+        result = figures.fig17_websearch_qos(n_windows=300)
+        assert result.tail_improvement_percent > 5.0
+
+
+class TestAbstractHeadline:
+    """The abstract's claim: AGS roughly doubles adaptive guardbanding's
+    eight-core improvement on top of a highly optimized system."""
+
+    def test_borrowing_doubles_eight_core_benefit(self):
+        series = figures.fig12_borrowing_scaling()
+        baseline = series.improvement_percent(7, "baseline")
+        borrowing = series.improvement_percent(7, "borrowing")
+        assert borrowing >= 1.8 * baseline

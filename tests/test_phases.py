@@ -1,0 +1,118 @@
+"""Phased workloads and their transient-engine integration."""
+
+import pytest
+
+from repro.errors import ReproError, WorkloadError
+from repro.guardband import GuardbandMode
+from repro.sim.engine import TransientEngine
+from repro.workloads import get_profile
+from repro.workloads.phases import Phase, PhasedWorkload, bursty_envelope
+
+
+@pytest.fixture
+def phased(raytrace):
+    return PhasedWorkload(
+        raytrace,
+        (
+            Phase(duration=0.1, activity_scale=1.2),
+            Phase(duration=0.3, activity_scale=0.5),
+        ),
+    )
+
+
+class TestPhase:
+    def test_rejects_zero_duration(self):
+        with pytest.raises(WorkloadError):
+            Phase(duration=0.0, activity_scale=1.0)
+
+    def test_rejects_zero_scale(self):
+        with pytest.raises(WorkloadError):
+            Phase(duration=1.0, activity_scale=0.0)
+
+
+class TestPhasedWorkload:
+    def test_period_is_sum(self, phased):
+        assert phased.period == pytest.approx(0.4)
+
+    def test_phase_lookup_inside_segments(self, phased):
+        assert phased.phase_at(0.05).activity_scale == 1.2
+        assert phased.phase_at(0.25).activity_scale == 0.5
+
+    def test_envelope_repeats(self, phased):
+        assert phased.phase_at(0.45).activity_scale == 1.2
+        assert phased.phase_at(4.05).activity_scale == 1.2
+
+    def test_boundary_belongs_to_next_phase(self, phased):
+        assert phased.phase_at(0.1).activity_scale == 0.5
+
+    def test_profile_scaling(self, phased, raytrace):
+        burst = phased.profile_at(0.05)
+        assert burst.activity == pytest.approx(raytrace.activity * 1.2)
+        assert burst.ipc == pytest.approx(raytrace.ipc * 1.2)
+
+    def test_mean_activity_scale(self, phased):
+        expected = (0.1 * 1.2 + 0.3 * 0.5) / 0.4
+        assert phased.mean_activity_scale() == pytest.approx(expected)
+
+    def test_rejects_empty_envelope(self, raytrace):
+        with pytest.raises(WorkloadError):
+            PhasedWorkload(raytrace, ())
+
+    def test_rejects_negative_time(self, phased):
+        with pytest.raises(WorkloadError):
+            phased.phase_at(-1.0)
+
+    def test_bursty_envelope_shape(self):
+        phases = bursty_envelope()
+        assert len(phases) == 2
+        assert phases[0].activity_scale > phases[1].activity_scale
+
+
+class TestEngineIntegration:
+    def test_phased_engine_tracks_activity(self, server, raytrace):
+        """The firmware's setpoint follows the phase envelope: lulls allow
+        deeper undervolt than bursts."""
+        phased = PhasedWorkload(
+            raytrace,
+            (
+                Phase(duration=0.32, activity_scale=1.3),
+                Phase(duration=0.32, activity_scale=0.4),
+            ),
+        )
+        engine = TransientEngine(
+            server.sockets[0],
+            GuardbandMode.UNDERVOLT,
+            seed=7,
+            phased_workload=phased,
+            n_threads=4,
+        )
+        results = engine.run(120)
+        burst_power = [
+            r.solution.chip_power
+            for r in results[40:]
+            if phased.phase_at(r.time).activity_scale > 1.0
+        ]
+        lull_power = [
+            r.solution.chip_power
+            for r in results[40:]
+            if phased.phase_at(r.time).activity_scale < 1.0
+        ]
+        assert min(burst_power) > max(lull_power)
+
+    def test_set_occupancy_rescales_noise(self, server):
+        lu_cb = get_profile("lu_cb")
+        engine = TransientEngine(server.sockets[0], GuardbandMode.UNDERVOLT)
+        engine.set_occupancy(lu_cb, 4)
+        scaled = server.sockets[0].path.noise.worst_droop(4)
+        engine.set_occupancy(get_profile("mcf"), 4)
+        light = server.sockets[0].path.noise.worst_droop(4)
+        assert scaled > light
+
+    def test_phased_requires_thread_count(self, server, raytrace):
+        phased = PhasedWorkload(raytrace, bursty_envelope())
+        with pytest.raises(ReproError):
+            TransientEngine(
+                server.sockets[0],
+                GuardbandMode.UNDERVOLT,
+                phased_workload=phased,
+            )

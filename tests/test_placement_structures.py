@@ -1,0 +1,131 @@
+"""Placement data structures and the two batch schedulers."""
+
+import pytest
+
+from repro.core import ConsolidationScheduler, LoadlineBorrowingScheduler
+from repro.core.placement import Placement, ThreadGroup
+from repro.errors import SchedulingError
+
+
+class TestThreadGroup:
+    def test_valid(self, raytrace):
+        assert ThreadGroup(raytrace, 4).n_threads == 4
+
+    def test_rejects_zero_threads(self, raytrace):
+        with pytest.raises(SchedulingError):
+            ThreadGroup(raytrace, 0)
+
+
+class TestPlacement:
+    def test_thread_accounting(self, raytrace):
+        placement = Placement(
+            groups=((ThreadGroup(raytrace, 3),), (ThreadGroup(raytrace, 2),)),
+        )
+        assert placement.threads_on(0) == 3
+        assert placement.threads_on(1) == 2
+        assert placement.total_threads == 5
+
+    def test_share_of_workload(self, raytrace):
+        placement = Placement(
+            groups=((ThreadGroup(raytrace, 3),), (ThreadGroup(raytrace, 2),)),
+        )
+        assert placement.share_of("raytrace").threads_per_socket == (3, 2)
+
+    def test_share_of_missing_workload_raises(self, raytrace):
+        placement = Placement(groups=((ThreadGroup(raytrace, 1),), ()))
+        with pytest.raises(SchedulingError):
+            placement.share_of("lbm")
+
+    def test_workloads_deduplicated(self, raytrace, lu_cb):
+        placement = Placement(
+            groups=(
+                (ThreadGroup(raytrace, 1), ThreadGroup(lu_cb, 1)),
+                (ThreadGroup(raytrace, 1),),
+            ),
+        )
+        assert placement.workloads() == ("raytrace", "lu_cb")
+
+    def test_rejects_keep_on_length_mismatch(self, raytrace):
+        with pytest.raises(SchedulingError):
+            Placement(groups=((ThreadGroup(raytrace, 1),), ()), keep_on=(4,))
+
+    def test_apply_places_and_gates(self, server, raytrace):
+        placement = Placement(
+            groups=((ThreadGroup(raytrace, 2),), ()),
+            keep_on=(4, 0),
+        )
+        placement.apply(server)
+        assert server.sockets[0].chip.n_active_cores() == 2
+        assert sum(1 for c in server.sockets[0].chip.cores if not c.gated) == 4
+        assert all(c.gated for c in server.sockets[1].chip.cores)
+
+    def test_apply_clears_previous_state(self, server, raytrace, lu_cb):
+        Placement(groups=((ThreadGroup(lu_cb, 8),), ())).apply(server)
+        Placement(groups=((ThreadGroup(raytrace, 1),), ())).apply(server)
+        assert server.sockets[0].chip.n_active_cores() == 1
+
+
+class TestConsolidationScheduler:
+    def test_everything_on_socket_zero(self, server_config, raytrace):
+        placement = ConsolidationScheduler(server_config).schedule(raytrace, 5, 8)
+        assert placement.threads_on(0) == 5
+        assert placement.threads_on(1) == 0
+        assert placement.keep_on == (8, 0)
+
+    def test_smt_depth_respected(self, server_config, raytrace):
+        placement = ConsolidationScheduler(server_config).schedule(
+            raytrace, 32, 8, threads_per_core=4
+        )
+        assert placement.threads_on(0) == 32
+        assert placement.threads_per_core == 4
+
+    def test_rejects_more_threads_than_one_socket(self, server_config, raytrace):
+        with pytest.raises(SchedulingError):
+            ConsolidationScheduler(server_config).schedule(raytrace, 9)
+
+    def test_rejects_reserve_smaller_than_load(self, server_config, raytrace):
+        with pytest.raises(SchedulingError):
+            ConsolidationScheduler(server_config).schedule(raytrace, 6, total_cores_on=4)
+
+    def test_rejects_reserve_exceeding_socket(self, server_config, raytrace):
+        with pytest.raises(SchedulingError):
+            ConsolidationScheduler(server_config).schedule(raytrace, 2, total_cores_on=12)
+
+
+class TestLoadlineBorrowingScheduler:
+    def test_even_split(self, server_config, raytrace):
+        placement = LoadlineBorrowingScheduler(server_config).schedule(raytrace, 8, 8)
+        assert placement.threads_on(0) == 4
+        assert placement.threads_on(1) == 4
+        assert placement.keep_on == (4, 4)
+
+    def test_odd_split_front_loaded(self, server_config, raytrace):
+        placement = LoadlineBorrowingScheduler(server_config).schedule(raytrace, 5, 8)
+        assert placement.threads_on(0) == 3
+        assert placement.threads_on(1) == 2
+
+    def test_single_thread_stays_on_socket_zero(self, server_config, raytrace):
+        placement = LoadlineBorrowingScheduler(server_config).schedule(raytrace, 1, 8)
+        assert placement.threads_on(0) == 1
+        assert placement.threads_on(1) == 0
+        assert placement.keep_on == (4, 4)
+
+    def test_smt_fig14_shape(self, server_config, raytrace):
+        """32 threads borrow as 16+16 at SMT4: four busy cores per socket."""
+        placement = LoadlineBorrowingScheduler(server_config).schedule(
+            raytrace, 32, 8, threads_per_core=4
+        )
+        assert placement.threads_on(0) == 16
+        assert placement.keep_on == (4, 4)
+
+    def test_rejects_impossible_reserve(self, server_config, raytrace):
+        with pytest.raises(SchedulingError):
+            LoadlineBorrowingScheduler(server_config).schedule(
+                raytrace, 2, total_cores_on=99
+            )
+
+    def test_rejects_threads_beyond_reserve(self, server_config, raytrace):
+        with pytest.raises(SchedulingError):
+            LoadlineBorrowingScheduler(server_config).schedule(
+                raytrace, 16, total_cores_on=8
+            )

@@ -1,0 +1,79 @@
+"""The MIPS-based frequency predictor."""
+
+import pytest
+
+from repro.core import MipsFrequencyPredictor, PredictorSample
+from repro.errors import SchedulingError
+
+
+def _samples():
+    """A clean linear relation: f = 4.62 GHz - 2000 Hz/MIPS."""
+    return [
+        PredictorSample(chip_mips=m, frequency=4.62e9 - 2000.0 * m, workload=f"w{m}")
+        for m in (10_000, 20_000, 40_000, 60_000, 80_000)
+    ]
+
+
+class TestFitting:
+    def test_recovers_exact_line(self):
+        predictor = MipsFrequencyPredictor().fit(_samples())
+        assert predictor.slope == pytest.approx(-2000.0, rel=1e-9)
+        assert predictor.intercept == pytest.approx(4.62e9, rel=1e-9)
+
+    def test_rmse_zero_on_exact_data(self):
+        predictor = MipsFrequencyPredictor().fit(_samples())
+        assert predictor.rmse() == pytest.approx(0.0, abs=1e-9)
+
+    def test_rmse_on_noisy_data(self):
+        noisy = list(_samples())
+        noisy[0] = PredictorSample(chip_mips=10_000, frequency=4.62e9 - 2000 * 10_000 + 50e6)
+        predictor = MipsFrequencyPredictor().fit(noisy)
+        assert predictor.rmse() > 0
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(SchedulingError):
+            MipsFrequencyPredictor().fit(_samples()[:1])
+
+    def test_fit_returns_self(self):
+        predictor = MipsFrequencyPredictor()
+        assert predictor.fit(_samples()) is predictor
+
+
+class TestPrediction:
+    def test_predict_interpolates(self):
+        predictor = MipsFrequencyPredictor().fit(_samples())
+        assert predictor.predict(30_000) == pytest.approx(4.62e9 - 6.0e7)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(SchedulingError):
+            MipsFrequencyPredictor().predict(1000)
+
+    def test_rejects_negative_mips(self):
+        predictor = MipsFrequencyPredictor().fit(_samples())
+        with pytest.raises(SchedulingError):
+            predictor.predict(-1.0)
+
+    def test_fitted_flag(self):
+        predictor = MipsFrequencyPredictor()
+        assert not predictor.fitted
+        predictor.fit(_samples())
+        assert predictor.fitted
+
+
+class TestMipsBudget:
+    def test_budget_inverts_prediction(self):
+        predictor = MipsFrequencyPredictor().fit(_samples())
+        budget = predictor.max_mips_for(4.5e9)
+        assert predictor.predict(budget) == pytest.approx(4.5e9)
+
+    def test_higher_frequency_smaller_budget(self):
+        predictor = MipsFrequencyPredictor().fit(_samples())
+        assert predictor.max_mips_for(4.55e9) < predictor.max_mips_for(4.45e9)
+
+    def test_budget_rejects_positive_slope(self):
+        rising = [
+            PredictorSample(chip_mips=m, frequency=4.2e9 + m) for m in (1e3, 2e3, 3e3)
+        ]
+        predictor = MipsFrequencyPredictor().fit(rising)
+        with pytest.raises(SchedulingError):
+            predictor.max_mips_for(4.3e9)

@@ -1,0 +1,67 @@
+"""QoS spec and monitor."""
+
+import pytest
+
+from repro.core import QosMonitor, QosSpec
+from repro.errors import SchedulingError
+
+
+class TestQosSpec:
+    def test_paper_defaults(self):
+        spec = QosSpec()
+        assert spec.latency_target == 0.5
+        assert spec.percentile == 90.0
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(SchedulingError):
+            QosSpec(latency_target=0.0)
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(SchedulingError):
+            QosSpec(percentile=100.0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(SchedulingError):
+            QosSpec(violation_threshold=1.5)
+
+
+class TestQosMonitor:
+    def test_empty_monitor_not_violated(self):
+        monitor = QosMonitor(QosSpec())
+        assert monitor.violation_rate() == 0.0
+        assert not monitor.violated()
+
+    def test_violation_rate_counts_exceedances(self):
+        monitor = QosMonitor(QosSpec(latency_target=0.5))
+        monitor.record_many([0.4, 0.6, 0.4, 0.7])
+        assert monitor.violation_rate() == pytest.approx(0.5)
+
+    def test_exactly_at_target_is_not_violation(self):
+        monitor = QosMonitor(QosSpec(latency_target=0.5))
+        monitor.record(0.5)
+        assert monitor.violation_rate() == 0.0
+
+    def test_violated_uses_threshold(self):
+        monitor = QosMonitor(QosSpec(latency_target=0.5, violation_threshold=0.25))
+        monitor.record_many([0.6, 0.4, 0.4, 0.4])
+        assert not monitor.violated()  # exactly 0.25 is not above
+        monitor.record(0.6)
+        assert monitor.violated()
+
+    def test_horizon_slides(self):
+        monitor = QosMonitor(QosSpec(latency_target=0.5), horizon=4)
+        monitor.record_many([0.9] * 10)
+        monitor.record_many([0.1] * 4)
+        assert monitor.violation_rate() == 0.0
+
+    def test_reset_forgets(self):
+        monitor = QosMonitor(QosSpec())
+        monitor.record_many([0.9, 0.9])
+        monitor.reset()
+        assert monitor.n_windows == 0
+        assert monitor.violation_rate() == 0.0
+
+    def test_rejects_negative_latency(self):
+        monitor = QosMonitor(QosSpec())
+        with pytest.raises(SchedulingError):
+            monitor.record(-0.1)

@@ -1,0 +1,126 @@
+"""High-level measurement helpers and result containers."""
+
+import pytest
+
+from repro.guardband import GuardbandMode
+from repro.sim.run import core_scaling_sweep, measure_consolidated, measure_placement
+from repro.workloads.scaling import SocketShare
+
+
+class TestMeasureConsolidated:
+    def test_pairs_static_and_adaptive(self, server, raytrace):
+        result = measure_consolidated(server, raytrace, 2, GuardbandMode.UNDERVOLT)
+        assert result.static.mode is GuardbandMode.STATIC
+        assert result.adaptive.mode is GuardbandMode.UNDERVOLT
+        assert result.n_active_cores == 2
+
+    def test_undervolt_saves_power(self, server, raytrace):
+        result = measure_consolidated(server, raytrace, 2, GuardbandMode.UNDERVOLT)
+        assert 0 < result.power_saving_fraction < 0.25
+
+    def test_overclock_boosts_frequency(self, server, raytrace):
+        result = measure_consolidated(server, raytrace, 2, GuardbandMode.OVERCLOCK)
+        assert 0 < result.frequency_boost_fraction < 0.12
+
+    def test_execution_time_attached(self, server, raytrace):
+        result = measure_consolidated(server, raytrace, 2, GuardbandMode.OVERCLOCK)
+        assert result.static.execution_time > 0
+        assert result.adaptive.execution_time < result.static.execution_time
+
+    def test_energy_and_edp_derived(self, server, raytrace):
+        result = measure_consolidated(server, raytrace, 2, GuardbandMode.UNDERVOLT)
+        state = result.adaptive
+        assert state.energy == pytest.approx(state.chip_power * state.execution_time)
+        assert state.edp == pytest.approx(state.energy * state.execution_time)
+
+    def test_smt_stacking_supported(self, server, raytrace):
+        result = measure_consolidated(
+            server, raytrace, 8, GuardbandMode.UNDERVOLT, threads_per_core=4
+        )
+        assert result.n_active_cores == 2
+
+
+class TestCoreScalingSweep:
+    def test_sweep_length(self, server, raytrace):
+        results = core_scaling_sweep(
+            server, raytrace, GuardbandMode.UNDERVOLT, core_counts=(1, 4, 8)
+        )
+        assert [r.n_active_cores for r in results] == [1, 4, 8]
+
+    def test_power_monotone_in_cores(self, server, raytrace):
+        results = core_scaling_sweep(
+            server, raytrace, GuardbandMode.UNDERVOLT, core_counts=(1, 4, 8)
+        )
+        powers = [r.static.chip_power for r in results]
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_saving_decays_with_cores(self, server, raytrace):
+        """The paper's central Sec. 3 observation."""
+        results = core_scaling_sweep(
+            server, raytrace, GuardbandMode.UNDERVOLT, core_counts=(1, 8)
+        )
+        assert results[0].power_saving_fraction > results[1].power_saving_fraction
+
+
+class TestMeasurePlacement:
+    def test_balanced_placement_uses_both_sockets(self, server, raytrace):
+        result = measure_placement(
+            server,
+            raytrace,
+            SocketShare.balanced(4),
+            GuardbandMode.UNDERVOLT,
+            keep_on=[4, 4],
+        )
+        assert result.n_active_cores == 4
+        for socket in server.sockets:
+            assert socket.chip.n_active_cores() == 2
+
+    def test_keep_on_gates_spares(self, server, raytrace):
+        measure_placement(
+            server,
+            raytrace,
+            SocketShare.consolidated(2),
+            GuardbandMode.UNDERVOLT,
+            keep_on=[8, 0],
+        )
+        assert all(c.gated for c in server.sockets[1].chip.cores)
+
+    def test_borrowing_beats_consolidation_at_full_load(self, server, raytrace):
+        """The headline Sec. 5.1 effect, end to end."""
+        cons = measure_placement(
+            server,
+            raytrace,
+            SocketShare.consolidated(8),
+            GuardbandMode.UNDERVOLT,
+            keep_on=[8, 0],
+        )
+        borr = measure_placement(
+            server,
+            raytrace,
+            SocketShare.balanced(8),
+            GuardbandMode.UNDERVOLT,
+            keep_on=[4, 4],
+        )
+        assert borr.adaptive.chip_power < cons.adaptive.chip_power
+
+
+class TestRunResultGuards:
+    def test_speedup_requires_runtimes(self, server, raytrace):
+        from repro.sim.results import RunResult, SteadyState
+
+        result = measure_consolidated(server, raytrace, 1, GuardbandMode.OVERCLOCK)
+        stripped = RunResult(
+            profile=result.profile,
+            n_active_cores=1,
+            static=SteadyState(
+                workload="raytrace",
+                mode=GuardbandMode.STATIC,
+                n_active_cores=1,
+                point=result.static.point,
+            ),
+            adaptive=result.adaptive,
+        )
+        with pytest.raises(ValueError):
+            stripped.speedup_fraction
+        assert stripped.static.energy is None
+        assert stripped.static.edp is None

@@ -1,0 +1,203 @@
+"""Runtime model: Amdahl, contention, sharing, frequency speedup."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import get_profile
+from repro.workloads.scaling import (
+    SOCKET_BANDWIDTH,
+    STALL_POWER_FRACTION,
+    RuntimeModel,
+    SocketShare,
+)
+
+
+@pytest.fixture
+def runtime():
+    return RuntimeModel()
+
+
+class TestSocketShare:
+    def test_consolidated(self):
+        share = SocketShare.consolidated(6)
+        assert share.threads_per_socket == (6, 0)
+        assert share.n_sockets_used == 1
+
+    def test_balanced_even(self):
+        assert SocketShare.balanced(8).threads_per_socket == (4, 4)
+
+    def test_balanced_odd(self):
+        assert SocketShare.balanced(5).threads_per_socket == (3, 2)
+
+    def test_total(self):
+        assert SocketShare((3, 2)).total == 5
+
+    def test_rejects_empty_placement(self):
+        with pytest.raises(WorkloadError):
+            SocketShare((0, 0))
+
+    def test_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            SocketShare((-1, 2))
+
+
+class TestAmdahl:
+    def test_single_thread_factor_one(self, runtime, raytrace):
+        assert runtime.amdahl_factor(raytrace, 1) == pytest.approx(1.0)
+
+    def test_eight_threads_near_eighth(self, runtime, raytrace):
+        factor = runtime.amdahl_factor(raytrace, 8)
+        s = raytrace.serial_fraction
+        assert factor == pytest.approx(s + (1 - s) / 8)
+
+    def test_spec_copies_do_not_scale(self, runtime):
+        mcf = get_profile("mcf")
+        assert runtime.amdahl_factor(mcf, 8) == 1.0
+
+    def test_rejects_zero_threads(self, runtime, raytrace):
+        with pytest.raises(WorkloadError):
+            runtime.amdahl_factor(raytrace, 0)
+
+
+class TestContention:
+    def test_light_bandwidth_no_contention(self, runtime):
+        swaptions = get_profile("swaptions")
+        share = SocketShare.consolidated(8)
+        assert runtime.contention_factor(swaptions, share) == 1.0
+
+    def test_eight_single_threads_fit_in_one_socket(self, runtime):
+        """Fig. 13's regime: no scalable workload saturates at 1 thread/core."""
+        for name in ("radix", "fft", "ocean_cp"):
+            profile = get_profile(name)
+            share = SocketShare.consolidated(8)
+            assert runtime.contention_factor(profile, share) == pytest.approx(
+                1.0, abs=0.15
+            )
+
+    def test_32_smt_threads_saturate(self, runtime):
+        """Fig. 14's regime: SMT4 consolidation oversubscribes bandwidth."""
+        radix = get_profile("radix")
+        share = SocketShare.consolidated(32)
+        assert runtime.contention_factor(radix, share, threads_per_core=4) > 1.3
+
+    def test_spreading_relieves_contention(self, runtime):
+        radix = get_profile("radix")
+        cons = runtime.contention_factor(
+            radix, SocketShare.consolidated(32), threads_per_core=4
+        )
+        spread = runtime.contention_factor(
+            radix, SocketShare.balanced(32), threads_per_core=4
+        )
+        assert spread < cons
+
+    def test_worst_socket_paces_execution(self, runtime):
+        lbm = get_profile("lbm")
+        skewed = runtime.contention_factor(lbm, SocketShare((8, 1)))
+        balanced = runtime.contention_factor(lbm, SocketShare((5, 4)))
+        assert skewed > balanced
+
+    def test_rejects_zero_threads_per_core(self, runtime, raytrace):
+        with pytest.raises(WorkloadError):
+            runtime.contention_factor(
+                raytrace, SocketShare.consolidated(8), threads_per_core=0
+            )
+
+
+class TestSharing:
+    def test_one_socket_no_penalty(self, runtime):
+        lu_ncb = get_profile("lu_ncb")
+        assert runtime.sharing_factor(lu_ncb, SocketShare.consolidated(8)) == 1.0
+
+    def test_splitting_sharing_heavy_kernel_costs_over_20pct(self, runtime):
+        """Fig. 14: lu_ncb and radiosity lose >20% when split."""
+        lu_ncb = get_profile("lu_ncb")
+        assert runtime.sharing_factor(lu_ncb, SocketShare.balanced(8)) > 1.20
+
+    def test_independent_copies_pay_nothing(self, runtime):
+        mcf = get_profile("mcf")
+        assert runtime.sharing_factor(mcf, SocketShare.balanced(8)) == 1.0
+
+
+class TestFrequencySpeedup:
+    def test_core_bound_scales_one_to_one(self, runtime):
+        swaptions = get_profile("swaptions")
+        speedup = runtime.frequency_speedup(swaptions, 4.62e9, 4.2e9)
+        assert speedup == pytest.approx(1.0 + swaptions.frequency_sensitivity * 0.1)
+
+    def test_memory_bound_barely_moves(self, runtime):
+        mcf = get_profile("mcf")
+        speedup = runtime.frequency_speedup(mcf, 4.62e9, 4.2e9)
+        assert 1.0 < speedup < 1.03
+
+    def test_lu_cb_paper_speedup_anchor(self, runtime, lu_cb):
+        """Fig. 4b: a 10% clock boost gives lu_cb about 8-9% speedup."""
+        speedup = runtime.frequency_speedup(lu_cb, 4.62e9, 4.2e9)
+        assert speedup == pytest.approx(1.09, abs=0.01)
+
+    def test_rejects_nonpositive_frequency(self, runtime, raytrace):
+        with pytest.raises(WorkloadError):
+            runtime.frequency_speedup(raytrace, 0.0, 4.2e9)
+
+
+class TestExecutionTime:
+    def test_more_threads_faster(self, runtime, raytrace):
+        t1 = runtime.execution_time(raytrace, SocketShare.consolidated(1), 4.2e9, 4.2e9)
+        t8 = runtime.execution_time(raytrace, SocketShare.consolidated(8), 4.2e9, 4.2e9)
+        assert t8 < t1 / 5
+
+    def test_higher_frequency_faster(self, runtime, raytrace):
+        share = SocketShare.consolidated(4)
+        slow = runtime.execution_time(raytrace, share, 4.2e9, 4.2e9)
+        fast = runtime.execution_time(raytrace, share, 4.5e9, 4.2e9)
+        assert fast < slow
+
+    def test_reference_point_is_t1(self, runtime, raytrace):
+        t = runtime.execution_time(raytrace, SocketShare.consolidated(1), 4.2e9, 4.2e9)
+        assert t == pytest.approx(raytrace.t1_seconds)
+
+
+class TestEffectiveActivityAndMips:
+    def test_uncontended_activity_unchanged(self, runtime, raytrace):
+        share = SocketShare.consolidated(4)
+        assert runtime.effective_activity(raytrace, share) == pytest.approx(
+            raytrace.activity
+        )
+
+    def test_contended_activity_floor(self, runtime):
+        """Even a starved workload keeps the stall-power fraction alive."""
+        radix = get_profile("radix")
+        share = SocketShare.consolidated(32)
+        activity = runtime.effective_activity(radix, share, threads_per_core=4)
+        assert activity > radix.activity * STALL_POWER_FRACTION
+        assert activity < radix.activity
+
+    def test_effective_mips_conserves_instructions(self, runtime, raytrace):
+        share = SocketShare.consolidated(4)
+        mips = runtime.effective_mips(raytrace, share, [4.2e9, 4.2e9])
+        assert mips == pytest.approx(4 * raytrace.mips_per_thread(4.2e9))
+
+    def test_contention_divides_mips(self, runtime):
+        radix = get_profile("radix")
+        share = SocketShare.consolidated(32)
+        stretched = runtime.effective_mips(
+            radix, share, [4.2e9, 4.2e9], threads_per_core=4
+        )
+        ideal = 32 * radix.mips_per_thread(4.2e9)
+        assert stretched < ideal
+
+    def test_mips_rejects_wrong_frequency_count(self, runtime, raytrace):
+        with pytest.raises(WorkloadError):
+            runtime.effective_mips(raytrace, SocketShare.consolidated(4), [4.2e9])
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(WorkloadError):
+            RuntimeModel(socket_bandwidth=0.0)
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(WorkloadError):
+            RuntimeModel(cross_socket_penalty=-0.1)
+
+    def test_default_bandwidth_constant(self):
+        assert SOCKET_BANDWIDTH == 70.0

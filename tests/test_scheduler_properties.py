@@ -1,0 +1,108 @@
+"""Property-based tests on scheduler invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ServerConfig
+from repro.core import (
+    ClusterScheduler,
+    ConsolidationScheduler,
+    Job,
+    LoadlineBorrowingScheduler,
+)
+from repro.errors import SchedulingError
+from repro.workloads import SCALABLE_BENCHMARKS, get_profile
+
+CONFIG = ServerConfig()
+
+workload_names = st.sampled_from(list(SCALABLE_BENCHMARKS))
+thread_counts = st.integers(min_value=1, max_value=8)
+
+
+class TestBatchSchedulerProperties:
+    @given(name=workload_names, n_threads=thread_counts)
+    @settings(max_examples=60)
+    def test_consolidation_conserves_threads(self, name, n_threads):
+        placement = ConsolidationScheduler(CONFIG).schedule(
+            get_profile(name), n_threads
+        )
+        assert placement.total_threads == n_threads
+        assert placement.threads_on(1) == 0
+
+    @given(name=workload_names, n_threads=thread_counts)
+    @settings(max_examples=60)
+    def test_borrowing_conserves_and_balances(self, name, n_threads):
+        placement = LoadlineBorrowingScheduler(CONFIG).schedule(
+            get_profile(name), n_threads
+        )
+        assert placement.total_threads == n_threads
+        imbalance = abs(placement.threads_on(0) - placement.threads_on(1))
+        assert imbalance <= 1
+
+    @given(name=workload_names, n_threads=thread_counts)
+    @settings(max_examples=60)
+    def test_both_keep_same_powered_core_budget(self, name, n_threads):
+        profile = get_profile(name)
+        cons = ConsolidationScheduler(CONFIG).schedule(profile, n_threads, 8)
+        borrow = LoadlineBorrowingScheduler(CONFIG).schedule(profile, n_threads, 8)
+        assert sum(cons.keep_on) == sum(borrow.keep_on) == 8
+
+
+class TestClusterSchedulerProperties:
+    @given(
+        jobs=st.lists(
+            st.tuples(workload_names, st.integers(min_value=1, max_value=12)),
+            min_size=1,
+            max_size=6,
+        ),
+        across=st.sampled_from(["consolidate", "spread"]),
+        within=st.sampled_from(["borrowing", "consolidation"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_plan_invariants(self, jobs, across, within):
+        scheduler = ClusterScheduler(CONFIG, n_servers=4)
+        job_objects = [Job(get_profile(name), n) for name, n in jobs]
+        total_demand = sum(j.n_threads for j in job_objects)
+        try:
+            plan = scheduler.schedule(job_objects, within=within, across=across)
+        except SchedulingError:
+            # Legitimate only under genuine pressure: when a job fails to
+            # fit, every server already holds more than (capacity - s)
+            # threads, so total demand must exceed 4*capacity - 3*s — the
+            # bin-packing fragmentation bound.
+            max_job = max(j.n_threads for j in job_objects)
+            cluster_capacity = scheduler.server_capacity * 4
+            assert (
+                max_job > scheduler.server_capacity
+                or total_demand > cluster_capacity - 3 * max_job
+            )
+            return
+        # Every thread placed exactly once.
+        placed = sum(
+            placement.total_threads
+            for placement in plan.placements
+            if placement is not None
+        )
+        assert placed == total_demand
+        # No server over capacity.
+        for placement in plan.placements:
+            if placement is not None:
+                assert placement.total_threads <= scheduler.server_capacity
+        # Powered-off servers host nothing.
+        for jobs_on, placement in zip(plan.assignments, plan.placements):
+            assert (placement is None) == (not jobs_on)
+
+    @given(
+        jobs=st.lists(
+            st.tuples(workload_names, st.integers(min_value=1, max_value=8)),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_consolidate_never_uses_more_servers_than_spread(self, jobs):
+        scheduler = ClusterScheduler(CONFIG, n_servers=4)
+        job_objects = [Job(get_profile(name), n) for name, n in jobs]
+        packed = scheduler.schedule(job_objects, across="consolidate")
+        spread = scheduler.schedule(job_objects, across="spread")
+        assert packed.n_servers_on <= spread.n_servers_on

@@ -1,0 +1,67 @@
+"""The calibration self-check and the markdown report generator."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.report import generate_report
+from repro.analysis.selfcheck import AnchorCheck, run_selfcheck
+from repro.config import PdnConfig, ServerConfig
+
+
+class TestAnchorCheck:
+    def test_pass_inside_band(self):
+        check = AnchorCheck("x", "Fig. 0", expected=10.0, measured=11.0, tolerance=2.0)
+        assert check.passed
+
+    def test_fail_outside_band(self):
+        check = AnchorCheck("x", "Fig. 0", expected=10.0, measured=13.0, tolerance=2.0)
+        assert not check.passed
+
+    def test_str_contains_verdict(self):
+        check = AnchorCheck("x", "Fig. 0", expected=10.0, measured=13.0, tolerance=2.0)
+        assert "FAIL" in str(check)
+
+
+class TestSelfCheck:
+    def test_default_configuration_passes(self):
+        report = run_selfcheck()
+        assert report.passed, [str(c) for c in report.failures()]
+
+    def test_progress_callback_invoked(self):
+        messages = []
+        run_selfcheck(progress=messages.append)
+        assert len(messages) >= 5
+
+    def test_detuned_platform_fails(self):
+        """Tripling the loadline must blow several anchors — the check is
+        actually sensitive to the calibration."""
+        base = PdnConfig()
+        config = ServerConfig(
+            pdn=dataclasses.replace(base, r_loadline=base.r_loadline * 3)
+        )
+        report = run_selfcheck(config)
+        assert not report.passed
+        assert report.failures()
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report_text(self):
+        return generate_report()
+
+    def test_contains_every_section(self, report_text):
+        for section in ("Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 9",
+                        "Fig. 12", "Fig. 14", "Fig. 16", "Fig. 17"):
+            assert section in report_text
+
+    def test_is_markdown_tables(self, report_text):
+        assert report_text.count("|---|") >= 5
+
+    def test_quotes_paper_values(self, report_text):
+        assert "Paper:" in report_text
+        assert "0.3%" in report_text
+
+    def test_mentions_all_corunners(self, report_text):
+        for level in ("light", "medium", "heavy"):
+            assert level in report_text

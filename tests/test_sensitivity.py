@@ -1,0 +1,87 @@
+"""Parameter sensitivity (tornado) analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SWEPT_PARAMETERS,
+    _perturbed_config,
+    saving_metric,
+    tornado,
+    tornado_table,
+)
+from repro.config import PdnConfig
+from repro.errors import ReproError
+
+
+class TestPerturbedConfig:
+    def test_pdn_parameter_scaled(self):
+        config = _perturbed_config("r_loadline", 1.5)
+        assert config.pdn.r_loadline == pytest.approx(PdnConfig().r_loadline * 1.5)
+
+    def test_didt_parameter_scaled(self):
+        config = _perturbed_config("droop_single_core", 0.5)
+        assert config.pdn.didt.droop_single_core == pytest.approx(
+            PdnConfig().didt.droop_single_core * 0.5
+        )
+
+    def test_other_parameters_untouched(self):
+        config = _perturbed_config("r_loadline", 1.5)
+        assert config.pdn.r_ir_local == PdnConfig().r_ir_local
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ReproError):
+            _perturbed_config("flux_capacitance", 1.5)
+
+
+class TestTornado:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return tornado(metric=saving_metric(2), scale=0.25)
+
+    def test_covers_all_parameters(self, rows):
+        assert {r.parameter for r in rows} == set(SWEPT_PARAMETERS)
+
+    def test_sorted_by_swing(self, rows):
+        swings = [r.swing for r in rows]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_major_parameters_matter(self, rows):
+        """The drop-dominant parameters move the metric well beyond one
+        VRM quantization step."""
+        by_name = {r.parameter: r for r in rows}
+        for name in ("droop_single_core", "r_loadline", "ripple_single_core"):
+            assert by_name[name].swing > 0.5, name
+
+    def test_alignment_matters_at_high_core_count(self):
+        """droop_alignment_gain only bites when many cores are active —
+        sub-quantum at two cores (the VRM steps in 6.25 mV), decisive at
+        eight."""
+        rows = tornado(
+            metric=saving_metric(8),
+            parameters=("droop_alignment_gain",),
+            scale=0.25,
+        )
+        assert rows[0].swing > 0.5
+
+    def test_resistances_pull_saving_down(self, rows):
+        by_name = {r.parameter: r for r in rows}
+        loadline = by_name["r_loadline"]
+        assert loadline.high < loadline.low  # more resistance, less saving
+
+    def test_nominal_consistent_across_rows(self, rows):
+        nominals = {round(r.nominal, 6) for r in rows}
+        assert len(nominals) == 1
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ReproError):
+            tornado(scale=0.0)
+
+
+class TestTable:
+    def test_renders_all_rows(self):
+        rows = tornado(
+            metric=saving_metric(1), parameters=("r_loadline",), scale=0.25
+        )
+        text = tornado_table(rows)
+        assert "r_loadline" in text
+        assert "swing" in text

@@ -1,0 +1,120 @@
+"""Power720Server: placement, gating, noise scaling, operation."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.guardband import GuardbandMode
+from repro.workloads import get_profile
+
+
+class TestPlacement:
+    def test_place_fills_cores_in_order(self, server, raytrace):
+        server.place(0, raytrace, 3)
+        assert server.sockets[0].chip.active_core_ids() == [0, 1, 2]
+
+    def test_place_smt_stacking(self, server, raytrace):
+        server.place(0, raytrace, 8, threads_per_core=4)
+        chip = server.sockets[0].chip
+        assert chip.active_core_ids() == [0, 1]
+        assert chip.cores[0].n_threads == 4
+
+    def test_place_zero_threads_noop(self, server, raytrace):
+        server.place(0, raytrace, 0)
+        assert server.sockets[0].chip.n_active_cores() == 0
+
+    def test_rejects_overflow(self, server, raytrace):
+        with pytest.raises(SchedulingError):
+            server.place(0, raytrace, 9, threads_per_core=1)
+
+    def test_rejects_bad_socket(self, server, raytrace):
+        with pytest.raises(SchedulingError):
+            server.place(5, raytrace, 1)
+
+    def test_rejects_bad_smt_depth(self, server, raytrace):
+        with pytest.raises(SchedulingError):
+            server.place(0, raytrace, 1, threads_per_core=5)
+
+    def test_clear_resets_everything(self, server, raytrace):
+        server.place(0, raytrace, 4)
+        server.gate_unused([4, 0])
+        server.clear()
+        for socket in server.sockets:
+            assert socket.chip.n_active_cores() == 0
+            assert all(not c.gated for c in socket.chip.cores)
+
+    def test_placed_profiles_tracked(self, server, raytrace):
+        server.place(0, raytrace, 2)
+        assert [p.name for p in server.placed_profiles(0)] == ["raytrace"] * 2
+
+    def test_place_per_core(self, server, raytrace):
+        lu_cb = get_profile("lu_cb")
+        server.place_per_core(0, [raytrace, lu_cb, lu_cb])
+        chip = server.sockets[0].chip
+        assert chip.cores[0].threads[0].workload == "raytrace"
+        assert chip.cores[1].threads[0].workload == "lu_cb"
+
+    def test_place_per_core_rejects_too_many(self, server, raytrace):
+        with pytest.raises(SchedulingError):
+            server.place_per_core(0, [raytrace] * 9)
+
+
+class TestGating:
+    def test_gate_unused_per_socket(self, server, raytrace):
+        server.place(0, raytrace, 2)
+        server.gate_unused([4, 0])
+        assert sum(1 for c in server.sockets[0].chip.cores if not c.gated) == 4
+        assert all(c.gated for c in server.sockets[1].chip.cores)
+
+    def test_gate_unused_rejects_wrong_length(self, server):
+        with pytest.raises(SchedulingError):
+            server.gate_unused([4])
+
+
+class TestNoiseScaling:
+    def test_noise_follows_workload(self, server):
+        lu_cb = get_profile("lu_cb")
+        server.place(0, lu_cb, 4)
+        scaled = server.sockets[0].path.noise.worst_droop(4)
+        server.clear()
+        mcf = get_profile("mcf")
+        server.place(0, mcf, 4)
+        light = server.sockets[0].path.noise.worst_droop(4)
+        assert scaled > light
+
+    def test_clear_restores_default_noise(self, server, pdn_config):
+        lu_cb = get_profile("lu_cb")
+        server.place(0, lu_cb, 4)
+        server.clear()
+        noise = server.sockets[0].path.noise
+        assert noise.worst_droop(1) == pytest.approx(
+            pdn_config.didt.droop_single_core
+        )
+
+
+class TestOperate:
+    def test_operates_both_sockets(self, server, raytrace):
+        server.place(0, raytrace, 2)
+        point = server.operate(GuardbandMode.STATIC)
+        assert len(point.sockets) == 2
+
+    def test_chip_power_sums_sockets(self, server, raytrace):
+        server.place(0, raytrace, 2)
+        point = server.operate(GuardbandMode.STATIC)
+        assert point.chip_power == pytest.approx(
+            sum(p.chip_power for p in point.sockets)
+        )
+
+    def test_server_power_adds_peripherals(self, server, raytrace, server_config):
+        server.place(0, raytrace, 2)
+        point = server.operate(GuardbandMode.STATIC)
+        assert point.server_power == pytest.approx(
+            point.chip_power + server_config.peripheral_power
+        )
+
+    def test_min_frequency_across_sockets(self, server, raytrace):
+        server.place(0, raytrace, 2)
+        point = server.operate(GuardbandMode.OVERCLOCK)
+        freqs = []
+        for sp in point.sockets:
+            freqs.extend(sp.solution.frequencies)
+        assert point.min_frequency == min(freqs)

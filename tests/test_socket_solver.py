@@ -1,0 +1,132 @@
+"""The socket electrical fixed point: convergence, consistency, servo."""
+
+import pytest
+
+from repro.chip.core import HardwareThread
+from repro.guardband.calibration import calibrated_margin
+
+
+def _load_socket(server, n_threads, activity=1.0, ipc=1.8):
+    socket = server.sockets[0]
+    for core_id in range(n_threads):
+        socket.chip.cores[core_id].place(
+            HardwareThread(workload="w", activity=activity, ipc=ipc)
+        )
+    return socket
+
+
+class TestFixedPoint:
+    def test_converges_idle(self, server):
+        socket = server.sockets[0]
+        socket.path.set_voltage(1.2375)
+        solution = socket.solve(frequencies=[4.2e9] * 8)
+        assert solution.iterations < 100
+
+    def test_converges_full_load(self, server):
+        socket = _load_socket(server, 8)
+        socket.path.set_voltage(1.2375)
+        solution = socket.solve(frequencies=[4.2e9] * 8)
+        assert solution.iterations < 100
+
+    def test_solution_self_consistent(self, server):
+        """Re-evaluating power at the settled voltages reproduces the
+        solution's power (the fixed point actually holds)."""
+        socket = _load_socket(server, 4)
+        socket.path.set_voltage(1.2375)
+        solution = socket.solve(frequencies=[4.2e9] * 8)
+        power = socket.chip.power(solution.core_voltages, solution.temperature)
+        assert power.total == pytest.approx(solution.die_power, rel=1e-3)
+
+    def test_voltages_below_setpoint(self, server):
+        socket = _load_socket(server, 8)
+        socket.path.set_voltage(1.2375)
+        solution = socket.solve(frequencies=[4.2e9] * 8)
+        assert all(v < 1.2375 for v in solution.core_voltages)
+
+    def test_more_load_more_drop(self, server):
+        socket = server.sockets[0]
+        socket.path.set_voltage(1.2375)
+        light = socket.solve(frequencies=[4.2e9] * 8)
+        _load_socket(server, 8)
+        heavy = socket.solve(frequencies=[4.2e9] * 8)
+        assert min(heavy.core_voltages) < min(light.core_voltages)
+
+    def test_rail_power_exceeds_die_power(self, server):
+        """The sensor at the VRM output sees the delivery loss too."""
+        socket = _load_socket(server, 8)
+        socket.path.set_voltage(1.2375)
+        solution = socket.solve(frequencies=[4.2e9] * 8)
+        assert solution.chip_power > solution.die_power
+
+    def test_rejects_wrong_frequency_count(self, server):
+        socket = server.sockets[0]
+        socket.path.set_voltage(1.2)
+        with pytest.raises(ValueError):
+            socket.solve(frequencies=[4.2e9] * 3)
+
+    def test_rejects_frequencies_and_servo_together(self, server):
+        socket = server.sockets[0]
+        socket.path.set_voltage(1.2)
+        with pytest.raises(ValueError):
+            socket.solve(frequencies=[4.2e9] * 8, servo_margin=0.045)
+
+
+class TestServo:
+    def test_servo_holds_margin(self, server):
+        socket = _load_socket(server, 4)
+        socket.path.set_voltage(1.2375)
+        margin = calibrated_margin(server.config.chip, server.config.guardband)
+        solution = socket.solve(servo_margin=margin)
+        for v, f in zip(solution.core_voltages, solution.frequencies):
+            observed = socket.chip.timing.margin(v, f)
+            # Quantizing frequency down can only widen the margin, by at
+            # most one grid step's worth of voltage.
+            assert observed >= margin - 1e-9
+            assert observed <= margin + server.config.chip.f_step * (
+                server.config.chip.vmin_slope
+            ) + 1e-9
+
+    def test_servo_boosts_when_lightly_loaded(self, server):
+        socket = _load_socket(server, 1)
+        socket.path.set_voltage(1.2375)
+        margin = calibrated_margin(server.config.chip, server.config.guardband)
+        solution = socket.solve(servo_margin=margin)
+        assert solution.frequencies[0] > 4.2e9
+
+    def test_frequency_cap_respected(self, server):
+        socket = _load_socket(server, 1)
+        socket.path.set_voltage(1.2375)
+        solution = socket.solve(servo_margin=0.045, frequency_cap=4.2e9)
+        assert all(f <= 4.2e9 + 1 for f in solution.frequencies)
+
+    def test_servo_frequencies_on_grid(self, server, chip_config):
+        socket = _load_socket(server, 4)
+        socket.path.set_voltage(1.2375)
+        solution = socket.solve(servo_margin=0.045)
+        for f in solution.frequencies:
+            steps = f / chip_config.f_step
+            assert steps == pytest.approx(round(steps))
+
+
+class TestThermalCoupling:
+    def test_settled_temperature_matches_power(self, server):
+        socket = _load_socket(server, 8)
+        socket.path.set_voltage(1.2375)
+        solution = socket.solve(frequencies=[4.2e9] * 8, settle_thermal=True)
+        expected = socket.chip.thermal.steady_state(solution.die_power)
+        assert solution.temperature == pytest.approx(expected, abs=0.2)
+
+    def test_busy_chip_hotter_than_idle(self, server):
+        socket = server.sockets[0]
+        socket.path.set_voltage(1.2375)
+        idle = socket.solve(frequencies=[4.2e9] * 8)
+        _load_socket(server, 8)
+        busy = socket.solve(frequencies=[4.2e9] * 8)
+        assert busy.temperature > idle.temperature
+
+    def test_peak_temperature_in_paper_range(self, server):
+        """Sec. 4.1: die temperature stays in the high-20s to high-30s C."""
+        socket = _load_socket(server, 8)
+        socket.path.set_voltage(1.2375)
+        solution = socket.solve(frequencies=[4.2e9] * 8)
+        assert 30 < solution.temperature < 45

@@ -1,0 +1,65 @@
+"""Synthetic workloads: coremark and the issue-throttled co-runners."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.synthetic import (
+    CORUNNER_MIPS,
+    coremark_profile,
+    throttled_corunner,
+)
+
+
+class TestCoremark:
+    def test_core_contained(self):
+        """Sec. 5.2's footnote: coremark's footprint is core-contained."""
+        profile = coremark_profile()
+        assert profile.memory_intensity < 0.05
+        assert profile.bandwidth_demand < 1.0
+
+    def test_no_sharing(self):
+        assert coremark_profile().sharing_intensity == 0.0
+
+
+class TestThrottledCorunners:
+    @pytest.mark.parametrize("level", ["light", "medium", "heavy"])
+    def test_hits_mips_target(self, level):
+        profile = throttled_corunner(level, n_cores=7, frequency=4.2e9)
+        total = 7 * profile.mips_per_thread(4.2e9)
+        assert total == pytest.approx(CORUNNER_MIPS[level])
+
+    def test_paper_mips_classes(self):
+        assert CORUNNER_MIPS == {
+            "light": 13_000.0,
+            "medium": 28_000.0,
+            "heavy": 70_000.0,
+        }
+
+    def test_activity_ordering(self):
+        light = throttled_corunner("light")
+        medium = throttled_corunner("medium")
+        heavy = throttled_corunner("heavy")
+        assert light.activity < medium.activity < heavy.activity
+
+    def test_heavy_near_unthrottled_coremark(self):
+        heavy = throttled_corunner("heavy")
+        assert heavy.ipc == pytest.approx(coremark_profile().ipc, rel=0.25)
+
+    def test_throttling_scales_activity_with_ipc(self):
+        light = throttled_corunner("light")
+        heavy = throttled_corunner("heavy")
+        assert light.activity / heavy.activity == pytest.approx(
+            light.ipc / heavy.ipc, rel=1e-6
+        )
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(WorkloadError):
+            throttled_corunner("extreme")
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(WorkloadError):
+            throttled_corunner("light", n_cores=0)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(WorkloadError):
+            throttled_corunner("light", frequency=-1.0)

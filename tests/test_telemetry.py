@@ -1,0 +1,158 @@
+"""Telemetry: sensors, CPM read modes, the AMESTER poller."""
+
+import pytest
+
+from repro.errors import SensorError
+from repro.guardband import GuardbandMode
+from repro.telemetry import Amester, CpmReadMode, CpmReader, SocketSensors
+from repro.telemetry.amester import MIN_INTERVAL
+
+
+@pytest.fixture
+def settled(server, raytrace):
+    """A loaded socket with a settled static operating point."""
+    server.place(0, raytrace, 4)
+    point = server.operate(GuardbandMode.STATIC)
+    return server.sockets[0], point.socket_point(0).solution
+
+
+class TestSensors:
+    def test_read_all_sensor_names(self, settled):
+        socket, solution = settled
+        readings = SocketSensors(socket).read_all(solution)
+        assert set(readings) == set(SocketSensors.SENSORS)
+
+    def test_power_sensor_matches_solution(self, settled):
+        socket, solution = settled
+        reading = SocketSensors(socket).read("vdd_power", solution)
+        assert reading.value == pytest.approx(solution.chip_power)
+        assert reading.unit == "W"
+
+    def test_current_sensor(self, settled):
+        socket, solution = settled
+        reading = SocketSensors(socket).read("vdd_current", solution)
+        assert reading.value == pytest.approx(solution.total_current)
+
+    def test_unknown_sensor_raises(self, settled):
+        socket, solution = settled
+        with pytest.raises(SensorError):
+            SocketSensors(socket).read("flux_capacitor", solution)
+
+    def test_reading_str(self, settled):
+        socket, solution = settled
+        text = str(SocketSensors(socket).read("temperature", solution))
+        assert "temperature=" in text
+
+
+class TestCpmReader:
+    def test_sample_mode_reads_typical_state(self, settled):
+        socket, solution = settled
+        reader = CpmReader(socket)
+        codes = reader.read_core(solution, 0, CpmReadMode.SAMPLE)
+        assert len(codes) == 5
+        assert all(0 <= c <= 11 for c in codes)
+
+    def test_sticky_never_above_sample(self, settled):
+        socket, solution = settled
+        reader = CpmReader(socket, seed=5)
+        sample = reader.worst_codes(solution, CpmReadMode.SAMPLE)
+        for _ in range(30):
+            sticky = reader.worst_codes(solution, CpmReadMode.STICKY)
+            assert all(s <= smp for s, smp in zip(sticky, sample))
+
+    def test_sticky_sometimes_dips(self, settled):
+        socket, solution = settled
+        reader = CpmReader(socket, seed=5)
+        sample = reader.worst_codes(solution, CpmReadMode.SAMPLE)
+        dipped = False
+        for _ in range(50):
+            sticky = reader.worst_codes(solution, CpmReadMode.STICKY)
+            if any(s < smp for s, smp in zip(sticky, sample)):
+                dipped = True
+                break
+        assert dipped
+
+    def test_estimate_drop_positive_under_load(self, settled):
+        socket, solution = settled
+        reader = CpmReader(socket)
+        drop = reader.estimate_drop(solution, 0)
+        assert drop > 0
+
+    def test_estimate_drop_tracks_true_drop(self, settled):
+        """The CPM-based estimate lands within ~2 bits of the true drop —
+        the paper's 'CPMs as voltage counters' technique."""
+        socket, solution = settled
+        reader = CpmReader(socket)
+        true_drop = solution.drops.setpoint - solution.core_voltages[0]
+        estimate = reader.estimate_drop(solution, 0)
+        assert estimate == pytest.approx(true_drop, abs=0.045)
+
+    def test_rejects_bad_window(self, settled):
+        socket, _ = settled
+        with pytest.raises(ValueError):
+            CpmReader(socket, window=0.0)
+
+
+class TestAmester:
+    def test_enforces_service_processor_floor(self, settled):
+        socket, _ = settled
+        with pytest.raises(SensorError):
+            Amester(socket, interval=0.001)
+
+    def test_default_interval_is_32ms(self, settled):
+        socket, _ = settled
+        assert Amester(socket).interval == MIN_INTERVAL
+
+    def test_poll_records_everything(self, settled):
+        socket, solution = settled
+        amester = Amester(socket)
+        record = amester.poll(solution)
+        assert record.time == 0.0
+        assert len(record.cpm_sample) == 8
+        assert len(record.cpm_sticky) == 8
+        assert record.sensor("vdd_power") > 0
+
+    def test_poll_many_timestamps(self, settled):
+        socket, solution = settled
+        amester = Amester(socket)
+        records = amester.poll_many(solution, 4)
+        times = [r.time for r in records]
+        assert times == pytest.approx([0.0, 0.032, 0.064, 0.096])
+
+    def test_trace_series_extraction(self, settled):
+        socket, solution = settled
+        amester = Amester(socket)
+        amester.poll_many(solution, 5)
+        assert len(amester.trace.series("temperature")) == 5
+        assert len(amester.trace.cpm_series(0, CpmReadMode.STICKY)) == 5
+
+    def test_poll_many_rejects_zero(self, settled):
+        socket, solution = settled
+        with pytest.raises(SensorError):
+            Amester(socket).poll_many(solution, 0)
+
+
+class TestCsvExport:
+    def test_empty_trace_is_empty_string(self, settled):
+        socket, _ = settled
+        assert Amester(socket).trace.to_csv() == ""
+
+    def test_header_and_rows(self, settled):
+        socket, solution = settled
+        amester = Amester(socket)
+        amester.poll_many(solution, 3)
+        csv = amester.trace.to_csv()
+        lines = csv.strip().split("\n")
+        assert len(lines) == 4
+        header = lines[0].split(",")
+        assert header[0] == "time_s"
+        assert "vdd_power" in header
+        assert "cpm_sticky_c7" in header
+
+    def test_rows_align_with_header(self, settled):
+        socket, solution = settled
+        amester = Amester(socket)
+        amester.poll_many(solution, 2)
+        lines = amester.trace.to_csv().strip().split("\n")
+        width = len(lines[0].split(","))
+        assert all(len(line.split(",")) == width for line in lines[1:])

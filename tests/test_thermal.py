@@ -1,0 +1,67 @@
+"""Thermal RC model: steady states, exponential approach, stability."""
+
+import pytest
+
+from repro.chip.thermal import ThermalModel
+
+
+class TestSteadyState:
+    def test_idle_equals_ambient(self):
+        model = ThermalModel(ambient=24.0)
+        assert model.steady_state(0.0) == pytest.approx(24.0)
+
+    def test_140w_lands_near_38c(self):
+        """Sec. 4.1 reports 38C at peak load."""
+        model = ThermalModel(ambient=24.0, resistance=0.10)
+        assert model.steady_state(140.0) == pytest.approx(38.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            ThermalModel().steady_state(-1.0)
+
+
+class TestStep:
+    def test_approaches_target_monotonically(self):
+        model = ThermalModel(ambient=24.0, tau=4.0)
+        temps = [model.step(100.0, 1.0) for _ in range(20)]
+        assert all(b >= a for a, b in zip(temps, temps[1:]))
+        assert temps[-1] == pytest.approx(model.steady_state(100.0), abs=0.1)
+
+    def test_long_step_is_stable(self):
+        """Exact exponential solution never overshoots, even for dt >> tau."""
+        model = ThermalModel(ambient=24.0, tau=4.0)
+        temp = model.step(100.0, 1000.0)
+        assert temp == pytest.approx(model.steady_state(100.0))
+
+    def test_zero_dt_is_noop(self):
+        model = ThermalModel(ambient=24.0)
+        before = model.temperature
+        assert model.step(100.0, 0.0) == before
+
+    def test_cooling_after_load_drop(self):
+        model = ThermalModel(ambient=24.0, tau=4.0)
+        model.settle(140.0)
+        hot = model.temperature
+        model.step(10.0, 2.0)
+        assert model.temperature < hot
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(ValueError):
+            ThermalModel().step(10.0, -1.0)
+
+
+class TestSettle:
+    def test_settle_jumps_to_steady_state(self):
+        model = ThermalModel(ambient=24.0)
+        model.settle(100.0)
+        assert model.temperature == pytest.approx(model.steady_state(100.0))
+
+
+class TestValidation:
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(ValueError):
+            ThermalModel(resistance=-0.1)
+
+    def test_rejects_zero_tau(self):
+        with pytest.raises(ValueError):
+            ThermalModel(tau=0.0)

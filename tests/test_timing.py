@@ -1,0 +1,74 @@
+"""Timing model: the Vmin(f) wall, margins, and the servo inverse."""
+
+import pytest
+
+from repro.chip.timing import TimingModel
+
+
+@pytest.fixture
+def timing(chip_config):
+    return TimingModel(chip_config)
+
+
+class TestVmin:
+    def test_vmin_linear_in_frequency(self, timing, chip_config):
+        delta = timing.vmin(4.0e9) - timing.vmin(3.0e9)
+        assert delta == pytest.approx(chip_config.vmin_slope * 1e9)
+
+    def test_rejects_nonpositive_frequency(self, timing):
+        with pytest.raises(ValueError):
+            timing.vmin(0.0)
+
+
+class TestMargin:
+    def test_positive_above_wall(self, timing):
+        assert timing.margin(1.2, 4.2e9) > 0
+
+    def test_negative_below_wall(self, timing):
+        assert timing.margin(1.0, 4.2e9) < 0
+
+    def test_zero_exactly_on_wall(self, timing):
+        v = timing.vmin(4.2e9)
+        assert timing.margin(v, 4.2e9) == pytest.approx(0.0)
+
+    def test_meets_timing_consistent_with_margin(self, timing):
+        assert timing.meets_timing(1.2, 4.2e9)
+        assert not timing.meets_timing(1.0, 4.2e9)
+
+
+class TestFrequencyForMargin:
+    def test_inverts_margin(self, timing):
+        frequency = timing.frequency_for_margin(1.2, 0.042)
+        assert timing.margin(1.2, frequency) == pytest.approx(0.042)
+
+    def test_more_margin_means_lower_frequency(self, timing):
+        f_small = timing.frequency_for_margin(1.2, 0.020)
+        f_large = timing.frequency_for_margin(1.2, 0.080)
+        assert f_large < f_small
+
+    def test_higher_voltage_means_higher_frequency(self, timing):
+        assert timing.frequency_for_margin(1.25, 0.042) > timing.frequency_for_margin(
+            1.15, 0.042
+        )
+
+
+class TestQuantization:
+    def test_quantize_rounds_down(self, timing, chip_config):
+        raw = 4.2e9 + chip_config.f_step * 0.9
+        quantized = timing.quantize_frequency(raw)
+        assert quantized <= raw
+        assert quantized == pytest.approx(4.2e9)
+
+    def test_quantized_on_grid(self, timing, chip_config):
+        quantized = timing.quantize_frequency(4.333e9)
+        steps = quantized / chip_config.f_step
+        assert steps == pytest.approx(round(steps))
+
+    def test_clamp_to_floor(self, timing, chip_config):
+        assert timing.clamp_frequency(1e9) == chip_config.f_min
+
+    def test_clamp_to_ceiling(self, timing, chip_config):
+        assert timing.clamp_frequency(9e9) == chip_config.f_ceiling
+
+    def test_clamp_passthrough_inside_range(self, timing):
+        assert timing.clamp_frequency(4.0e9) == pytest.approx(4.0e9)

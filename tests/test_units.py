@@ -1,0 +1,56 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestVoltageConversions:
+    def test_mv_to_volts(self):
+        assert units.mv(1235) == pytest.approx(1.235)
+
+    def test_volts_to_mv(self):
+        assert units.to_mv(1.235) == pytest.approx(1235.0)
+
+    def test_mv_roundtrip(self):
+        assert units.to_mv(units.mv(42.0)) == pytest.approx(42.0)
+
+
+class TestFrequencyConversions:
+    def test_mhz_to_hz(self):
+        assert units.mhz(4200) == pytest.approx(4.2e9)
+
+    def test_ghz_to_hz(self):
+        assert units.ghz(2.8) == pytest.approx(2.8e9)
+
+    def test_hz_to_mhz(self):
+        assert units.to_mhz(4.2e9) == pytest.approx(4200.0)
+
+    def test_hz_to_ghz(self):
+        assert units.to_ghz(4.2e9) == pytest.approx(4.2)
+
+    def test_mhz_ghz_consistency(self):
+        assert units.mhz(1000) == pytest.approx(units.ghz(1))
+
+
+class TestOtherConversions:
+    def test_mohm(self):
+        assert units.mohm(0.5) == pytest.approx(5e-4)
+
+    def test_ms(self):
+        assert units.ms(32) == pytest.approx(0.032)
+
+    def test_to_ms(self):
+        assert units.to_ms(0.032) == pytest.approx(32.0)
+
+    def test_ns(self):
+        assert units.ns(10) == pytest.approx(1e-8)
+
+    def test_percent(self):
+        assert units.percent(0.062) == pytest.approx(6.2)
+
+    def test_fraction(self):
+        assert units.fraction(6.2) == pytest.approx(0.062)
+
+    def test_percent_fraction_roundtrip(self):
+        assert units.fraction(units.percent(0.133)) == pytest.approx(0.133)

@@ -1,0 +1,88 @@
+"""The Vcs (storage) power domain."""
+
+import pytest
+
+from repro.chip.vcs import VcsDomain
+from repro.config import VcsConfig
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def vcs():
+    return VcsDomain(VcsConfig())
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        VcsConfig()
+
+    def test_rejects_zero_voltage(self):
+        with pytest.raises(ConfigError):
+            VcsConfig(voltage=0.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigError):
+            VcsConfig(leakage_nominal=-1.0)
+
+
+class TestPower:
+    def test_leakage_at_reference(self, vcs):
+        assert vcs.leakage(35.0) == pytest.approx(VcsConfig().leakage_nominal)
+
+    def test_leakage_grows_with_temperature(self, vcs):
+        assert vcs.leakage(45.0) > vcs.leakage(30.0)
+
+    def test_dynamic_grows_with_active_cores(self, vcs):
+        assert vcs.dynamic(8) > vcs.dynamic(1) > vcs.dynamic(0)
+
+    def test_idle_floor(self, vcs):
+        assert vcs.dynamic(0) == pytest.approx(VcsConfig().dynamic_idle)
+
+    def test_activity_scales_dynamic(self, vcs):
+        assert vcs.dynamic(4, mean_activity=0.5) < vcs.dynamic(4, mean_activity=1.0)
+
+    def test_power_is_sum(self, vcs):
+        assert vcs.power(4, 35.0) == pytest.approx(
+            vcs.leakage(35.0) + vcs.dynamic(4)
+        )
+
+    def test_current_at_rail_voltage(self, vcs):
+        assert vcs.current(4, 35.0) == pytest.approx(
+            vcs.power(4, 35.0) / VcsConfig().voltage
+        )
+
+    def test_rejects_negative_cores(self, vcs):
+        with pytest.raises(ValueError):
+            vcs.dynamic(-1)
+
+
+class TestChipIntegration:
+    def test_chip_exposes_vcs_power(self, server, raytrace):
+        server.place(0, raytrace, 4)
+        chip = server.sockets[0].chip
+        busy = chip.vcs_power(temperature=35.0)
+        server.clear()
+        idle = server.sockets[0].chip.vcs_power(temperature=35.0)
+        assert busy > idle
+
+    def test_vcs_sensor_readable(self, server, raytrace):
+        from repro.guardband import GuardbandMode
+        from repro.telemetry import SocketSensors
+
+        server.place(0, raytrace, 4)
+        point = server.operate(GuardbandMode.STATIC)
+        sensors = SocketSensors(server.sockets[0])
+        reading = sensors.read("vcs_power", point.socket_point(0).solution)
+        assert reading.value > 0
+        assert reading.unit == "W"
+
+    def test_vcs_small_next_to_vdd(self, server, raytrace):
+        """The paper: the Vdd rail 'represents most of the total
+        processor power'."""
+        from repro.guardband import GuardbandMode
+
+        server.place(0, raytrace, 8)
+        point = server.operate(GuardbandMode.STATIC)
+        vdd = point.socket_point(0).chip_power
+        vcs = server.sockets[0].chip.vcs_power()
+        assert vcs < vdd * 0.25

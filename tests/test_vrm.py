@@ -1,0 +1,91 @@
+"""VRM: setpoint quantization, loadline, current sensing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pdn import VoltageRegulatorModule
+
+
+@pytest.fixture
+def vrm(pdn_config):
+    return VoltageRegulatorModule(pdn_config, n_rails=2)
+
+
+class TestQuantization:
+    def test_on_grid_value_unchanged(self, vrm):
+        assert vrm.quantize(1.2) == pytest.approx(1.2)
+
+    def test_off_grid_rounds_up(self, vrm):
+        quantized = vrm.quantize(1.201)
+        assert quantized >= 1.201
+        assert quantized == pytest.approx(1.20625)
+
+    def test_float_noise_does_not_bump_a_step(self, vrm):
+        """Regression: 1.19375/0.00625 is 191.0000000003 in floats; the
+        ceiling must not push it to 1.2."""
+        value = 1.2 - vrm.step
+        assert vrm.quantize(value) == pytest.approx(value)
+
+    def test_repeated_down_steps_walk_the_grid(self, vrm):
+        setpoint = vrm.set_rail(0, 1.2375)
+        for _ in range(10):
+            setpoint = vrm.set_rail(0, setpoint - vrm.step)
+        assert setpoint == pytest.approx(1.2375 - 10 * vrm.step)
+
+
+class TestRails:
+    def test_rails_independent(self, vrm):
+        vrm.set_rail(0, 1.20)
+        vrm.set_rail(1, 1.10)
+        assert vrm.setpoint(0) == pytest.approx(1.20)
+        assert vrm.setpoint(1) == pytest.approx(1.10)
+
+    def test_rejects_bad_rail_index(self, vrm):
+        with pytest.raises(ValueError):
+            vrm.set_rail(2, 1.2)
+
+    def test_rejects_nonpositive_setpoint(self, vrm):
+        with pytest.raises(ValueError):
+            vrm.set_rail(0, 0.0)
+
+    def test_rejects_zero_rails(self, pdn_config):
+        with pytest.raises(ConfigError):
+            VoltageRegulatorModule(pdn_config, n_rails=0)
+
+
+class TestLoadline:
+    def test_drop_proportional_to_current(self, vrm, pdn_config):
+        assert vrm.loadline_drop(0, 100.0) == pytest.approx(
+            pdn_config.r_loadline * 100.0
+        )
+
+    def test_uses_sensed_current_by_default(self, vrm, pdn_config):
+        vrm.record_current(0, 80.0)
+        assert vrm.loadline_drop(0) == pytest.approx(pdn_config.r_loadline * 80.0)
+
+    def test_output_voltage_below_setpoint_under_load(self, vrm):
+        vrm.set_rail(0, 1.2375)
+        assert vrm.output_voltage(0, 100.0) < 1.2375
+
+    def test_zero_current_no_drop(self, vrm):
+        vrm.set_rail(0, 1.2)
+        assert vrm.output_voltage(0, 0.0) == pytest.approx(1.2)
+
+    def test_rejects_negative_current(self, vrm):
+        with pytest.raises(ValueError):
+            vrm.loadline_drop(0, -1.0)
+
+
+class TestCurrentSensing:
+    def test_record_and_read(self, vrm):
+        vrm.record_current(1, 55.5)
+        assert vrm.sensed_current(1) == pytest.approx(55.5)
+
+    def test_rail_currents_list(self, vrm):
+        vrm.record_current(0, 10.0)
+        vrm.record_current(1, 20.0)
+        assert vrm.rail_currents() == [10.0, 20.0]
+
+    def test_rejects_negative_recorded_current(self, vrm):
+        with pytest.raises(ValueError):
+            vrm.record_current(0, -5.0)

@@ -1,0 +1,121 @@
+"""WebSearch latency model: queueing behavior and QoS statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.websearch import (
+    QueryLatencyModel,
+    WebSearchConfig,
+    WebSearchModel,
+)
+
+
+@pytest.fixture
+def model():
+    return WebSearchModel()
+
+
+class TestConfigValidation:
+    def test_default_valid(self):
+        WebSearchConfig()
+
+    def test_rejects_unstable_queue(self):
+        with pytest.raises(WorkloadError):
+            WebSearchConfig(arrival_rate=60.0, service_rate_ref=50.0)
+
+    def test_rejects_bad_sensitivity(self):
+        with pytest.raises(WorkloadError):
+            WebSearchConfig(frequency_sensitivity=0.0)
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(WorkloadError):
+            WebSearchConfig(p90_target=0.0)
+
+
+class TestQueryLatencyModel:
+    def test_latencies_at_least_service_time(self):
+        queue = QueryLatencyModel(service_rate=50.0)
+        rng = np.random.default_rng(1)
+        latencies = queue.simulate_window(40.0, 30.0, rng)
+        assert latencies.size > 0
+        assert np.all(latencies > 0)
+
+    def test_fifo_ordering_lindley(self):
+        """Mean sojourn grows toward the M/M/1 prediction near saturation."""
+        queue = QueryLatencyModel(service_rate=50.0)
+        rng = np.random.default_rng(2)
+        light = np.mean(
+            np.concatenate(
+                [queue.simulate_window(10.0, 60.0, rng) for _ in range(10)]
+            )
+        )
+        heavy = np.mean(
+            np.concatenate(
+                [queue.simulate_window(45.0, 60.0, rng) for _ in range(10)]
+            )
+        )
+        assert heavy > 3 * light
+
+    def test_empty_window_returns_zero_p90(self):
+        queue = QueryLatencyModel(service_rate=50.0)
+
+        class _NoArrivals:
+            def poisson(self, lam):
+                return 0
+
+        assert queue.window_p90(1e-9, 0.001, _NoArrivals()) == 0.0
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(WorkloadError):
+            QueryLatencyModel(service_rate=0.0)
+        queue = QueryLatencyModel(service_rate=50.0)
+        with pytest.raises(WorkloadError):
+            queue.simulate_window(0.0, 30.0, np.random.default_rng(1))
+
+
+class TestWebSearchModel:
+    def test_service_rate_scales_with_frequency(self, model):
+        assert model.service_rate(4.6e9) > model.service_rate(4.4e9)
+
+    def test_service_rate_at_reference(self, model):
+        cfg = model.config
+        assert model.service_rate(cfg.reference_frequency) == pytest.approx(
+            cfg.service_rate_ref
+        )
+
+    def test_violation_rate_monotone_in_frequency(self, model):
+        fast = model.violation_rate(4.65e9, n_windows=300)
+        slow = model.violation_rate(4.45e9, n_windows=300)
+        assert slow > fast
+
+    def test_paper_corunner_ordering(self, model):
+        """Heavy co-runner's frequency violates far more than light's."""
+        heavy = model.violation_rate(4.48e9, n_windows=400)
+        light = model.violation_rate(4.648e9, n_windows=400)
+        assert heavy > 0.15
+        assert light < 0.10
+
+    def test_sampling_reproducible(self, model):
+        a = model.sample_p90s(4.5e9, 50, seed=7)
+        b = model.sample_p90s(4.5e9, 50, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_cdf_axes(self, model):
+        values, cumulative = model.latency_cdf(4.5e9, n_windows=100)
+        assert values.shape == (100,)
+        assert np.all(np.diff(values) >= 0)
+        assert cumulative[-1] == pytest.approx(100.0)
+
+    def test_mean_p90_between_extremes(self, model):
+        p90s = model.sample_p90s(4.5e9, 100)
+        assert p90s.min() <= model.mean_p90(4.5e9, 100) <= p90s.max()
+
+    def test_profile_is_single_thread_service(self, model):
+        profile = model.profile()
+        assert profile.name == "websearch"
+        assert not profile.scalable
+
+    def test_rejects_zero_windows(self, model):
+        with pytest.raises(WorkloadError):
+            model.sample_p90s(4.5e9, 0)

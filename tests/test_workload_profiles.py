@@ -1,0 +1,150 @@
+"""Workload profiles and the benchmark catalog."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    PARSEC_BENCHMARKS,
+    SCALABLE_BENCHMARKS,
+    SPEC_BENCHMARKS,
+    SPLASH2_BENCHMARKS,
+    all_profiles,
+    get_profile,
+    profile_names,
+)
+from repro.workloads.profile import WorkloadProfile
+
+
+def _profile(**overrides):
+    defaults = dict(
+        name="test",
+        suite="synthetic",
+        activity=0.8,
+        ipc=1.5,
+        memory_intensity=0.3,
+        bandwidth_demand=4.0,
+        sharing_intensity=0.1,
+        serial_fraction=0.02,
+        ripple_scale=1.0,
+        droop_scale=1.0,
+        t1_seconds=100.0,
+    )
+    defaults.update(overrides)
+    return WorkloadProfile(**defaults)
+
+
+class TestProfileValidation:
+    def test_valid_profile(self):
+        _profile()
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(WorkloadError):
+            _profile(name="")
+
+    def test_rejects_zero_activity(self):
+        with pytest.raises(WorkloadError):
+            _profile(activity=0.0)
+
+    def test_rejects_memory_intensity_above_one(self):
+        with pytest.raises(WorkloadError):
+            _profile(memory_intensity=1.5)
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(WorkloadError):
+            _profile(bandwidth_demand=-1.0)
+
+    def test_rejects_zero_runtime(self):
+        with pytest.raises(WorkloadError):
+            _profile(t1_seconds=0.0)
+
+
+class TestProfileDerived:
+    def test_frequency_sensitivity_of_core_bound(self):
+        assert _profile(memory_intensity=0.0).frequency_sensitivity == 1.0
+
+    def test_frequency_sensitivity_of_memory_bound(self):
+        assert _profile(memory_intensity=1.0).frequency_sensitivity == pytest.approx(
+            0.15
+        )
+
+    def test_thread_carries_traits(self):
+        thread = _profile(activity=0.7, ipc=1.2).thread()
+        assert thread.activity == 0.7
+        assert thread.ipc == 1.2
+        assert thread.workload == "test"
+
+    def test_mips_per_thread(self):
+        assert _profile(ipc=2.0).mips_per_thread(4.2e9) == pytest.approx(8400.0)
+
+    def test_mips_rejects_bad_frequency(self):
+        with pytest.raises(WorkloadError):
+            _profile().mips_per_thread(0.0)
+
+    def test_with_activity_copies(self):
+        base = _profile(activity=0.8)
+        modified = base.with_activity(0.4)
+        assert modified.activity == 0.4
+        assert base.activity == 0.8
+        assert modified.ipc == base.ipc
+
+
+class TestCatalog:
+    def test_seventeen_scalable_benchmarks(self):
+        """The paper uses 17 scalable PARSEC + SPLASH-2 workloads."""
+        assert len(SCALABLE_BENCHMARKS) == 17
+
+    def test_suites_partition(self):
+        assert set(SCALABLE_BENCHMARKS) == set(PARSEC_BENCHMARKS) | set(
+            SPLASH2_BENCHMARKS
+        )
+
+    def test_spec_catalog_size(self):
+        """SPEC CPU2006 coverage near the paper's 27 SPECrate workloads."""
+        assert len(SPEC_BENCHMARKS) >= 25
+
+    def test_fig14_names_present(self):
+        for name in ("lu_ncb", "radiosity", "radix", "zeusmp", "lbm", "fft",
+                     "GemsFDTD", "mcf", "lu_cb", "raytrace", "swaptions"):
+            get_profile(name)
+
+    def test_unique_names(self):
+        names = profile_names()
+        assert len(names) == len(set(names))
+
+    def test_spec_profiles_not_scalable(self):
+        for name in SPEC_BENCHMARKS:
+            profile = get_profile(name)
+            assert not profile.scalable
+            assert profile.sharing_intensity == 0.0
+
+    def test_scalable_profiles_scalable(self):
+        for name in SCALABLE_BENCHMARKS:
+            assert get_profile(name).scalable
+
+    def test_unknown_name_raises_with_hint(self):
+        with pytest.raises(WorkloadError, match="lu_cb"):
+            get_profile("lu_c")
+
+    def test_unknown_name_without_hint(self):
+        with pytest.raises(WorkloadError):
+            get_profile("doom")
+
+    def test_all_profiles_match_names(self):
+        assert [p.name for p in all_profiles()] == profile_names()
+
+    def test_communication_heavy_kernels_flagged(self):
+        """lu_ncb and radiosity carry the highest sharing intensity — they
+        are the Fig. 14 losers."""
+        sharing = {p.name: p.sharing_intensity for p in all_profiles()}
+        top_two = sorted(sharing, key=sharing.get, reverse=True)[:2]
+        assert set(top_two) == {"lu_ncb", "radiosity"}
+
+    def test_activity_correlates_with_ipc(self):
+        """Power tracks MIPS to first order across the catalog (the Fig. 16
+        predictor's premise)."""
+        import numpy as np
+
+        profiles = all_profiles()
+        activity = [p.activity for p in profiles]
+        ipc = [p.ipc for p in profiles]
+        assert np.corrcoef(activity, ipc)[0, 1] > 0.95
