@@ -11,7 +11,15 @@ from typing import List
 
 import pytest
 
+from repro.sim.batch import SweepRunner, set_default_runner
+from repro.sim.cache import OperatingPointCache
+
 _REPORT: List[str] = []
+
+#: One operating-point cache for the whole benchmark session: the figure
+#: builders overlap heavily (Fig. 3 ⊂ Fig. 5; Fig. 7/9 reuse Fig. 5's
+#: static points), so later benchmarks replay earlier settles from memory.
+_RUNNER = SweepRunner(cache=OperatingPointCache())
 
 
 @pytest.fixture
@@ -20,7 +28,19 @@ def report():
     return _REPORT
 
 
+@pytest.fixture(scope="session", autouse=True)
+def shared_sweep_runner():
+    """Route every figure builder through the session-shared runner."""
+    previous = set_default_runner(_RUNNER)
+    yield _RUNNER
+    set_default_runner(previous)
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    stats = _RUNNER.cache.stats
+    if stats.lookups:
+        terminalreporter.write_sep("=", "operating-point cache")
+        terminalreporter.write_line(stats.summary())
     if not _REPORT:
         return
     terminalreporter.write_sep("=", "paper vs measured")

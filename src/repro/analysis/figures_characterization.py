@@ -14,9 +14,15 @@ import numpy as np
 
 from ..config import ServerConfig
 from ..guardband import GuardbandMode
-from ..pdn import DropDecomposer
-from ..sim.run import build_server, core_scaling_sweep, measure_consolidated
-from ..sim.server import Power720Server
+from ..pdn import DidtNoiseModel, DropDecomposer
+from ..sim.batch import (
+    SweepRunner,
+    SweepTask,
+    core_scaling_tasks,
+    default_runner,
+    derive_seed,
+)
+from ..sim.run import build_server
 from ..workloads import get_profile
 from .fitting import LinearFit, fit_linear
 
@@ -73,10 +79,11 @@ class CoreScalingSeries:
 
 
 def _sweep(
-    server: Power720Server,
+    runner: SweepRunner,
     workload: str,
     mode: GuardbandMode,
     core_counts: Sequence[int],
+    config: Optional[ServerConfig] = None,
 ) -> CoreScalingSeries:
     """Run the consolidated core-scaling sweep and package the series.
 
@@ -84,7 +91,17 @@ def _sweep(
     paper's single-processor measurements in Sec. 3.
     """
     profile = get_profile(workload)
-    results = core_scaling_sweep(server, profile, mode, core_counts)
+    results = runner.core_scaling_sweep(profile, mode, core_counts, config)
+    return _series_from_results(workload, mode, core_counts, results)
+
+
+def _series_from_results(
+    workload: str,
+    mode: GuardbandMode,
+    core_counts: Sequence[int],
+    results: Sequence,
+) -> CoreScalingSeries:
+    """Package one workload's sweep results into a series."""
     return CoreScalingSeries(
         workload=workload,
         mode=mode,
@@ -115,20 +132,22 @@ def fig3_core_scaling_power(
     config: Optional[ServerConfig] = None,
     workload: str = "raytrace",
     core_counts: Sequence[int] = range(1, 9),
+    runner: Optional[SweepRunner] = None,
 ) -> CoreScalingSeries:
     """Fig. 3: chip power and EDP vs active cores under undervolting."""
-    server = build_server(config)
-    return _sweep(server, workload, GuardbandMode.UNDERVOLT, core_counts)
+    runner = runner or default_runner()
+    return _sweep(runner, workload, GuardbandMode.UNDERVOLT, core_counts, config)
 
 
 def fig4_core_scaling_frequency(
     config: Optional[ServerConfig] = None,
     workload: str = "lu_cb",
     core_counts: Sequence[int] = range(1, 9),
+    runner: Optional[SweepRunner] = None,
 ) -> CoreScalingSeries:
     """Fig. 4: frequency and execution time vs cores under overclocking."""
-    server = build_server(config)
-    return _sweep(server, workload, GuardbandMode.OVERCLOCK, core_counts)
+    runner = runner or default_runner()
+    return _sweep(runner, workload, GuardbandMode.OVERCLOCK, core_counts, config)
 
 
 # ----------------------------------------------------------------------
@@ -160,12 +179,23 @@ def fig5_workload_heterogeneity(
     config: Optional[ServerConfig] = None,
     workloads: Sequence[str] = FIG5_WORKLOADS,
     core_counts: Sequence[int] = range(1, 9),
+    runner: Optional[SweepRunner] = None,
 ) -> HeterogeneitySeries:
     """Fig. 5: improvement vs cores for several workloads, one mode."""
-    server = build_server(config)
+    runner = runner or default_runner()
+    # One batch covering every workload, so the tasks fan out together.
+    tasks = [
+        task
+        for workload in workloads
+        for task in core_scaling_tasks(get_profile(workload), mode, core_counts)
+    ]
+    results = runner.run_results(tasks, config)
+    width = len(tuple(core_counts))
     improvements: Dict[str, tuple] = {}
-    for workload in workloads:
-        series = _sweep(server, workload, mode, core_counts)
+    for slot, workload in enumerate(workloads):
+        series = _series_from_results(
+            workload, mode, core_counts, results[slot * width : (slot + 1) * width]
+        )
         if mode is GuardbandMode.UNDERVOLT:
             values = tuple(
                 series.power_saving_percent(i) for i in range(len(core_counts))
@@ -276,24 +306,33 @@ def fig7_voltage_drop_scaling(
     config: Optional[ServerConfig] = None,
     workloads: Sequence[str] = FIG5_WORKLOADS,
     core_counts: Sequence[int] = range(1, 9),
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, VoltageDropSeries]:
     """Fig. 7: on-chip voltage drop per core, AG disabled (static mode).
 
     Cores are activated in succession from core 0; the drop at *every*
     core (active or not) is recorded relative to the static setpoint —
     reproducing the paper's observation of global plus localized behavior.
+    Only the static halves are consumed here, so the batch shares all its
+    operating points with the Fig. 5 undervolt sweep.
     """
-    server = build_server(config)
+    runner = runner or default_runner()
+    cfg = config or ServerConfig()
+    tasks = [
+        task
+        for workload in workloads
+        for task in core_scaling_tasks(
+            get_profile(workload), GuardbandMode.UNDERVOLT, core_counts
+        )
+    ]
+    results = runner.run_results(tasks, cfg)
+    width = len(tuple(core_counts))
     out: Dict[str, VoltageDropSeries] = {}
-    for workload in workloads:
-        profile = get_profile(workload)
+    for slot, workload in enumerate(workloads):
         per_core: Dict[int, List[float]] = {
-            c: [] for c in range(server.config.chip.n_cores)
+            c: [] for c in range(cfg.chip.n_cores)
         }
-        for n in core_counts:
-            result = measure_consolidated(
-                server, profile, n, GuardbandMode.UNDERVOLT
-            )
+        for result in results[slot * width : (slot + 1) * width]:
             solution = result.static.point.socket_point(0).solution
             setpoint = solution.drops.setpoint
             for core_id, voltage in enumerate(solution.core_voltages):
@@ -336,6 +375,7 @@ def fig9_drop_decomposition(
     core_counts: Sequence[int] = range(1, 9),
     n_windows: int = 60,
     seed: int = 41,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, DecompositionSeries]:
     """Fig. 9: decompose core 0's drop using the Sec. 4.3 measurement path.
 
@@ -346,23 +386,43 @@ def fig9_drop_decomposition(
     so many windows record none — exactly why the paper's measured
     worst-case slice stays small even though the firmware must reserve the
     full depth).
+
+    Each workload samples its droop windows from its own random stream,
+    derived from ``seed`` and the workload's identity — so a workload's
+    series does not depend on which other workloads (or how many) were
+    decomposed before it.
     """
-    rng = np.random.default_rng(seed)
-    server = build_server(config)
-    decomposer = DropDecomposer(server.config.pdn)
+    runner = runner or default_runner()
+    cfg = config or ServerConfig()
+    decomposer = DropDecomposer(cfg.pdn)
+    tasks = [
+        task
+        for workload in workloads
+        for task in core_scaling_tasks(
+            get_profile(workload), GuardbandMode.UNDERVOLT, core_counts
+        )
+    ]
+    results = runner.run_results(tasks, cfg)
+    width = len(tuple(core_counts))
     out: Dict[str, DecompositionSeries] = {}
-    for workload in workloads:
+    for slot, workload in enumerate(workloads):
         profile = get_profile(workload)
+        # The settled points carry no live server, so rebuild the socket's
+        # di/dt model the same way placement does: a uniform single-workload
+        # occupancy scales ripple and droop by the profile's own traits.
+        noise = DidtNoiseModel(
+            cfg.pdn.didt,
+            ripple_scale=profile.ripple_scale,
+            droop_scale=profile.droop_scale,
+        )
+        rng = np.random.default_rng(derive_seed(seed, {"fig9": workload}))
         rows = {"loadline": [], "ir_drop": [], "typical_didt": [], "worst_didt": []}
-        for n in core_counts:
-            result = measure_consolidated(
-                server, profile, n, GuardbandMode.UNDERVOLT
-            )
+        for offset, n in enumerate(core_counts):
+            result = results[slot * width + offset]
             solution = result.static.point.socket_point(0).solution
             setpoint = solution.drops.setpoint
             sample_drop = setpoint - solution.core_voltages[0]
-            noise = server.sockets[0].path.noise
-            window = server.config.guardband.control_interval
+            window = cfg.guardband.control_interval
             observed = [
                 noise.worst_in_window(n, window, rng) for _ in range(n_windows)
             ]
@@ -420,19 +480,24 @@ class Fig10Result:
 def fig10_passive_drop_correlation(
     config: Optional[ServerConfig] = None,
     workloads: Optional[Sequence[str]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig10Result:
     """Fig. 10: power → passive drop → undervolt/boost, at eight cores."""
     from ..workloads import profile_names
 
-    server = build_server(config)
+    runner = runner or default_runner()
     names = list(workloads) if workloads is not None else profile_names()
-    rows = []
+    tasks = []
     for workload in names:
         profile = get_profile(workload)
-        uv = measure_consolidated(server, profile, 8, GuardbandMode.UNDERVOLT)
+        tasks.append(SweepTask.consolidated(profile, 8, GuardbandMode.UNDERVOLT))
+        tasks.append(SweepTask.consolidated(profile, 8, GuardbandMode.OVERCLOCK))
+    results = runner.run_results(tasks, config)
+    rows = []
+    for slot, workload in enumerate(names):
+        uv, oc = results[2 * slot], results[2 * slot + 1]
         static_solution = uv.static.point.socket_point(0).solution
         adaptive_point = uv.adaptive.point.socket_point(0)
-        oc = measure_consolidated(server, profile, 8, GuardbandMode.OVERCLOCK)
         worst = static_solution.drops.worst_core
         rows.append(
             PassiveDropCorrelation(

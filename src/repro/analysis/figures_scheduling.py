@@ -14,12 +14,12 @@ import numpy as np
 
 from ..config import ServerConfig
 from ..core.consolidation import ConsolidationScheduler
-from ..core.evaluate import measure_scheduled
 from ..core.loadline_borrowing import LoadlineBorrowingScheduler
 from ..core.predictor import MipsFrequencyPredictor, PredictorSample
 from ..core.qos import QosSpec
 from ..core.adaptive_mapping import AdaptiveMappingScheduler
 from ..guardband import GuardbandMode
+from ..sim.batch import SweepRunner, SweepTask, default_runner
 from ..sim.run import build_server
 from ..workloads import get_profile, profile_names
 from ..workloads.scaling import RuntimeModel, SocketShare
@@ -62,6 +62,7 @@ def fig12_borrowing_scaling(
     workload: str = "raytrace",
     core_counts: Sequence[int] = range(1, 9),
     total_cores_on: int = 8,
+    runner: Optional[SweepRunner] = None,
 ) -> BorrowingScalingSeries:
     """Fig. 12: undervolt depth and total chip power vs active cores.
 
@@ -69,22 +70,29 @@ def fig12_borrowing_scaling(
     (eight of the sixteen cores, per Sec. 5.1.1); the baseline parks them
     all on socket 0, borrowing splits them four and four.
     """
-    server = build_server(config)
-    consolidation = ConsolidationScheduler(server.config)
-    borrowing = LoadlineBorrowingScheduler(server.config)
+    runner = runner or default_runner()
+    cfg = config or ServerConfig()
+    consolidation = ConsolidationScheduler(cfg)
+    borrowing = LoadlineBorrowingScheduler(cfg)
     profile = get_profile(workload)
-    runtime = RuntimeModel()
 
-    rows = {k: [] for k in ("static", "baseline", "borrow", "uv_base", "uv_borrow")}
+    placements = []
+    tasks = []
     for n in core_counts:
         base_placement = consolidation.schedule(profile, n, total_cores_on)
         borrow_placement = borrowing.schedule(profile, n, total_cores_on)
-        base = measure_scheduled(
-            server, base_placement, profile, GuardbandMode.UNDERVOLT, runtime
+        placements.append((base_placement, borrow_placement))
+        tasks.append(
+            SweepTask.scheduled(base_placement, profile, GuardbandMode.UNDERVOLT)
         )
-        borrow = measure_scheduled(
-            server, borrow_placement, profile, GuardbandMode.UNDERVOLT, runtime
+        tasks.append(
+            SweepTask.scheduled(borrow_placement, profile, GuardbandMode.UNDERVOLT)
         )
+    results = runner.run_results(tasks, cfg)
+
+    rows = {k: [] for k in ("static", "baseline", "borrow", "uv_base", "uv_borrow")}
+    for slot, (base_placement, borrow_placement) in enumerate(placements):
+        base, borrow = results[2 * slot], results[2 * slot + 1]
         rows["static"].append(base.static.chip_power)
         rows["baseline"].append(base.adaptive.chip_power)
         rows["borrow"].append(borrow.adaptive.chip_power)
@@ -133,36 +141,39 @@ def fig13_borrowing_all_workloads(
     workloads: Optional[Sequence[str]] = None,
     core_counts: Sequence[int] = range(1, 9),
     total_cores_on: int = 8,
+    runner: Optional[SweepRunner] = None,
 ) -> BorrowingComparisonSeries:
     """Fig. 13: scaling power improvement for every PARSEC/SPLASH-2 load."""
     from ..workloads import SCALABLE_BENCHMARKS
 
-    server = build_server(config)
-    consolidation = ConsolidationScheduler(server.config)
-    borrowing = LoadlineBorrowingScheduler(server.config)
-    runtime = RuntimeModel()
+    runner = runner or default_runner()
+    cfg = config or ServerConfig()
+    consolidation = ConsolidationScheduler(cfg)
+    borrowing = LoadlineBorrowingScheduler(cfg)
     names = list(workloads) if workloads is not None else list(SCALABLE_BENCHMARKS)
+
+    # One batch across every workload and count: 2 tasks per grid point.
+    tasks = []
+    for name in names:
+        profile = get_profile(name)
+        for n in core_counts:
+            for scheduler in (consolidation, borrowing):
+                tasks.append(
+                    SweepTask.scheduled(
+                        scheduler.schedule(profile, n, total_cores_on),
+                        profile,
+                        GuardbandMode.UNDERVOLT,
+                    )
+                )
+    results = runner.run_results(tasks, cfg)
 
     baseline: Dict[str, tuple] = {}
     borrowed: Dict[str, tuple] = {}
-    for name in names:
-        profile = get_profile(name)
+    width = 2 * len(tuple(core_counts))
+    for slot, name in enumerate(names):
         base_vals, borrow_vals = [], []
-        for n in core_counts:
-            base = measure_scheduled(
-                server,
-                consolidation.schedule(profile, n, total_cores_on),
-                profile,
-                GuardbandMode.UNDERVOLT,
-                runtime,
-            )
-            borrow = measure_scheduled(
-                server,
-                borrowing.schedule(profile, n, total_cores_on),
-                profile,
-                GuardbandMode.UNDERVOLT,
-                runtime,
-            )
+        row = results[slot * width : (slot + 1) * width]
+        for base, borrow in zip(row[0::2], row[1::2]):
             static_power = base.static.chip_power
             base_vals.append((1 - base.adaptive.chip_power / static_power) * 100)
             borrow_vals.append((1 - borrow.adaptive.chip_power / static_power) * 100)
@@ -232,6 +243,7 @@ class Fig14Result:
 def fig14_borrowing_energy(
     config: Optional[ServerConfig] = None,
     workloads: Optional[Sequence[str]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig14Result:
     """Fig. 14: eight busy cores per the paper's full-utilization setup.
 
@@ -239,33 +251,32 @@ def fig14_borrowing_energy(
     copies.  The baseline consolidates onto socket 0; borrowing splits the
     load four cores per socket.
     """
-    server = build_server(config)
-    consolidation = ConsolidationScheduler(server.config)
-    borrowing = LoadlineBorrowingScheduler(server.config)
-    runtime = RuntimeModel()
+    runner = runner or default_runner()
+    cfg = config or ServerConfig()
+    consolidation = ConsolidationScheduler(cfg)
+    borrowing = LoadlineBorrowingScheduler(cfg)
     names = list(workloads) if workloads is not None else profile_names()
 
-    rows = []
+    tasks = []
     for name in names:
         profile = get_profile(name)
         if profile.scalable:
             n_threads, tpc = 32, 4
         else:
             n_threads, tpc = 8, 1
-        base = measure_scheduled(
-            server,
-            consolidation.schedule(profile, n_threads, 8, threads_per_core=tpc),
-            profile,
-            GuardbandMode.UNDERVOLT,
-            runtime,
-        )
-        borrow = measure_scheduled(
-            server,
-            borrowing.schedule(profile, n_threads, 8, threads_per_core=tpc),
-            profile,
-            GuardbandMode.UNDERVOLT,
-            runtime,
-        )
+        for scheduler in (consolidation, borrowing):
+            tasks.append(
+                SweepTask.scheduled(
+                    scheduler.schedule(profile, n_threads, 8, threads_per_core=tpc),
+                    profile,
+                    GuardbandMode.UNDERVOLT,
+                )
+            )
+    results = runner.run_results(tasks, cfg)
+
+    rows = []
+    for slot, name in enumerate(names):
+        base, borrow = results[2 * slot], results[2 * slot + 1]
         rows.append(
             BorrowingEnergyRow(
                 workload=name,

@@ -23,13 +23,46 @@ import sys
 from typing import List, Optional
 
 from . import __version__
+from .config import ServerConfig
 from .guardband import GuardbandMode, audit_operating_point
+from .sim.batch import SweepRunner, set_default_runner
+from .sim.cache import OperatingPointCache
 from .sim.run import build_server, measure_consolidated
 from .workloads import all_profiles, get_profile
 
 #: Figures the ``figure`` subcommand can regenerate.
 FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17")
+
+
+def positive_int(value: str) -> int:
+    workers = int(value)
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {workers}")
+    return workers
+
+
+def _add_runner_options(command: argparse.ArgumentParser) -> None:
+    """Batch-runner knobs shared by the measurement-grid subcommands."""
+    command.add_argument(
+        "--workers",
+        type=positive_int,
+        default=1,
+        help="process-pool width for independent sweep points (default 1: "
+        "in-process, bit-identical to the parallel schedule)",
+    )
+    command.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist settled operating points as JSON under DIR and reuse "
+        "them across invocations (e.g. .repro_cache)",
+    )
+    command.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-task wall times and cache hit rates after the run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,9 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[m.value for m in GuardbandMode if m is not GuardbandMode.STATIC],
         default=GuardbandMode.UNDERVOLT.value,
     )
+    _add_runner_options(sweep)
 
     figure = commands.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=FIGURES)
+    _add_runner_options(figure)
 
     audit = commands.add_parser(
         "audit", help="reliability-audit a settled operating point"
@@ -162,14 +197,23 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _runner_from_args(args: argparse.Namespace) -> SweepRunner:
+    """Build the batch runner the command's options describe."""
+    return SweepRunner(
+        max_workers=args.workers,
+        cache=OperatingPointCache(disk_dir=args.cache_dir),
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     profile = get_profile(args.workload)
-    server = build_server()
     mode = GuardbandMode(args.mode)
+    runner = _runner_from_args(args)
+    core_counts = range(1, ServerConfig().chip.n_cores + 1)
+    results = runner.core_scaling_sweep(profile, mode, core_counts)
     print(f"{profile.name}, mode={mode.value}")
     print(f"{'cores':>6} {'static W':>9} {'adaptive W':>11} {'metric':>8}")
-    for n in range(1, server.config.chip.n_cores + 1):
-        result = measure_consolidated(server, profile, n, mode)
+    for n, result in zip(core_counts, results):
         s0s = result.static.point.socket_point(0)
         s0a = result.adaptive.point.socket_point(0)
         if mode is GuardbandMode.UNDERVOLT:
@@ -177,6 +221,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             metric = f"{result.frequency_boost_fraction:7.1%}"
         print(f"{n:>6} {s0s.chip_power:>9.1f} {s0a.chip_power:>11.1f} {metric:>8}")
+    if args.timings:
+        print()
+        print(runner.reports[-1].summary())
     return 0
 
 
@@ -198,7 +245,17 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "fig16": _print_fig16,
         "fig17": _print_fig17,
     }
-    printers[args.name](fig_builders)
+    # The figure builders pick up the process-wide default runner; swap in
+    # one configured from the command's options for the duration.
+    runner = _runner_from_args(args)
+    previous = set_default_runner(runner)
+    try:
+        printers[args.name](fig_builders)
+    finally:
+        set_default_runner(previous)
+    if args.timings:
+        print()
+        print(runner.timings_summary())
     return 0
 
 

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 from ..errors import SchedulingError
 from ..guardband import GuardbandMode
 from ..sim.results import RunResult, SteadyState
-from ..sim.run import _active_mean_frequency
+from ..sim.run import active_mean_frequency
 from ..workloads.profile import WorkloadProfile
 from ..workloads.scaling import RuntimeModel
 from .placement import Placement
@@ -67,7 +67,7 @@ def measure_scheduled(
     states = {}
     for measured_mode in (GuardbandMode.STATIC, mode):
         point = server.operate(measured_mode, f_target)
-        frequency = _active_mean_frequency(server, point)
+        frequency = active_mean_frequency(point)
         execution_time = runtime.execution_time(
             profile,
             share,
@@ -147,7 +147,7 @@ def measure_mixed(
     runtime = runtime_model or RuntimeModel()
     apply_with_contention(server, placement, runtime)
     point = server.operate(mode, f_target)
-    frequency = _active_mean_frequency(server, point)
+    frequency = active_mean_frequency(point)
     f_nominal = server.config.chip.f_nominal
     per_socket_freqs = [
         point.socket_point(sid).solution.mean_frequency

@@ -5,11 +5,14 @@
 ``engine``  – 32 ms tick-level transient driver (firmware dynamics).
 ``results`` – result containers with derived metrics.
 ``run``     – high-level measurement helpers used by examples and benchmarks.
+``cache``   – keyed operating-point cache (memory LRU + JSON disk layer).
+``batch``   – parallel sweep runner executing grids of independent tasks.
 """
 
 from .engine import TickResult, TransientEngine
 from .results import RunResult, SteadyState
 from .run import (
+    active_mean_frequency,
     build_server,
     core_scaling_sweep,
     measure_consolidated,
@@ -17,18 +20,39 @@ from .run import (
 )
 from .server import Power720Server, ServerOperatingPoint
 from .socket import ProcessorSocket, SocketSolution
+from .cache import CacheStats, OperatingPointCache, fingerprint
+from .batch import (
+    SweepReport,
+    SweepRunner,
+    SweepTask,
+    core_scaling_tasks,
+    default_runner,
+    derive_seed,
+    set_default_runner,
+)
 
 __all__ = [
+    "CacheStats",
+    "OperatingPointCache",
     "Power720Server",
     "ProcessorSocket",
     "RunResult",
     "ServerOperatingPoint",
     "SocketSolution",
     "SteadyState",
+    "SweepReport",
+    "SweepRunner",
+    "SweepTask",
     "TickResult",
     "TransientEngine",
+    "active_mean_frequency",
     "build_server",
     "core_scaling_sweep",
+    "core_scaling_tasks",
+    "default_runner",
+    "derive_seed",
+    "fingerprint",
     "measure_consolidated",
     "measure_placement",
+    "set_default_runner",
 ]

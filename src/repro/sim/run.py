@@ -32,19 +32,41 @@ def build_server(config: Optional[ServerConfig] = None, seed: int = 7) -> Power7
     return Power720Server(config=config, seed=seed)
 
 
+def active_mean_frequency(point: ServerOperatingPoint) -> float:
+    """Mean clock over the cores that ran threads when ``point`` settled.
+
+    Contract
+    --------
+    * At least one active core: the mean clock of exactly those cores, as
+      recorded in each solution's ``active_core_ids`` at solve time.
+    * Fully idle server: there is no active core to average, so the
+      explicit idle frequency is returned — the mean clock of every parked
+      core across *all* sockets.  (Earlier versions silently substituted
+      the socket-0 mean, which mislabelled idle-placement results whenever
+      the sockets parked at different clocks.)
+
+    The operating point is self-contained: no live server state is
+    consulted, so the function is valid for cached or deserialized points
+    whose server has since been re-placed.
+    """
+    active: List[float] = []
+    everything: List[float] = []
+    for socket_point in point.sockets:
+        solution = socket_point.solution
+        everything.extend(solution.frequencies)
+        active.extend(
+            solution.frequencies[i] for i in solution.active_core_ids
+        )
+    if not active:
+        return sum(everything) / len(everything)
+    return sum(active) / len(active)
+
+
 def _active_mean_frequency(
     server: Power720Server, point: ServerOperatingPoint
 ) -> float:
-    """Mean clock over cores that actually run threads."""
-    freqs: List[float] = []
-    for sid, socket in enumerate(server.sockets):
-        solution = point.socket_point(sid).solution
-        for core_id in socket.chip.active_core_ids():
-            freqs.append(solution.frequencies[core_id])
-    if not freqs:
-        # Idle server: fall back to socket-0 mean.
-        return point.socket_point(0).solution.mean_frequency
-    return sum(freqs) / len(freqs)
+    """Back-compat shim: ``server`` is no longer consulted (see above)."""
+    return active_mean_frequency(point)
 
 
 def measure_consolidated(
@@ -155,7 +177,7 @@ def _steady_state(
     runtime: RuntimeModel,
 ) -> SteadyState:
     """Wrap an operating point with runtime estimate and active frequency."""
-    frequency = _active_mean_frequency(server, point)
+    frequency = active_mean_frequency(point)
     execution_time = runtime.execution_time(
         profile,
         share,

@@ -44,11 +44,24 @@ class ServerOperatingPoint:
 
     @property
     def min_frequency(self) -> float:
-        """Slowest active-core clock across sockets (Hz)."""
-        freqs = []
+        """Slowest active-core clock across sockets (Hz).
+
+        Only cores that were running threads when the point settled count:
+        idle and power-gated cores may sit at unrelated clocks (an idle
+        socket's DPLLs park at whatever the last mode programmed) and must
+        not drag the reported pace of the running workload down.  When the
+        whole server is idle there is no active core, so the minimum is
+        taken over every core instead.
+        """
+        active = []
+        everything = []
         for point in self.sockets:
-            freqs.extend(point.solution.frequencies)
-        return min(freqs)
+            solution = point.solution
+            everything.extend(solution.frequencies)
+            active.extend(
+                solution.frequencies[i] for i in solution.active_core_ids
+            )
+        return min(active) if active else min(everything)
 
     def socket_point(self, socket_id: int) -> OperatingPoint:
         """The operating point of one socket."""
@@ -142,6 +155,11 @@ class Power720Server:
 
         Used by the colocation experiments (Fig. 15): ``profiles[i]`` lands
         on core ``i`` of the socket.
+
+        Enforces the same invariants as :meth:`place`: a power-gated core
+        cannot host a thread and a core without a free SMT slot cannot take
+        another.  Violations raise :class:`SchedulingError` before any
+        thread is placed, so a rejected call leaves the server untouched.
         """
         self._check_socket(socket_id)
         chip = self.sockets[socket_id].chip
@@ -149,6 +167,19 @@ class Power720Server:
             raise SchedulingError(
                 f"{len(profiles)} profiles exceed {chip.n_cores} cores"
             )
+        for core_id in range(len(profiles)):
+            core = chip.cores[core_id]
+            if core.gated:
+                raise SchedulingError(
+                    f"cannot place on power-gated core {core_id} of "
+                    f"socket {socket_id}"
+                )
+            if core.free_slots < 1:
+                raise SchedulingError(
+                    f"core {core_id} of socket {socket_id} has no free "
+                    f"SMT slot ({core.n_threads}/{chip.config.smt_ways} "
+                    f"occupied)"
+                )
         for core_id, profile in enumerate(profiles):
             chip.cores[core_id].place(profile.thread())
             self._thread_profiles[socket_id].append(profile)

@@ -64,6 +64,13 @@ class SocketSolution:
     #: Total current drawn from the VRM rail (A).
     total_current: float
 
+    #: Ids of cores that were running at least one thread (and not gated)
+    #: when the point was settled.  Empty for an idle socket.  Captured at
+    #: solve time so a solution describes its own occupancy — downstream
+    #: aggregations (active-core frequency, server minimum clock) must not
+    #: re-query live chip state, which may have changed since.
+    active_core_ids: tuple = ()
+
     @property
     def die_power(self) -> float:
         """Power consumed by the transistors at the delivered voltages (W)."""
@@ -152,6 +159,7 @@ class ProcessorSocket:
             gated=[s.gated for s in states],
             n_active=sum(1 for s in states if s.active),
         )
+        active_ids = tuple(i for i, s in enumerate(states) if s.active)
 
         temperature = chip.thermal.temperature
         solution = None
@@ -182,6 +190,7 @@ class ProcessorSocket:
                 temperature=temperature,
                 iterations=iters,
                 total_current=current,
+                active_core_ids=active_ids,
             )
             if not settle_thermal:
                 break
@@ -198,6 +207,7 @@ class ProcessorSocket:
                     temperature=temperature,
                     iterations=solution.iterations,
                     total_current=solution.total_current,
+                    active_core_ids=solution.active_core_ids,
                 )
                 break
         return solution

@@ -70,6 +70,7 @@ class TestCommands:
             main(["measure", "doom"])
 
 
+@pytest.mark.slow
 class TestAllFigurePrinters:
     @pytest.mark.parametrize(
         "name",

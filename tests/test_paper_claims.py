@@ -220,6 +220,7 @@ class TestSection5LoadlineBorrowing:
         assert radix.energy_improvement_percent > 30.0
 
 
+@pytest.mark.slow
 class TestSection52AdaptiveMapping:
     """Sec. 5.2: colocation effects, the predictor, WebSearch QoS."""
 

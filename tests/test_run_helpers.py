@@ -1,9 +1,18 @@
 """High-level measurement helpers and result containers."""
 
+from types import SimpleNamespace
+
+import numpy as np
 import pytest
 
 from repro.guardband import GuardbandMode
-from repro.sim.run import core_scaling_sweep, measure_consolidated, measure_placement
+from repro.sim.run import (
+    _active_mean_frequency,
+    active_mean_frequency,
+    core_scaling_sweep,
+    measure_consolidated,
+    measure_placement,
+)
 from repro.workloads.scaling import SocketShare
 
 
@@ -102,6 +111,59 @@ class TestMeasurePlacement:
             keep_on=[4, 4],
         )
         assert borr.adaptive.chip_power < cons.adaptive.chip_power
+
+
+class TestActiveMeanFrequency:
+    @staticmethod
+    def _synthetic_point(socket_freqs, socket_active_ids):
+        sockets = tuple(
+            SimpleNamespace(
+                solution=SimpleNamespace(
+                    frequencies=tuple(freqs), active_core_ids=tuple(ids)
+                )
+            )
+            for freqs, ids in zip(socket_freqs, socket_active_ids)
+        )
+        return SimpleNamespace(sockets=sockets)
+
+    def test_active_cores_only(self):
+        point = self._synthetic_point(
+            [(4.0e9, 2.0e9), (1.0e9, 1.0e9)], [(0,), ()]
+        )
+        assert active_mean_frequency(point) == 4.0e9
+
+    def test_idle_server_averages_every_socket(self):
+        """Regression: the idle fallback silently used socket 0 only.
+
+        With the sockets parked at different clocks, the explicit idle
+        frequency is the mean over *all* cores — 3 GHz here, where the old
+        behavior reported socket 0's 4 GHz.
+        """
+        point = self._synthetic_point(
+            [(4.0e9, 4.0e9), (2.0e9, 2.0e9)], [(), ()]
+        )
+        assert active_mean_frequency(point) == pytest.approx(3.0e9)
+
+    def test_idle_contract_on_real_server(self, server):
+        point = server.operate(GuardbandMode.STATIC)
+        freqs = []
+        for sp in point.sockets:
+            freqs.extend(sp.solution.frequencies)
+        assert active_mean_frequency(point) == pytest.approx(float(np.mean(freqs)))
+
+    def test_backcompat_shim_ignores_server(self, server, raytrace):
+        server.place(0, raytrace, 2)
+        point = server.operate(GuardbandMode.UNDERVOLT)
+        assert _active_mean_frequency(None, point) == active_mean_frequency(point)
+
+    def test_point_is_self_contained(self, server, raytrace):
+        """The settled point must not track later server mutations."""
+        server.place(0, raytrace, 2)
+        point = server.operate(GuardbandMode.UNDERVOLT)
+        before = active_mean_frequency(point)
+        server.clear()
+        server.place(1, raytrace, 8)
+        assert active_mean_frequency(point) == before
 
 
 class TestRunResultGuards:

@@ -23,6 +23,7 @@ class TestAnchorCheck:
         assert "FAIL" in str(check)
 
 
+@pytest.mark.slow
 class TestSelfCheck:
     def test_default_configuration_passes(self):
         report = run_selfcheck()
@@ -45,6 +46,7 @@ class TestSelfCheck:
         assert report.failures()
 
 
+@pytest.mark.slow
 class TestReport:
     @pytest.fixture(scope="class")
     def report_text(self):

@@ -57,6 +57,26 @@ class TestPlacement:
         with pytest.raises(SchedulingError):
             server.place_per_core(0, [raytrace] * 9)
 
+    def test_place_per_core_rejects_gated_core(self, server, raytrace):
+        """Regression: placement used to land threads on power-gated cores."""
+        chip = server.sockets[0].chip
+        chip.gate_unused(1)  # only core 0 stays powered
+        with pytest.raises(SchedulingError, match="power-gated"):
+            server.place_per_core(0, [raytrace, raytrace])
+        # Pre-validation means the rejected call placed nothing at all,
+        # not even on the valid core 0.
+        assert all(c.n_threads == 0 for c in chip.cores)
+        assert server.placed_profiles(0) == []
+
+    def test_place_per_core_rejects_full_smt(self, server, raytrace):
+        """Regression: placement used to overflow a core's SMT slots."""
+        chip = server.sockets[0].chip
+        server.place(0, raytrace, chip.config.smt_ways, threads_per_core=chip.config.smt_ways)
+        occupied = [c.n_threads for c in chip.cores]
+        with pytest.raises(SchedulingError, match="SMT slot"):
+            server.place_per_core(0, [raytrace, raytrace])
+        assert [c.n_threads for c in chip.cores] == occupied
+
 
 class TestGating:
     def test_gate_unused_per_socket(self, server, raytrace):
@@ -113,7 +133,57 @@ class TestOperate:
 
     def test_min_frequency_across_sockets(self, server, raytrace):
         server.place(0, raytrace, 2)
+        server.place(1, raytrace, 1)
         point = server.operate(GuardbandMode.OVERCLOCK)
+        freqs = []
+        for sp in point.sockets:
+            solution = sp.solution
+            freqs.extend(
+                solution.frequencies[i] for i in solution.active_core_ids
+            )
+        assert len(freqs) == 3
+        assert point.min_frequency == min(freqs)
+
+
+class TestMinFrequencyAggregation:
+    """Regression: min_frequency used to aggregate idle and gated cores."""
+
+    @staticmethod
+    def _point(*sockets):
+        from repro.sim.server import ServerOperatingPoint
+
+        return ServerOperatingPoint(
+            mode=GuardbandMode.STATIC, sockets=tuple(sockets), peripheral_power=0.0
+        )
+
+    @staticmethod
+    def _socket(frequencies, active_ids):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(
+            solution=SimpleNamespace(
+                frequencies=tuple(frequencies),
+                active_core_ids=tuple(active_ids),
+            )
+        )
+
+    def test_parked_cores_do_not_drag_minimum(self):
+        """Idle cores sitting at a parked clock must not set the minimum."""
+        busy = self._socket([4.2e9, 4.1e9, 1.0e9, 1.0e9], active_ids=(0, 1))
+        idle = self._socket([1.0e9] * 4, active_ids=())
+        assert self._point(busy, idle).min_frequency == 4.1e9
+
+    def test_gated_placement_reports_active_pace(self, server, raytrace):
+        server.place(0, raytrace, 2)
+        server.gate_unused([2, 0])
+        point = server.operate(GuardbandMode.OVERCLOCK)
+        solution = point.socket_point(0).solution
+        expected = min(solution.frequencies[i] for i in solution.active_core_ids)
+        assert solution.active_core_ids == (0, 1)
+        assert point.min_frequency == expected
+
+    def test_fully_idle_falls_back_to_all_cores(self, server):
+        point = server.operate(GuardbandMode.STATIC)
         freqs = []
         for sp in point.sockets:
             freqs.extend(sp.solution.frequencies)
