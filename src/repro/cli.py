@@ -12,8 +12,12 @@ Subcommands
     Regenerate one of the paper's figures and print its series.
 ``audit``
     Reliability-audit a settled operating point.
+``fleet``
+    Simulate a fleet day: online AGS scheduling vs the static-guardband
+    and consolidation baselines.
 
-Every command prints plain text tables; nothing writes to disk.
+Every command prints plain text tables; nothing writes to disk unless
+``--trace-out`` or ``--cache-dir`` asks for it.
 """
 
 from __future__ import annotations
@@ -123,6 +127,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=GuardbandMode.UNDERVOLT.value,
     )
 
+    fleet = commands.add_parser(
+        "fleet",
+        help="simulate a day of job arrivals across a fleet of servers",
+    )
+    fleet.add_argument(
+        "--servers", type=positive_int, default=4, help="fleet size (default 4)"
+    )
+    fleet.add_argument(
+        "--duration",
+        type=float,
+        default=86_400.0,
+        help="trace horizon in seconds (default 86400: one day)",
+    )
+    fleet.add_argument(
+        "--seed", type=int, default=7, help="traffic/die seed (default 7)"
+    )
+    fleet.add_argument(
+        "--rate",
+        type=float,
+        default=18.0,
+        help="mean arrival rate in jobs/hour (default 18)",
+    )
+    fleet.add_argument(
+        "--lc-fraction",
+        type=float,
+        default=0.15,
+        help="fraction of arrivals that are latency-critical (default 0.15)",
+    )
+    fleet.add_argument(
+        "--no-advisor-gate",
+        action="store_true",
+        help="disable the colocation-advisor QoS gate (ablation)",
+    )
+    fleet.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the AGS run's structured event log as JSONL to PATH",
+    )
+    _add_runner_options(fleet)
+
     commands.add_parser(
         "selfcheck",
         help="validate the model against the paper's calibration anchors",
@@ -149,6 +194,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "figure": _cmd_figure,
         "audit": _cmd_audit,
+        "fleet": _cmd_fleet,
         "selfcheck": _cmd_selfcheck,
         "report": _cmd_report,
         "export": _cmd_export,
@@ -283,6 +329,73 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         )
     print("PASSED" if report.passed else "FAILED")
     return 0 if report.passed else 1
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .fleet import FleetConfig, TrafficConfig, run_comparison
+    from .fleet.metrics import summarize_by_class
+    from .fleet.traffic import LATENCY_CRITICAL
+    from .sim.cache import canonical_json
+
+    traffic = TrafficConfig(
+        duration_seconds=args.duration,
+        jobs_per_hour=args.rate,
+        lc_fraction=args.lc_fraction,
+    )
+    config = FleetConfig(
+        n_servers=args.servers, traffic=traffic, seed=args.seed
+    )
+    runner = _runner_from_args(args)
+    gate = not args.no_advisor_gate
+    comparison = run_comparison(config, runner=runner, advisor_gate=gate)
+    ags = comparison.ags
+    consolidation = comparison.consolidation
+    hours = args.duration / 3600.0
+    print(
+        f"fleet: {args.servers} server(s), {hours:g} h, seed {args.seed}, "
+        f"advisor gate {'on' if gate else 'OFF'}"
+    )
+    print(
+        f"jobs: {ags.n_arrivals} arrived, {ags.n_completions} completed, "
+        f"{ags.n_running} running, {ags.n_queued} queued at horizon "
+        f"({'conserved' if ags.conserved else 'NOT CONSERVED'})"
+    )
+    print(
+        f"energy: AGS {ags.adaptive_energy_kwh:.3f} kWh | "
+        f"static guardband {ags.static_energy_kwh:.3f} kWh | "
+        f"consolidation {consolidation.adaptive_energy_kwh:.3f} kWh"
+    )
+    print(
+        f"AGS saving: {comparison.saving_vs_static:.1%} vs static guardband, "
+        f"{comparison.saving_vs_consolidation:.1%} vs consolidation "
+        f"(which cannot meet the boost SLA at all)"
+    )
+    print(
+        f"qos: {ags.qos_violations} violation(s); "
+        f"SLA {config.required_frequency/1e6:.0f} MHz on "
+        "latency-critical sockets"
+    )
+    for job_class, stats in summarize_by_class(ags).items():
+        tag = "LC" if job_class == LATENCY_CRITICAL else job_class
+        print(
+            f"  {tag}: {stats['arrivals']:.0f} job(s), "
+            f"mean latency {stats['mean_latency_s']:.0f} s, "
+            f"mean slowdown {stats['mean_slowdown']:.2f}"
+        )
+    print(
+        f"epochs: {ags.n_epochs} (AGS) + {consolidation.n_epochs} "
+        "(consolidation) placements settled"
+    )
+    print(f"event log: {ags.event_log_hash} ({len(ags.events)} entries)")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            for entry in ags.events:
+                handle.write(canonical_json(entry) + "\n")
+        print(f"wrote {len(ags.events)} events to {args.trace_out}")
+    if args.timings:
+        print()
+        print(runner.timings_summary())
+    return 0
 
 
 def _cmd_selfcheck(args: argparse.Namespace) -> int:

@@ -142,7 +142,10 @@ class ClusterScheduler:
             raise SchedulingError(f"unknown across-policy {across!r}")
         buckets: List[List[Job]] = [[] for _ in range(self.n_servers)]
         loads = [0] * self.n_servers
-        ordered = sorted(jobs, key=lambda j: j.n_threads, reverse=True)
+        # First-fit-decreasing with a content-only tie break: jobs of equal
+        # size order by workload name, never by input position, so any two
+        # permutations of the same job list produce the same plan.
+        ordered = sorted(jobs, key=lambda j: (-j.n_threads, j.profile.name))
         for index, job in enumerate(ordered):
             if job.n_threads > self._capacity:
                 raise SchedulingError(

@@ -19,12 +19,12 @@ from typing import List, Optional, Sequence
 
 from ..errors import SchedulingError
 from ..guardband import GuardbandMode
+from ..sim.batch import SweepRunner, SweepTask, default_runner
 from ..sim.server import Power720Server
 from ..workloads.profile import WorkloadProfile
 from ..workloads.scaling import RuntimeModel
 from .ags import AdaptiveGuardbandScheduler
 from .consolidation import ConsolidationScheduler
-from .evaluate import apply_with_contention
 
 
 @dataclass(frozen=True)
@@ -92,6 +92,7 @@ class DynamicAgsDriver:
         total_cores_on: int = 8,
         interval_seconds: float = 60.0,
         runtime_model: Optional[RuntimeModel] = None,
+        runner: Optional[SweepRunner] = None,
     ) -> None:
         if interval_seconds <= 0:
             raise SchedulingError("interval_seconds must be positive")
@@ -102,6 +103,10 @@ class DynamicAgsDriver:
         self.runtime = runtime_model or RuntimeModel()
         self.ags = AdaptiveGuardbandScheduler(server.config)
         self.baseline = ConsolidationScheduler(server.config)
+        #: Batch runner the measurements route through; ``None`` picks up
+        #: the process-wide default (and its shared operating-point cache),
+        #: so diurnal replays reuse points other builders already settled.
+        self._runner = runner
 
     def replay(self, demand_trace: Sequence[int]) -> TraceResult:
         """Run the whole trace and return per-interval measurements.
@@ -147,9 +152,25 @@ class DynamicAgsDriver:
         )
 
     def _measure(self, placement) -> float:
-        apply_with_contention(self.server, placement, self.runtime)
-        point = self.server.operate(GuardbandMode.UNDERVOLT)
-        return point.chip_power
+        """Settle ``placement`` under the undervolting firmware (W).
+
+        Routed through the batch sweep runner rather than settling on
+        ``self.server`` directly: the runner rebuilds an electrically
+        identical server from ``(config, seed)`` — bit-identical results —
+        and memoizes the point in the shared operating-point cache, so a
+        day-long replay whose demand levels repeat settles each level once.
+        """
+        runner = self._runner if self._runner is not None else default_runner()
+        task = SweepTask.scheduled(
+            placement,
+            self.profile,
+            GuardbandMode.UNDERVOLT,
+            runtime_params=self.runtime.sweep_params(),
+        )
+        report = runner.run(
+            [task], self.server.config, seed_root=self.server.seed
+        )
+        return report.results[0].adaptive.point.chip_power
 
 
 def diurnal_trace(

@@ -1,0 +1,518 @@
+"""The fleet simulation engine: events in, energy and QoS ledgers out.
+
+One :class:`FleetSimulation` drives a homogeneous fleet of Power 720
+servers through a job arrival trace under one :class:`FleetPolicy`.  The
+discrete-event loop owns four state machines:
+
+* **admission** — arrivals try to start immediately (first-fit via the
+  :class:`~repro.fleet.scheduler.OnlineFleetScheduler`), else join a FIFO
+  queue drained whenever a completion frees capacity;
+* **progress** — a running job advances at a rate set by its settled
+  operating point: ``frequency_speedup / (contention x sharing)`` over the
+  job's socket share.  Rates are piecewise constant between placement
+  changes, so completions are *scheduled* as events and re-estimated (via
+  generation counters) only when the job's server re-places;
+* **power** — a server powers on when first-fit needs it and powers off
+  after a hysteresis delay once emptied; powered-on servers burn the
+  settled server power (chip + peripherals), powered-off servers burn
+  nothing;
+* **accounting** — every placement change is an *epoch*: the server's new
+  placement settles through the shared sweep runner (one cached
+  ``SweepTask`` per distinct electrical state), both the adaptive and
+  static-guardband powers update, and the QoS clock on latency-critical
+  sockets is adjudicated against the frequency SLA.
+
+Determinism: the trace is materialized up-front, simulated time is
+integer nanoseconds, every iteration order is sorted or insertion-fixed,
+and single-task runner batches never enter the process pool — so the
+event-log hash is identical across ``--workers`` settings by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import ServerConfig
+from ..errors import SchedulingError
+from ..guardband import GuardbandMode
+from ..sim.batch import SweepRunner, SweepTask, default_runner
+from ..sim.results import RunResult
+from ..sim.run import build_server
+from ..workloads.scaling import RuntimeModel, SocketShare
+from .events import (
+    ArrivalEvent,
+    CompletionEvent,
+    EventQueue,
+    RebalanceEvent,
+    ns_to_seconds,
+    seconds_to_ns,
+)
+from .metrics import (
+    EnergyAccount,
+    EventLog,
+    FleetComparison,
+    FleetResult,
+    JobRecord,
+)
+from .scheduler import (
+    AGS_POLICY,
+    CONSOLIDATION_POLICY,
+    UNGATED_AGS_POLICY,
+    FleetPolicy,
+    OnlineFleetScheduler,
+    PlacementPlan,
+    ServerState,
+    socket_min_active_frequency,
+)
+from .traffic import (
+    JobSpec,
+    TrafficConfig,
+    generate_trace,
+)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything that defines one simulated fleet-day."""
+
+    #: The per-server electrical configuration (homogeneous fleet).
+    server_config: ServerConfig = field(default_factory=ServerConfig)
+
+    #: Fleet size.
+    n_servers: int = 4
+
+    #: Arrival-stream shape.
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
+
+    #: Master seed: derives the traffic stream and doubles as the fleet's
+    #: die seed (every server is electrically identical, which maximizes
+    #: operating-point cache reuse across servers).
+    seed: int = 7
+
+    #: Frequency SLA for latency-critical jobs, as a fraction of the
+    #: nominal clock.  Above 1.0 the SLA is only meetable with the
+    #: adaptive guardband's surplus — the paper's boost-consumer scenario.
+    qos_frequency_fraction: float = 1.08
+
+    #: How long an emptied server idles before powering off (s).
+    power_off_hysteresis_seconds: float = 300.0
+
+    #: Borrowing/packing regime switch point (fraction of server threads).
+    utilization_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise SchedulingError(
+                f"n_servers must be >= 1, got {self.n_servers}"
+            )
+        if self.qos_frequency_fraction <= 0:
+            raise SchedulingError("qos_frequency_fraction must be positive")
+        if self.power_off_hysteresis_seconds < 0:
+            raise SchedulingError("hysteresis must be >= 0")
+
+    @property
+    def required_frequency(self) -> float:
+        """The latency-critical SLA clock (Hz)."""
+        return self.qos_frequency_fraction * self.server_config.chip.f_nominal
+
+    @property
+    def horizon_ns(self) -> int:
+        """Simulation horizon (ns)."""
+        return seconds_to_ns(self.traffic.duration_seconds)
+
+
+@dataclass
+class _RunningJob:
+    """Progress bookkeeping for one started job."""
+
+    spec: JobSpec
+    server_id: int
+
+    #: Nominal-service seconds of work still to do.
+    remaining_seconds: float
+
+    #: Work-progress rate (nominal seconds retired per wall second).
+    rate: float = 0.0
+
+    last_update_ns: int = 0
+
+    #: Invalidates previously scheduled completion events.
+    generation: int = 0
+
+    def sync(self, now_ns: int) -> None:
+        """Retire progress up to ``now_ns`` at the current rate."""
+        dt = ns_to_seconds(now_ns - self.last_update_ns)
+        self.remaining_seconds = max(
+            0.0, self.remaining_seconds - self.rate * dt
+        )
+        self.last_update_ns = now_ns
+
+
+class FleetSimulation:
+    """One policy's run over one trace."""
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        policy: FleetPolicy = AGS_POLICY,
+        runner: Optional[SweepRunner] = None,
+        trace: Optional[Sequence[JobSpec]] = None,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.runner = runner if runner is not None else default_runner()
+        self.trace: Tuple[JobSpec, ...] = tuple(
+            trace
+            if trace is not None
+            else generate_trace(config.traffic, config.seed)
+        )
+        self.scheduler = OnlineFleetScheduler(
+            config.server_config,
+            policy,
+            required_frequency=config.required_frequency,
+            settle=self._settle,
+            utilization_threshold=config.utilization_threshold,
+        )
+        self.servers = [
+            ServerState(server_id=i) for i in range(config.n_servers)
+        ]
+        self.accounts = [
+            EnergyAccount(server_id=i) for i in range(config.n_servers)
+        ]
+        self.log = EventLog()
+        self.records: Dict[int, JobRecord] = {}
+        self.running: Dict[int, _RunningJob] = {}
+        self.queue: List[int] = []
+        self.events = EventQueue()
+        self.qos_violations = 0
+        self.n_epochs = 0
+        self.settle_seconds = 0.0
+        self._runtime = RuntimeModel()
+        self._idle_memo: Dict[str, Tuple[float, float]] = {}
+        self._specs = {job.job_id: job for job in self.trace}
+
+    # ------------------------------------------------------------------
+    # Measurement plumbing
+    # ------------------------------------------------------------------
+    def _settle(self, placement, mode: GuardbandMode) -> RunResult:
+        """Settle one placement through the shared runner (cached)."""
+        profile = None
+        for socket_groups in placement.groups:
+            for group in socket_groups:
+                profile = group.profile
+                break
+            if profile is not None:
+                break
+        if profile is None:
+            raise SchedulingError("cannot settle an empty placement")
+        task = SweepTask.scheduled(placement, profile, mode)
+        report = self.runner.run(
+            [task], self.config.server_config, seed_root=self.config.seed
+        )
+        self.settle_seconds += report.wall_time
+        return report.results[0]
+
+    def _idle_powers(self, mode: GuardbandMode) -> Tuple[float, float]:
+        """(adaptive, static) server power of a powered-on empty server.
+
+        Settled once per mode by gating every core on a scratch server —
+        the power floor a hysteresis-held server keeps burning.
+        """
+        if mode.value not in self._idle_memo:
+            powers = []
+            for settle_mode in (mode, GuardbandMode.STATIC):
+                server = build_server(self.config.server_config)
+                server.gate_unused([0] * server.n_sockets)
+                point = server.operate(settle_mode)
+                powers.append(point.server_power)
+            self._idle_memo[mode.value] = (powers[0], powers[1])
+        return self._idle_memo[mode.value]
+
+    def _job_rate(
+        self, job: JobSpec, share: Tuple[int, ...], result: RunResult
+    ) -> float:
+        """Work-progress rate of one job at a settled operating point."""
+        profile = job.profile()
+        socket_share = SocketShare(share)
+        frequencies = [
+            socket_min_active_frequency(result.adaptive.point, socket_id)
+            for socket_id, n in enumerate(share)
+            if n > 0
+        ]
+        observed = min(frequencies)
+        nominal = self.config.server_config.chip.f_nominal
+        speedup = self._runtime.frequency_speedup(profile, observed, nominal)
+        stretch = self._runtime.stretch_factor(profile, socket_share)
+        return speedup / stretch
+
+    # ------------------------------------------------------------------
+    # Epochs
+    # ------------------------------------------------------------------
+    def _commit_plan(
+        self, state: ServerState, plan: PlacementPlan, now_ns: int
+    ) -> None:
+        """Apply a server's rebuilt placement: energy edge, new powers,
+        re-estimated job rates and completions, QoS adjudication."""
+        account = self.accounts[state.server_id]
+        account.advance(now_ns)
+        state.plan = plan
+        if plan.placement is None:
+            if state.powered:
+                idle_adaptive, idle_static = self._idle_powers(
+                    self.policy.batch_mode
+                )
+                account.set_power(idle_adaptive, idle_static)
+            else:
+                account.set_power(0.0, 0.0)
+            return
+        result = self._settle(plan.placement, plan.guardband_mode)
+        account.set_power(
+            result.adaptive.point.server_power,
+            result.static.point.server_power,
+        )
+        self.n_epochs += 1
+        self.log.append(
+            "epoch",
+            now_ns,
+            server_id=state.server_id,
+            mode=plan.mode_name,
+            guardband=plan.guardband_mode.value,
+            adaptive_power_w=result.adaptive.point.server_power,
+            static_power_w=result.static.point.server_power,
+            n_jobs=len(state.jobs),
+        )
+        for job_id in sorted(state.jobs):
+            runner_job = self.running[job_id]
+            runner_job.sync(now_ns)
+            runner_job.rate = self._job_rate(
+                runner_job.spec, plan.job_shares[job_id], result
+            )
+            runner_job.generation += 1
+            self._schedule_completion(runner_job, now_ns)
+        if plan.has_lc and self.policy.adaptive:
+            self._adjudicate_qos(state, result, now_ns)
+
+    def _schedule_completion(self, job: _RunningJob, now_ns: int) -> None:
+        if job.rate <= 0:
+            raise SchedulingError(
+                f"job {job.spec.job_id} has a non-positive progress rate"
+            )
+        eta_ns = seconds_to_ns(job.remaining_seconds / job.rate)
+        self.events.push(
+            CompletionEvent(
+                time_ns=now_ns + eta_ns,
+                job_id=job.spec.job_id,
+                generation=job.generation,
+            )
+        )
+
+    def _adjudicate_qos(
+        self, state: ServerState, result: RunResult, now_ns: int
+    ) -> None:
+        """Check the frequency SLA on the latency-critical socket."""
+        measured = socket_min_active_frequency(result.adaptive.point, 0)
+        if measured < self.config.required_frequency:
+            self.qos_violations += 1
+            self.log.append(
+                "qos_violation",
+                now_ns,
+                server_id=state.server_id,
+                reason="frequency",
+                measured_hz=measured,
+                required_hz=self.config.required_frequency,
+            )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _handle_arrival(self, event: ArrivalEvent) -> None:
+        spec = self._specs[event.job_id]
+        self.records[spec.job_id] = JobRecord(
+            job_id=spec.job_id,
+            job_class=spec.job_class,
+            profile_name=spec.profile_name,
+            n_threads=spec.n_threads,
+            service_seconds=spec.service_seconds,
+            arrival_ns=event.time_ns,
+        )
+        self.log.append(
+            "arrival",
+            event.time_ns,
+            job_id=spec.job_id,
+            job_class=spec.job_class,
+            profile=spec.profile_name,
+            n_threads=spec.n_threads,
+        )
+        if not self._try_start(spec, event.time_ns):
+            self.queue.append(spec.job_id)
+            self.log.append("queued", event.time_ns, job_id=spec.job_id)
+            if spec.latency_critical:
+                # A critical job that cannot start immediately already
+                # missed its SLA — admission latency is part of QoS.
+                self.qos_violations += 1
+                self.log.append(
+                    "qos_violation",
+                    event.time_ns,
+                    job_id=spec.job_id,
+                    reason="queued",
+                )
+
+    def _try_start(self, spec: JobSpec, now_ns: int) -> bool:
+        placed = self.scheduler.try_place(spec, self.servers)
+        if placed is None:
+            return False
+        server_id, plan = placed
+        state = self.servers[server_id]
+        if not state.powered:
+            state.powered = True
+            self.accounts[server_id].advance(now_ns)
+            self.log.append("power_on", now_ns, server_id=server_id)
+        state.jobs[spec.job_id] = spec
+        state.rebalance_generation += 1  # cancel any pending power-off
+        record = self.records[spec.job_id]
+        record.start_ns = now_ns
+        record.server_id = server_id
+        self.running[spec.job_id] = _RunningJob(
+            spec=spec,
+            server_id=server_id,
+            remaining_seconds=spec.service_seconds,
+            last_update_ns=now_ns,
+        )
+        self.log.append(
+            "start",
+            now_ns,
+            job_id=spec.job_id,
+            server_id=server_id,
+            queued_seconds=ns_to_seconds(now_ns - record.arrival_ns),
+        )
+        self._commit_plan(state, plan, now_ns)
+        return True
+
+    def _handle_completion(self, event: CompletionEvent) -> None:
+        job = self.running.get(event.job_id)
+        if job is None or job.generation != event.generation:
+            return  # stale estimate, superseded by a later placement
+        now_ns = event.time_ns
+        job.sync(now_ns)
+        job.remaining_seconds = 0.0
+        del self.running[event.job_id]
+        state = self.servers[job.server_id]
+        del state.jobs[event.job_id]
+        record = self.records[event.job_id]
+        record.completion_ns = now_ns
+        self.log.append(
+            "completion",
+            now_ns,
+            job_id=event.job_id,
+            server_id=job.server_id,
+            latency_seconds=record.latency_seconds,
+        )
+        plan = self.scheduler.build_plan(list(state.jobs.values()))
+        self._commit_plan(state, plan, now_ns)
+        if state.empty:
+            state.rebalance_generation += 1
+            self.events.push(
+                RebalanceEvent(
+                    time_ns=now_ns
+                    + seconds_to_ns(
+                        self.config.power_off_hysteresis_seconds
+                    ),
+                    server_id=state.server_id,
+                    generation=state.rebalance_generation,
+                )
+            )
+        self._drain_queue(now_ns)
+
+    def _handle_rebalance(self, event: RebalanceEvent) -> None:
+        state = self.servers[event.server_id]
+        if event.generation != state.rebalance_generation:
+            return  # the server got work since; power-off cancelled
+        if not (state.powered and state.empty):
+            return
+        account = self.accounts[state.server_id]
+        account.advance(event.time_ns)
+        account.set_power(0.0, 0.0)
+        state.powered = False
+        self.log.append(
+            "power_off", event.time_ns, server_id=state.server_id
+        )
+
+    def _drain_queue(self, now_ns: int) -> None:
+        """Start every queued job that now fits, FIFO with skip-ahead."""
+        still_waiting: List[int] = []
+        for job_id in self.queue:
+            spec = self._specs[job_id]
+            if not self._try_start(spec, now_ns):
+                still_waiting.append(job_id)
+        self.queue = still_waiting
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def run(self) -> FleetResult:
+        """Drive the whole trace and return the sealed ledgers."""
+        horizon_ns = self.config.horizon_ns
+        for spec in self.trace:
+            if spec.arrival_ns < horizon_ns:
+                self.events.push(
+                    ArrivalEvent(time_ns=spec.arrival_ns, job_id=spec.job_id)
+                )
+        while len(self.events):
+            peek = self.events.peek_time()
+            if peek is None or peek > horizon_ns:
+                break
+            event = self.events.pop()
+            if isinstance(event, CompletionEvent):
+                self._handle_completion(event)
+            elif isinstance(event, ArrivalEvent):
+                self._handle_arrival(event)
+            elif isinstance(event, RebalanceEvent):
+                self._handle_rebalance(event)
+            else:  # pragma: no cover - no other event kinds exist
+                raise SchedulingError(f"unhandled event {event!r}")
+        for account in self.accounts:
+            account.advance(horizon_ns)
+        for job in self.running.values():
+            job.sync(horizon_ns)
+        adaptive_j = sum(a.adaptive_joules for a in self.accounts)
+        static_j = sum(a.static_joules for a in self.accounts)
+        return FleetResult(
+            policy=self.policy.name,
+            horizon_ns=horizon_ns,
+            adaptive_energy_joules=adaptive_j,
+            static_energy_joules=static_j,
+            n_arrivals=len(self.records),
+            n_completions=sum(
+                1 for r in self.records.values() if r.completed
+            ),
+            n_running=len(self.running),
+            n_queued=len(self.queue),
+            qos_violations=self.qos_violations,
+            n_epochs=self.n_epochs,
+            event_log_hash=self.log.digest(),
+            job_records=tuple(
+                self.records[job_id] for job_id in sorted(self.records)
+            ),
+            events=self.log.entries,
+        )
+
+
+def run_comparison(
+    config: FleetConfig,
+    runner: Optional[SweepRunner] = None,
+    advisor_gate: bool = True,
+) -> FleetComparison:
+    """AGS vs. static guardband vs. consolidation over one trace.
+
+    The static-guardband baseline rides along with the AGS run (the sweep
+    runner settles both guardbands of every placement), so only two
+    simulations execute — and they share the operating-point cache.
+    """
+    trace = generate_trace(config.traffic, config.seed)
+    ags_policy = AGS_POLICY if advisor_gate else UNGATED_AGS_POLICY
+    ags = FleetSimulation(config, ags_policy, runner=runner, trace=trace).run()
+    consolidation = FleetSimulation(
+        config, CONSOLIDATION_POLICY, runner=runner, trace=trace
+    ).run()
+    return FleetComparison(ags=ags, consolidation=consolidation)

@@ -1,0 +1,117 @@
+"""Discrete-event primitives for the fleet simulator.
+
+Simulated time is an **integer nanosecond** count — no floating-point
+clock drift, so two runs of the same trace pop events in exactly the same
+order.  The queue is a binary heap keyed by ``(time, priority, sequence)``:
+
+* ``time`` — the event's firing time (ns);
+* ``priority`` — a per-kind rank that fixes the order of simultaneous
+  events (completions free capacity before arrivals claim it; deferred
+  rebalance housekeeping runs last);
+* ``sequence`` — a monotone insertion counter, so equal-time, equal-kind
+  events fire in FIFO order regardless of heap internals.
+
+Completion and rebalance events carry a **generation** number.  The
+simulation bumps the owning entity's generation whenever the event's
+premise changes (a job's completion is re-estimated, a server receives
+work while waiting to power off); stale events are recognised on pop and
+dropped, which is cheaper and more deterministic than in-heap deletion.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import SchedulingError
+
+#: Nanoseconds per second — the clock's base unit conversion.
+NS_PER_SECOND = 1_000_000_000
+
+
+def seconds_to_ns(seconds: float) -> int:
+    """Convert a duration in seconds to integer nanoseconds (rounded)."""
+    if seconds < 0:
+        raise SchedulingError(f"duration must be >= 0, got {seconds}")
+    return int(round(seconds * NS_PER_SECOND))
+
+
+def ns_to_seconds(time_ns: int) -> float:
+    """Convert integer nanoseconds back to seconds."""
+    return time_ns / NS_PER_SECOND
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """Base event: something happens at ``time_ns``."""
+
+    time_ns: int
+
+    #: Rank among simultaneous events (lower fires first).
+    priority = 99
+
+    def __post_init__(self) -> None:
+        if self.time_ns < 0:
+            raise SchedulingError(f"time_ns must be >= 0, got {self.time_ns}")
+
+
+@dataclass(frozen=True)
+class CompletionEvent(FleetEvent):
+    """A running job's estimated finish.  Stale when the job's progress
+    was re-estimated (placement change) after this event was scheduled."""
+
+    job_id: int = 0
+    generation: int = 0
+
+    priority = 0
+
+
+@dataclass(frozen=True)
+class ArrivalEvent(FleetEvent):
+    """A job arrives at the fleet's admission queue."""
+
+    job_id: int = 0
+
+    priority = 1
+
+
+@dataclass(frozen=True)
+class RebalanceEvent(FleetEvent):
+    """Deferred housekeeping on one server (power-off hysteresis check)."""
+
+    server_id: int = 0
+    generation: int = 0
+
+    priority = 2
+
+
+class EventQueue:
+    """Deterministic priority queue over fleet events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, int, FleetEvent]] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: FleetEvent) -> None:
+        """Schedule one event."""
+        heapq.heappush(
+            self._heap,
+            (event.time_ns, event.priority, self._sequence, event),
+        )
+        self._sequence += 1
+
+    def pop(self) -> FleetEvent:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SchedulingError("event queue is empty")
+        return heapq.heappop(self._heap)[3]
+
+    def peek_time(self) -> Optional[int]:
+        """Firing time of the earliest event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]

@@ -1,0 +1,209 @@
+"""Trace generators: seeded job arrival streams for the fleet simulator.
+
+Arrivals follow an inhomogeneous Poisson process whose rate carries the
+canonical datacenter diurnal shape — a trough in the small hours and a
+midday peak — realized by *thinning*: candidate arrivals are drawn at the
+peak rate and accepted with probability ``rate(t) / rate_peak``.  Each
+accepted arrival draws a job class (latency-critical vs. batch), a
+workload profile from the class's slice of the calibrated catalog, a
+thread count, and a nominal service demand.
+
+Everything is derived from one :class:`random.Random` stream seeded with
+:func:`repro.sim.batch.derive_seed`, and the **whole trace is materialized
+before the simulation starts** — generation order is fixed, so the trace
+is bit-identical no matter how the simulator is parallelized.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+from typing import Tuple
+
+from ..errors import SchedulingError
+from ..sim.batch import derive_seed
+from ..workloads import get_profile
+from ..workloads.profile import WorkloadProfile
+from .events import NS_PER_SECOND, seconds_to_ns
+
+#: Job-class tags.
+LATENCY_CRITICAL = "latency_critical"
+BATCH = "batch"
+
+#: Seconds per simulated day (the diurnal period).
+DAY_SECONDS = 86_400.0
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job of the arrival stream (immutable trace entry)."""
+
+    #: Monotone arrival index — doubles as the job's identity.
+    job_id: int
+
+    #: Arrival time (integer ns from trace start).
+    arrival_ns: int
+
+    #: ``"latency_critical"`` or ``"batch"``.
+    job_class: str
+
+    #: Catalog profile the job runs.
+    profile_name: str
+
+    #: Threads the job needs for its whole residence.
+    n_threads: int
+
+    #: Nominal service demand (s): the time the job takes running
+    #: undisturbed at the nominal clock.  Contention, sharing and the
+    #: settled frequency stretch or shrink it during the simulation.
+    service_seconds: float
+
+    @property
+    def latency_critical(self) -> bool:
+        """Whether the job carries the frequency SLA."""
+        return self.job_class == LATENCY_CRITICAL
+
+    def profile(self) -> WorkloadProfile:
+        """The job's calibrated workload profile."""
+        return get_profile(self.profile_name)
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape of the arrival stream.
+
+    Defaults describe a small enterprise fleet's day: ~18 jobs/hour on
+    average, 60% peak-to-mean diurnal swing, 15% latency-critical jobs.
+    The batch pool mixes compute-bound (raytrace, bzip2), bandwidth-bound
+    (fft) and memory-latency-bound (mcf) profiles so the advisor gate has
+    both malicious and benign co-runner candidates to rule on.
+    """
+
+    #: Trace horizon (s).
+    duration_seconds: float = DAY_SECONDS
+
+    #: Mean arrival rate (jobs per hour) over the whole horizon.
+    jobs_per_hour: float = 18.0
+
+    #: Relative diurnal swing in [0, 1): rate(t) spans
+    #: ``mean * (1 ± amplitude)`` across the day.
+    diurnal_amplitude: float = 0.6
+
+    #: Phase of the diurnal peak (s into the day); default 14:00.
+    peak_time_seconds: float = 14.0 * 3600.0
+
+    #: Probability an arrival is latency-critical.
+    lc_fraction: float = 0.15
+
+    #: Catalog profiles latency-critical jobs draw from.
+    lc_profiles: Tuple[str, ...] = ("perl", "h264ref")
+
+    #: Catalog profiles batch jobs draw from.
+    batch_profiles: Tuple[str, ...] = ("raytrace", "fft", "mcf", "bzip2")
+
+    #: Thread-count choices per class (drawn uniformly).
+    lc_threads: Tuple[int, ...] = (1, 2)
+    batch_threads: Tuple[int, ...] = (2, 4)
+
+    #: Mean nominal service demand (s) per class (exponential draw,
+    #: floored so no job is shorter than one scheduling breath).
+    lc_service_mean: float = 900.0
+    batch_service_mean: float = 1800.0
+
+    #: Service-time floor (s).
+    service_floor: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise SchedulingError("duration_seconds must be positive")
+        if self.jobs_per_hour <= 0:
+            raise SchedulingError("jobs_per_hour must be positive")
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise SchedulingError("diurnal_amplitude must be in [0, 1)")
+        if not 0 <= self.lc_fraction <= 1:
+            raise SchedulingError("lc_fraction must be in [0, 1]")
+        if not self.lc_profiles or not self.batch_profiles:
+            raise SchedulingError("profile pools must be non-empty")
+        if min(self.lc_threads + self.batch_threads) < 1:
+            raise SchedulingError("thread choices must be >= 1")
+        if min(self.lc_service_mean, self.batch_service_mean) <= 0:
+            raise SchedulingError("service means must be positive")
+
+    def rate_at(self, t_seconds: float) -> float:
+        """Instantaneous arrival rate (jobs/s) at ``t_seconds``."""
+        mean_per_second = self.jobs_per_hour / 3600.0
+        phase = 2.0 * math.pi * (t_seconds - self.peak_time_seconds) / DAY_SECONDS
+        return mean_per_second * (1.0 + self.diurnal_amplitude * math.cos(phase))
+
+    @property
+    def peak_rate(self) -> float:
+        """The thinning envelope: the diurnal maximum rate (jobs/s)."""
+        return (self.jobs_per_hour / 3600.0) * (1.0 + self.diurnal_amplitude)
+
+
+def generate_trace(config: TrafficConfig, seed: int) -> Tuple[JobSpec, ...]:
+    """Materialize the whole arrival stream for one seeded day.
+
+    The stream derives its own seed from ``(seed, "fleet-traffic")`` via
+    the same scheme the batch runner uses, so traffic randomness never
+    couples to any other consumer of ``seed``.
+    """
+    rng = Random(derive_seed(seed, {"stream": "fleet-traffic"}))
+    jobs = []
+    t = 0.0
+    peak = config.peak_rate
+    while True:
+        # Thinned Poisson: exponential gaps at the envelope rate, accepted
+        # with probability rate(t)/peak.  Both draws always consume the
+        # stream, so acceptance never reshuffles later randomness.
+        t += rng.expovariate(peak)
+        accept = rng.random()
+        if t >= config.duration_seconds:
+            break
+        if accept * peak > config.rate_at(t):
+            continue
+        is_lc = rng.random() < config.lc_fraction
+        if is_lc:
+            profile_name = rng.choice(config.lc_profiles)
+            n_threads = rng.choice(config.lc_threads)
+            service = rng.expovariate(1.0 / config.lc_service_mean)
+        else:
+            profile_name = rng.choice(config.batch_profiles)
+            n_threads = rng.choice(config.batch_threads)
+            service = rng.expovariate(1.0 / config.batch_service_mean)
+        jobs.append(
+            JobSpec(
+                job_id=len(jobs),
+                arrival_ns=seconds_to_ns(t),
+                job_class=LATENCY_CRITICAL if is_lc else BATCH,
+                profile_name=profile_name,
+                n_threads=n_threads,
+                service_seconds=max(service, config.service_floor),
+            )
+        )
+    return tuple(jobs)
+
+
+def constant_trace(
+    n_jobs: int,
+    profile_name: str = "raytrace",
+    n_threads: int = 4,
+    service_seconds: float = 1800.0,
+    gap_seconds: float = 600.0,
+    job_class: str = BATCH,
+) -> Tuple[JobSpec, ...]:
+    """A deterministic evenly-spaced stream — handy for tests and docs."""
+    if n_jobs < 1:
+        raise SchedulingError(f"n_jobs must be >= 1, got {n_jobs}")
+    return tuple(
+        JobSpec(
+            job_id=i,
+            arrival_ns=int(round(i * gap_seconds * NS_PER_SECOND)),
+            job_class=job_class,
+            profile_name=profile_name,
+            n_threads=n_threads,
+            service_seconds=service_seconds,
+        )
+        for i in range(n_jobs)
+    )

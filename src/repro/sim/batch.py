@@ -427,12 +427,23 @@ class SweepRunner:
     # Core API
     # ------------------------------------------------------------------
     def run(
-        self, tasks: Sequence[SweepTask], config: Optional[ServerConfig] = None
+        self,
+        tasks: Sequence[SweepTask],
+        config: Optional[ServerConfig] = None,
+        seed_root: Optional[int] = None,
     ) -> SweepReport:
-        """Execute a batch of tasks; results come back in input order."""
+        """Execute a batch of tasks; results come back in input order.
+
+        ``seed_root`` overrides the runner's die seed for this batch only
+        (cache keys include the effective seed, so differently-seeded
+        batches never alias).  Callers measuring a specific server should
+        pass that server's seed so results stay bit-identical to settling
+        on the server directly.
+        """
         start = time.perf_counter()
         cfg = config or ServerConfig()
         cfg_fp = fingerprint(cfg)
+        seed = self.seed_root if seed_root is None else seed_root
 
         # Resolve from cache; collect the modes each task still needs.
         states: List[Dict[str, SteadyState]] = []
@@ -441,7 +452,7 @@ class SweepRunner:
             have: Dict[str, SteadyState] = {}
             missing: List[GuardbandMode] = []
             for mode in self._modes_of(task):
-                cached = self.cache.get(self._point_key(cfg_fp, task, mode))
+                cached = self.cache.get(self._point_key(cfg_fp, task, mode, seed))
                 if cached is not None:
                     have[mode.value] = cached
                 else:
@@ -455,7 +466,7 @@ class SweepRunner:
         fresh_wall: Dict[int, float] = {}
         if pending:
             payloads = [
-                (cfg, self.seed_root, tasks[index], modes)
+                (cfg, seed, tasks[index], modes)
                 for index, modes in pending
             ]
             outcomes, used_processes = self._execute(payloads)
@@ -464,7 +475,7 @@ class SweepRunner:
                 for mode_value, state in fresh.items():
                     mode = GuardbandMode(mode_value)
                     self.cache.put(
-                        self._point_key(cfg_fp, tasks[index], mode), state
+                        self._point_key(cfg_fp, tasks[index], mode, seed), state
                     )
                     states[index][mode_value] = state
 
@@ -500,10 +511,13 @@ class SweepRunner:
         return report
 
     def run_results(
-        self, tasks: Sequence[SweepTask], config: Optional[ServerConfig] = None
+        self,
+        tasks: Sequence[SweepTask],
+        config: Optional[ServerConfig] = None,
+        seed_root: Optional[int] = None,
     ) -> List[RunResult]:
         """:meth:`run`, returning just the results."""
-        return list(self.run(tasks, config).results)
+        return list(self.run(tasks, config, seed_root=seed_root).results)
 
     # ------------------------------------------------------------------
     # Convenience wrappers mirroring the serial helpers in sim.run
@@ -546,14 +560,18 @@ class SweepRunner:
         return (GuardbandMode.STATIC, task.mode)
 
     def _point_key(
-        self, cfg_fp: str, task: SweepTask, mode: GuardbandMode
+        self,
+        cfg_fp: str,
+        task: SweepTask,
+        mode: GuardbandMode,
+        seed: Optional[int] = None,
     ) -> str:
         return fingerprint(
             {
                 "config": cfg_fp,
                 "coords": task.coordinates(),
                 "mode": mode.value,
-                "seed": self.seed_root,
+                "seed": self.seed_root if seed is None else seed,
             }
         )
 

@@ -73,6 +73,10 @@ class Power720Server:
 
     def __init__(self, config: Optional[ServerConfig] = None, seed: int = 7) -> None:
         self.config = config or ServerConfig()
+        #: Die seed the sockets were built with.  Recorded so measurement
+        #: layers (e.g. the batch sweep runner) can rebuild an electrically
+        #: identical server and return bit-identical operating points.
+        self.seed = seed
         self.vrm = VoltageRegulatorModule(self.config.pdn, n_rails=self.config.n_sockets)
         self.sockets: List[ProcessorSocket] = []
         self.controllers: List[GuardbandController] = []

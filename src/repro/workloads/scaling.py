@@ -93,6 +93,29 @@ class RuntimeModel:
         self._bandwidth = socket_bandwidth
         self._cross_penalty = cross_socket_penalty
 
+    @property
+    def socket_bandwidth(self) -> float:
+        """Per-socket memory bandwidth (profile demand units)."""
+        return self._bandwidth
+
+    @property
+    def cross_socket_penalty(self) -> float:
+        """Relative cost of full cross-socket sharing."""
+        return self._cross_penalty
+
+    def sweep_params(self):
+        """The model as a batch-task ``runtime_params`` tuple.
+
+        ``None`` when both parameters are the calibrated defaults, so task
+        cache keys stay identical to those of callers that omit the model.
+        """
+        if (
+            self._bandwidth == SOCKET_BANDWIDTH
+            and self._cross_penalty == CROSS_SOCKET_PENALTY
+        ):
+            return None
+        return (self._bandwidth, self._cross_penalty)
+
     def amdahl_factor(self, profile: WorkloadProfile, n_threads: int) -> float:
         """Parallel-scaling multiplier on single-thread time (≤ 1).
 

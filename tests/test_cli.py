@@ -24,6 +24,24 @@ class TestParser:
         assert args.threads == 1
         assert args.mode == "undervolt"
 
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.servers == 4
+        assert args.duration == 86_400.0
+        assert args.seed == 7
+        assert args.rate == 18.0
+        assert args.lc_fraction == 0.15
+        assert args.no_advisor_gate is False
+        assert args.trace_out is None
+        # The shared runner options ride along.
+        assert args.workers == 1
+        assert args.cache_dir is None
+        assert args.timings is False
+
+    def test_fleet_rejects_bad_workers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--workers", "0"])
+
 
 class TestCommands:
     def test_workloads_lists_catalog(self, capsys):
@@ -62,6 +80,51 @@ class TestCommands:
     def test_figure_fig16(self, capsys):
         assert main(["figure", "fig16"]) == 0
         assert "RMSE" in capsys.readouterr().out
+
+    def test_fleet_short_day(self, capsys, tmp_path):
+        trace_path = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--servers",
+                    "2",
+                    "--duration",
+                    "7200",
+                    "--seed",
+                    "7",
+                    "--trace-out",
+                    str(trace_path),
+                    "--timings",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fleet: 2 server(s)" in out
+        assert "conserved" in out
+        assert "static guardband" in out
+        assert "event log:" in out
+        assert "cache:" in out  # --timings prints runner stats
+        lines = trace_path.read_text().splitlines()
+        assert lines, "trace-out must contain events"
+        import json
+
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert {"arrival", "start", "epoch"} <= kinds
+
+    def test_fleet_is_deterministic_across_invocations(self, capsys):
+        hashes = []
+        for _ in range(2):
+            assert main(["fleet", "--servers", "2", "--duration", "3600"]) == 0
+            out = capsys.readouterr().out
+            hashes.append(
+                next(
+                    line for line in out.splitlines()
+                    if line.startswith("event log:")
+                )
+            )
+        assert hashes[0] == hashes[1]
 
     def test_unknown_workload_raises(self):
         from repro.errors import WorkloadError

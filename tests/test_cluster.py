@@ -91,6 +91,46 @@ class TestWithinServerPlacement:
         assert all(p is None for p in plan.placements[1:])
 
 
+class TestDeterministicOrdering:
+    """FFD tie-breaking is content-only: input order never matters."""
+
+    JOBS = [
+        ("raytrace", 4),
+        ("mcf", 4),
+        ("lu_cb", 8),
+        ("fft", 4),
+        ("bzip2", 2),
+        ("radix", 2),
+    ]
+
+    @pytest.mark.parametrize("within", ["borrowing", "consolidation"])
+    @pytest.mark.parametrize("across", ["consolidate", "spread"])
+    def test_permutations_produce_identical_plans(
+        self, scheduler, within, across
+    ):
+        reference = scheduler.schedule(
+            _jobs(*self.JOBS), within=within, across=across
+        )
+        for rotation in range(1, len(self.JOBS)):
+            permuted = self.JOBS[rotation:] + self.JOBS[:rotation]
+            plan = scheduler.schedule(
+                _jobs(*permuted), within=within, across=across
+            )
+            assert plan.assignments == reference.assignments
+            assert plan.placements == reference.placements
+
+    def test_equal_size_ties_break_by_name(self, scheduler):
+        """Same-size jobs order alphabetically, not by arrival."""
+        forward = scheduler.schedule(_jobs(("raytrace", 4), ("mcf", 4)))
+        backward = scheduler.schedule(_jobs(("mcf", 4), ("raytrace", 4)))
+        assert forward.assignments == backward.assignments
+        first_server = forward.assignments[0]
+        assert [job.profile.name for job in first_server] == [
+            "mcf",
+            "raytrace",
+        ]
+
+
 class TestEvaluation:
     def test_off_servers_draw_nothing(self, scheduler):
         plan = scheduler.schedule(_jobs(("raytrace", 4)))

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.core import DynamicAgsDriver, diurnal_trace
+from repro.core.evaluate import apply_with_contention
 from repro.errors import SchedulingError
+from repro.guardband import GuardbandMode
+from repro.sim.batch import SweepRunner
+from repro.sim.cache import OperatingPointCache
+from repro.workloads.scaling import RuntimeModel
 
 
 @pytest.fixture
@@ -80,3 +85,56 @@ class TestReplay:
     def test_rejects_bad_interval(self, server, raytrace):
         with pytest.raises(SchedulingError):
             DynamicAgsDriver(server, raytrace, interval_seconds=0.0)
+
+
+class TestRunnerRouting:
+    """The driver's measurements route through the batch runner/cache."""
+
+    def test_bit_identical_to_direct_settling(
+        self, server, server_config, raytrace
+    ):
+        """Cache-routed powers equal settling an identical fresh server."""
+        from repro.sim.run import build_server
+
+        driver = DynamicAgsDriver(
+            server,
+            raytrace,
+            runner=SweepRunner(cache=OperatingPointCache()),
+        )
+        result = driver.replay([2, 5])
+        runtime = RuntimeModel()
+        for interval in result.intervals:
+            placement = driver.ags.schedule_batch(
+                raytrace, interval.demand, driver.total_cores_on
+            )
+            fresh = build_server(server_config, seed=server.seed)
+            apply_with_contention(fresh, placement, runtime)
+            point = fresh.operate(GuardbandMode.UNDERVOLT)
+            assert interval.ags_power == point.chip_power
+
+    def test_repeated_demand_levels_hit_the_cache(self, server, raytrace):
+        runner = SweepRunner(cache=OperatingPointCache())
+        driver = DynamicAgsDriver(server, raytrace, runner=runner)
+        driver.replay([3, 4, 3, 4, 3])
+        stats = runner.reports[-1].cache_stats
+        # 2 distinct demand levels x (AGS + baseline) x (static + adaptive
+        # halves): everything beyond the first 8 settles is a replay.
+        assert stats.hits > 0
+        assert stats.misses <= 8
+
+    def test_distinct_seeds_never_alias(self, server_config, raytrace):
+        """Two different die seeds must not share cache entries."""
+        from repro.sim.server import Power720Server
+
+        runner = SweepRunner(cache=OperatingPointCache())
+        for seed, expect_misses in ((7, True), (7, False), (8, True)):
+            driver = DynamicAgsDriver(
+                Power720Server(server_config, seed=seed),
+                raytrace,
+                runner=runner,
+            )
+            before = runner.cache.stats.misses
+            driver.replay([4])
+            missed = runner.cache.stats.misses - before
+            # Same seed replays from cache; a new seed settles afresh.
+            assert (missed > 0) is expect_misses

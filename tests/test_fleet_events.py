@@ -1,0 +1,73 @@
+"""Fleet event primitives: the deterministic priority queue."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.fleet.events import (
+    ArrivalEvent,
+    CompletionEvent,
+    EventQueue,
+    NS_PER_SECOND,
+    RebalanceEvent,
+    ns_to_seconds,
+    seconds_to_ns,
+)
+
+
+class TestClockConversions:
+    def test_round_trip(self):
+        assert ns_to_seconds(seconds_to_ns(123.456)) == pytest.approx(123.456)
+
+    def test_integer_seconds_are_exact(self):
+        assert seconds_to_ns(86_400.0) == 86_400 * NS_PER_SECOND
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SchedulingError):
+            seconds_to_ns(-1.0)
+
+
+class TestEventValidation:
+    def test_rejects_negative_time(self):
+        with pytest.raises(SchedulingError):
+            ArrivalEvent(time_ns=-1, job_id=0)
+
+    def test_priorities_rank_kinds(self):
+        completion = CompletionEvent(time_ns=0, job_id=0, generation=0)
+        arrival = ArrivalEvent(time_ns=0, job_id=0)
+        rebalance = RebalanceEvent(time_ns=0, server_id=0, generation=0)
+        assert completion.priority < arrival.priority < rebalance.priority
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(ArrivalEvent(time_ns=300, job_id=2))
+        queue.push(ArrivalEvent(time_ns=100, job_id=0))
+        queue.push(ArrivalEvent(time_ns=200, job_id=1))
+        assert [queue.pop().job_id for _ in range(3)] == [0, 1, 2]
+
+    def test_simultaneous_events_rank_by_priority(self):
+        """A completion frees capacity before the simultaneous arrival."""
+        queue = EventQueue()
+        queue.push(ArrivalEvent(time_ns=50, job_id=9))
+        queue.push(RebalanceEvent(time_ns=50, server_id=1, generation=0))
+        queue.push(CompletionEvent(time_ns=50, job_id=3, generation=0))
+        kinds = [type(queue.pop()).__name__ for _ in range(3)]
+        assert kinds == ["CompletionEvent", "ArrivalEvent", "RebalanceEvent"]
+
+    def test_equal_priority_is_fifo(self):
+        queue = EventQueue()
+        for job_id in (5, 3, 8):
+            queue.push(ArrivalEvent(time_ns=10, job_id=job_id))
+        assert [queue.pop().job_id for _ in range(3)] == [5, 3, 8]
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(ArrivalEvent(time_ns=42, job_id=0))
+        assert queue.peek_time() == 42
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().pop()

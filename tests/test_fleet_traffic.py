@@ -1,0 +1,119 @@
+"""Trace generators: seeded, validated, reproducible."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.fleet.traffic import (
+    BATCH,
+    LATENCY_CRITICAL,
+    JobSpec,
+    TrafficConfig,
+    constant_trace,
+    generate_trace,
+)
+
+
+class TestTrafficConfig:
+    def test_defaults_validate(self):
+        config = TrafficConfig()
+        assert config.duration_seconds == 86_400.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_seconds": 0.0},
+            {"jobs_per_hour": -1.0},
+            {"diurnal_amplitude": 1.0},
+            {"lc_fraction": 1.5},
+            {"lc_profiles": ()},
+            {"batch_threads": (0,)},
+            {"batch_service_mean": 0.0},
+        ],
+    )
+    def test_rejects_bad_shapes(self, kwargs):
+        with pytest.raises(SchedulingError):
+            TrafficConfig(**kwargs)
+
+    def test_rate_peaks_at_peak_time(self):
+        config = TrafficConfig(jobs_per_hour=36.0, diurnal_amplitude=0.5)
+        peak = config.rate_at(config.peak_time_seconds)
+        trough = config.rate_at(config.peak_time_seconds + 43_200.0)
+        assert peak == pytest.approx(config.peak_rate)
+        assert peak == pytest.approx(1.5 * 36.0 / 3600.0)
+        assert trough == pytest.approx(0.5 * 36.0 / 3600.0)
+
+    def test_flat_rate_without_amplitude(self):
+        config = TrafficConfig(diurnal_amplitude=0.0)
+        assert config.rate_at(0.0) == pytest.approx(config.rate_at(40_000.0))
+
+
+class TestGenerateTrace:
+    def test_same_seed_same_trace(self):
+        config = TrafficConfig(duration_seconds=6 * 3600.0)
+        assert generate_trace(config, 7) == generate_trace(config, 7)
+
+    def test_different_seeds_differ(self):
+        config = TrafficConfig(duration_seconds=6 * 3600.0)
+        assert generate_trace(config, 7) != generate_trace(config, 8)
+
+    def test_ids_are_dense_and_arrivals_sorted(self):
+        trace = generate_trace(TrafficConfig(duration_seconds=12 * 3600.0), 3)
+        assert [job.job_id for job in trace] == list(range(len(trace)))
+        arrivals = [job.arrival_ns for job in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a for a in arrivals)
+
+    def test_profiles_come_from_the_class_pools(self):
+        config = TrafficConfig(duration_seconds=24 * 3600.0)
+        for job in generate_trace(config, 11):
+            if job.latency_critical:
+                assert job.profile_name in config.lc_profiles
+                assert job.n_threads in config.lc_threads
+            else:
+                assert job.profile_name in config.batch_profiles
+                assert job.n_threads in config.batch_threads
+            assert job.service_seconds >= config.service_floor
+
+    def test_mean_arrival_count_tracks_the_rate(self):
+        """Over a day at 18/h the law of large numbers should hold loosely."""
+        trace = generate_trace(TrafficConfig(), 7)
+        assert 300 <= len(trace) <= 560  # 432 expected
+
+    def test_lc_fraction_zero_yields_batch_only(self):
+        config = TrafficConfig(duration_seconds=12 * 3600.0, lc_fraction=0.0)
+        assert all(job.job_class == BATCH for job in generate_trace(config, 5))
+
+
+class TestConstantTrace:
+    def test_even_spacing(self):
+        trace = constant_trace(3, gap_seconds=10.0)
+        assert [job.arrival_ns for job in trace] == [
+            0,
+            10_000_000_000,
+            20_000_000_000,
+        ]
+
+    def test_job_class_passthrough(self):
+        trace = constant_trace(1, job_class=LATENCY_CRITICAL)
+        assert trace[0].latency_critical
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchedulingError):
+            constant_trace(0)
+
+    def test_profile_lookup(self):
+        spec = constant_trace(1, profile_name="mcf")[0]
+        assert spec.profile().name == "mcf"
+
+
+class TestJobSpec:
+    def test_latency_critical_flag(self):
+        spec = JobSpec(
+            job_id=0,
+            arrival_ns=0,
+            job_class=LATENCY_CRITICAL,
+            profile_name="perl",
+            n_threads=1,
+            service_seconds=100.0,
+        )
+        assert spec.latency_critical
