@@ -8,18 +8,17 @@ under the static guardband vs the adaptive undervolting mode.
 Run:  python examples/quickstart.py
 """
 
-from repro import GuardbandMode, build_server, get_profile, measure_consolidated
+from repro import build_server, measure
 
 
 def main() -> None:
     server = build_server()
-    raytrace = get_profile("raytrace")
 
     print("Adaptive guardbanding on a simulated POWER7+ (raytrace)")
     print(f"{'cores':>6} {'static W':>10} {'adaptive W':>11} {'saving':>8} {'EDP gain':>9}")
     for n_cores in range(1, 9):
-        result = measure_consolidated(
-            server, raytrace, n_cores, GuardbandMode.UNDERVOLT
+        result = measure(
+            "raytrace", n_threads=n_cores, mode="undervolt", server=server
         )
         static_w = result.static.point.socket_point(0).chip_power
         adaptive_w = result.adaptive.point.socket_point(0).chip_power

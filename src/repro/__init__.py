@@ -12,21 +12,18 @@ The package layers, bottom-up:
   scheduling (loadline borrowing and adaptive mapping).
 * :mod:`repro.telemetry` — AMESTER-style sensor sampling.
 * :mod:`repro.analysis` — metric/figure builders for the evaluation.
+* :mod:`repro.obs` — zero-perturbation metrics and span tracing.
+* :mod:`repro.api` — the unified ``measure``/``sweep`` facade.
 
 Quickstart::
 
-    from repro import (
-        GuardbandMode, build_server, get_profile, measure_consolidated,
-    )
+    from repro import GuardbandMode, measure
 
-    server = build_server()
-    result = measure_consolidated(
-        server, get_profile("raytrace"), n_threads=1,
-        mode=GuardbandMode.UNDERVOLT,
-    )
+    result = measure("raytrace", n_threads=1, mode=GuardbandMode.UNDERVOLT)
     print(f"power saving: {result.power_saving_fraction:.1%}")
 """
 
+from .api import measure, sweep
 from .config import (
     ChipConfig,
     DidtConfig,
@@ -70,7 +67,9 @@ __all__ = [
     "build_server",
     "core_scaling_sweep",
     "get_profile",
+    "measure",
     "measure_consolidated",
     "measure_placement",
     "profile_names",
+    "sweep",
 ]

@@ -1,0 +1,306 @@
+"""The public measurement facade: one ``measure``, one ``sweep``.
+
+Historically the three measurement procedures lived in three places —
+:func:`repro.sim.run.measure_consolidated` (Sec. 3 characterization),
+:func:`repro.sim.run.measure_placement` (arbitrary two-socket splits) and
+:func:`repro.core.evaluate.measure_scheduled` (contention-adjusted
+scheduler decisions) — and callers had to know which module owned which
+variant.  This facade unifies them behind keyword-only selectors::
+
+    from repro import GuardbandMode, measure, sweep
+
+    # Consolidated (all threads on socket 0, socket 1 idle):
+    result = measure("raytrace", n_threads=4, mode=GuardbandMode.UNDERVOLT)
+
+    # An explicit two-socket placement (loadline borrowing):
+    result = measure("raytrace", placement=(2, 2), mode="undervolt")
+
+    # A full scheduling decision with contention-adjusted activity:
+    result = measure("fft", schedule=placement_obj, mode="undervolt")
+
+    # The Figs. 3/4 core-scaling sweep, batched through the shared runner:
+    results = sweep("raytrace", mode="undervolt")
+
+The legacy functions remain as thin delegating wrappers, so existing code
+and results are bit-identical; new code should import from here (or from
+the package root, which re-exports both names).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .config import ServerConfig
+from .core.evaluate import apply_with_contention
+from .core.placement import Placement
+from .errors import SchedulingError
+from .guardband import GuardbandMode
+from .sim.batch import SweepRunner, core_scaling_tasks, default_runner
+from .sim.cache import OperatingPointCache
+from .sim.results import RunResult, SteadyState
+from .sim.run import _steady_state, active_mean_frequency
+from .sim.server import Power720Server
+from .workloads import get_profile
+from .workloads.profile import WorkloadProfile
+from .workloads.scaling import RuntimeModel, SocketShare
+
+#: What ``measure(..., placement=...)`` accepts: a SocketShare or a plain
+#: per-socket thread-count sequence.
+PlacementSpec = Union[SocketShare, Sequence[int]]
+
+
+def _resolve_profile(workload: Union[str, WorkloadProfile]) -> WorkloadProfile:
+    if isinstance(workload, WorkloadProfile):
+        return workload
+    return get_profile(workload)
+
+
+def _resolve_mode(mode: Union[str, GuardbandMode]) -> GuardbandMode:
+    if isinstance(mode, GuardbandMode):
+        return mode
+    return GuardbandMode(mode)
+
+
+def _resolve_server(
+    server: Optional[Power720Server],
+    config: Optional[ServerConfig],
+    seed: int,
+) -> Power720Server:
+    if server is not None:
+        return server
+    return Power720Server(config=config, seed=seed)
+
+
+def measure(
+    workload: Union[str, WorkloadProfile],
+    *,
+    mode: Union[str, GuardbandMode] = GuardbandMode.UNDERVOLT,
+    n_threads: int = 1,
+    placement: Optional[PlacementSpec] = None,
+    schedule: Optional[Placement] = None,
+    keep_on: Optional[Sequence[int]] = None,
+    threads_per_core: int = 1,
+    server: Optional[Power720Server] = None,
+    config: Optional[ServerConfig] = None,
+    seed: int = 7,
+    runtime_model: Optional[RuntimeModel] = None,
+    f_target: Optional[float] = None,
+) -> RunResult:
+    """Measure one workload under one guardband mode, any way it can run.
+
+    Exactly one measurement variant applies, selected by keyword:
+
+    * neither ``placement`` nor ``schedule`` — **consolidated**: all
+      ``n_threads`` on socket 0, socket 1 idle (the paper's Sec. 3
+      characterization setup);
+    * ``placement=`` — an explicit per-socket thread split (a
+      :class:`~repro.workloads.scaling.SocketShare` or a plain sequence
+      like ``(2, 2)``), optionally with ``keep_on`` core gating;
+    * ``schedule=`` — a full :class:`~repro.core.placement.Placement`
+      realized with contention-adjusted thread activity (what the AGS
+      schedulers measure).
+
+    Every variant settles the placement twice — under the static guardband
+    and under ``mode`` — and returns the
+    :class:`~repro.sim.results.RunResult` pair.  ``server`` reuses an
+    existing machine (it is cleared first); otherwise a fresh one is built
+    from ``config`` and ``seed``.
+    """
+    profile = _resolve_profile(workload)
+    guardband_mode = _resolve_mode(mode)
+    if placement is not None and schedule is not None:
+        raise SchedulingError(
+            "measure() takes placement= or schedule=, not both"
+        )
+    box = _resolve_server(server, config, seed)
+    runtime = runtime_model or RuntimeModel()
+
+    if schedule is not None:
+        return _measure_schedule(
+            box, schedule, profile, guardband_mode, runtime, f_target
+        )
+    if placement is not None:
+        share = (
+            placement
+            if isinstance(placement, SocketShare)
+            else SocketShare(tuple(placement))
+        )
+        return _measure_share(
+            box,
+            profile,
+            share,
+            guardband_mode,
+            keep_on,
+            threads_per_core,
+            runtime,
+            f_target,
+        )
+    if keep_on is not None:
+        raise SchedulingError(
+            "keep_on= only applies to the placement= variant"
+        )
+    return _measure_consolidated(
+        box, profile, n_threads, guardband_mode, threads_per_core, runtime,
+        f_target,
+    )
+
+
+# ----------------------------------------------------------------------
+# Variant implementations (the canonical ones — the legacy entry points
+# in sim.run and core.evaluate delegate here)
+# ----------------------------------------------------------------------
+def _measure_consolidated(
+    server: Power720Server,
+    profile: WorkloadProfile,
+    n_threads: int,
+    mode: GuardbandMode,
+    threads_per_core: int,
+    runtime: RuntimeModel,
+    f_target: Optional[float],
+) -> RunResult:
+    server.clear()
+    server.place(0, profile, n_threads, threads_per_core=threads_per_core)
+    share = SocketShare.consolidated(n_threads, server.n_sockets)
+    n_active = server.sockets[0].chip.n_active_cores()
+
+    static_point = server.operate(GuardbandMode.STATIC, f_target)
+    static_state = _steady_state(
+        server, profile, share, GuardbandMode.STATIC, n_active, static_point,
+        runtime,
+    )
+    adaptive_point = server.operate(mode, f_target)
+    adaptive_state = _steady_state(
+        server, profile, share, mode, n_active, adaptive_point, runtime
+    )
+    return RunResult(
+        profile=profile,
+        n_active_cores=n_active,
+        static=static_state,
+        adaptive=adaptive_state,
+    )
+
+
+def _measure_share(
+    server: Power720Server,
+    profile: WorkloadProfile,
+    share: SocketShare,
+    mode: GuardbandMode,
+    keep_on: Optional[Sequence[int]],
+    threads_per_core: int,
+    runtime: RuntimeModel,
+    f_target: Optional[float],
+) -> RunResult:
+    server.clear()
+    for sid, n_threads in enumerate(share.threads_per_socket):
+        if n_threads:
+            server.place(
+                sid, profile, n_threads, threads_per_core=threads_per_core
+            )
+    if keep_on is not None:
+        server.gate_unused(keep_on)
+    n_active = sum(s.chip.n_active_cores() for s in server.sockets)
+
+    static_point = server.operate(GuardbandMode.STATIC, f_target)
+    static_state = _steady_state(
+        server, profile, share, GuardbandMode.STATIC, n_active, static_point,
+        runtime,
+    )
+    adaptive_point = server.operate(mode, f_target)
+    adaptive_state = _steady_state(
+        server, profile, share, mode, n_active, adaptive_point, runtime
+    )
+    return RunResult(
+        profile=profile,
+        n_active_cores=n_active,
+        static=static_state,
+        adaptive=adaptive_state,
+    )
+
+
+def _measure_schedule(
+    server: Power720Server,
+    schedule: Placement,
+    profile: WorkloadProfile,
+    mode: GuardbandMode,
+    runtime: RuntimeModel,
+    f_target: Optional[float],
+) -> RunResult:
+    apply_with_contention(server, schedule, runtime)
+    share = schedule.share_of(profile.name)
+    n_active = sum(s.chip.n_active_cores() for s in server.sockets)
+
+    states = {}
+    for measured_mode in (GuardbandMode.STATIC, mode):
+        point = server.operate(measured_mode, f_target)
+        frequency = active_mean_frequency(point)
+        execution_time = runtime.execution_time(
+            profile,
+            share,
+            frequency=frequency,
+            reference_frequency=server.config.chip.f_nominal,
+            threads_per_core=schedule.threads_per_core,
+        )
+        states[measured_mode] = SteadyState(
+            workload=profile.name,
+            mode=measured_mode,
+            n_active_cores=n_active,
+            point=point,
+            execution_time=execution_time,
+            active_frequency=frequency,
+        )
+    return RunResult(
+        profile=profile,
+        n_active_cores=n_active,
+        static=states[GuardbandMode.STATIC],
+        adaptive=states[mode],
+    )
+
+
+# ----------------------------------------------------------------------
+# The sweep facade
+# ----------------------------------------------------------------------
+def sweep(
+    workload: Union[str, WorkloadProfile],
+    *,
+    mode: Union[str, GuardbandMode] = GuardbandMode.UNDERVOLT,
+    core_counts: Sequence[int] = range(1, 9),
+    threads_per_core: int = 1,
+    f_target: Optional[float] = None,
+    runtime_params: Optional[Tuple[float, float]] = None,
+    config: Optional[ServerConfig] = None,
+    runner: Optional[SweepRunner] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> List[RunResult]:
+    """The 1→``n`` active-core scaling sweep, batched and cached.
+
+    Wraps :class:`~repro.sim.batch.SweepRunner`: points fan out over
+    ``workers`` processes (when > 1) and settle through the keyed
+    operating-point cache, optionally persisted under ``cache_dir``.
+    With neither ``runner`` nor ``workers``/``cache_dir`` given, the
+    process-wide default runner (and its shared cache) is used — the same
+    substrate the figure builders run on.
+    """
+    profile = _resolve_profile(workload)
+    guardband_mode = _resolve_mode(mode)
+    if runner is None:
+        if workers is None and cache_dir is None:
+            runner = default_runner()
+        else:
+            runner = SweepRunner(
+                max_workers=1 if workers is None else workers,
+                cache=OperatingPointCache(disk_dir=cache_dir),
+            )
+    elif workers is not None or cache_dir is not None:
+        raise SchedulingError(
+            "pass runner= or workers=/cache_dir=, not both"
+        )
+    tasks = core_scaling_tasks(
+        profile,
+        guardband_mode,
+        core_counts,
+        threads_per_core=threads_per_core,
+        f_target=f_target,
+        runtime_params=runtime_params,
+    )
+    return runner.run_results(tasks, config)

@@ -15,9 +15,20 @@ Subcommands
 ``fleet``
     Simulate a fleet day: online AGS scheduling vs the static-guardband
     and consolidation baselines.
+``metrics``
+    Summarize a ``--metrics-out`` snapshot (or re-render it as
+    Prometheus text).
+
+Every subcommand accepts the shared options ``--workers``,
+``--cache-dir``, ``--timings``, ``--seed``, ``--metrics-out`` and
+``--trace-spans`` (hoisted into one parent parser).  ``--metrics-out``
+and ``--trace-spans`` enable the zero-perturbation observability layer
+for the run and write its registry snapshot / span JSONL on exit; see
+``docs/OBSERVABILITY.md``.
 
 Every command prints plain text tables; nothing writes to disk unless
-``--trace-out`` or ``--cache-dir`` asks for it.
+``--trace-out``, ``--cache-dir``, ``--metrics-out`` or ``--trace-spans``
+asks for it.
 """
 
 from __future__ import annotations
@@ -27,11 +38,13 @@ import sys
 from typing import List, Optional
 
 from . import __version__
+from .api import measure
 from .config import ServerConfig
 from .guardband import GuardbandMode, audit_operating_point
+from .obs import Observability, install, load_metrics, observability
 from .sim.batch import SweepRunner, set_default_runner
 from .sim.cache import OperatingPointCache
-from .sim.run import build_server, measure_consolidated
+from .sim.run import build_server
 from .workloads import all_profiles, get_profile
 
 #: Figures the ``figure`` subcommand can regenerate.
@@ -46,27 +59,55 @@ def positive_int(value: str) -> int:
     return workers
 
 
-def _add_runner_options(command: argparse.ArgumentParser) -> None:
-    """Batch-runner knobs shared by the measurement-grid subcommands."""
-    command.add_argument(
+def _common_options() -> argparse.ArgumentParser:
+    """The parent parser every subcommand inherits.
+
+    Batch-runner knobs (``--workers``/``--cache-dir``/``--timings``), the
+    deterministic ``--seed``, and the observability switches
+    (``--metrics-out``/``--trace-spans``) used to be scattered over
+    individual subcommands; hoisting them here makes every command accept
+    them uniformly.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    runner = common.add_argument_group("batch runner")
+    runner.add_argument(
         "--workers",
         type=positive_int,
         default=1,
         help="process-pool width for independent sweep points (default 1: "
         "in-process, bit-identical to the parallel schedule)",
     )
-    command.add_argument(
+    runner.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
         help="persist settled operating points as JSON under DIR and reuse "
         "them across invocations (e.g. .repro_cache)",
     )
-    command.add_argument(
+    runner.add_argument(
         "--timings",
         action="store_true",
         help="print per-task wall times and cache hit rates after the run",
     )
+    common.add_argument(
+        "--seed", type=int, default=7, help="die/traffic seed (default 7)"
+    )
+    obs = common.add_argument_group("observability")
+    obs.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="enable the metrics registry for this run and write its JSON "
+        "snapshot to PATH (summarize with `repro metrics PATH`)",
+    )
+    obs.add_argument(
+        "--trace-spans",
+        metavar="PATH",
+        default=None,
+        help="enable span tracing for this run and write the spans as "
+        "canonical JSONL to PATH",
+    )
+    return common
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,43 +121,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version", version=__version__)
     commands = parser.add_subparsers(dest="command", required=True)
+    common = [_common_options()]
 
-    commands.add_parser("workloads", help="list the benchmark catalog")
-
-    measure = commands.add_parser(
-        "measure", help="measure one workload placement"
+    commands.add_parser(
+        "workloads", parents=common, help="list the benchmark catalog"
     )
-    measure.add_argument("workload", help="benchmark name, e.g. raytrace")
-    measure.add_argument(
+
+    measure_cmd = commands.add_parser(
+        "measure", parents=common, help="measure one workload placement"
+    )
+    measure_cmd.add_argument("workload", help="benchmark name, e.g. raytrace")
+    measure_cmd.add_argument(
         "-n", "--threads", type=int, default=1, help="thread count (default 1)"
     )
-    measure.add_argument(
+    measure_cmd.add_argument(
         "-m",
         "--mode",
         choices=[m.value for m in GuardbandMode if m is not GuardbandMode.STATIC],
         default=GuardbandMode.UNDERVOLT.value,
         help="adaptive mode to compare against the static guardband",
     )
-    measure.add_argument(
+    measure_cmd.add_argument(
         "--smt", type=int, default=1, help="threads stacked per core (default 1)"
     )
 
-    sweep = commands.add_parser("sweep", help="core-scaling sweep (Figs. 3/4)")
-    sweep.add_argument("workload")
-    sweep.add_argument(
+    sweep_cmd = commands.add_parser(
+        "sweep", parents=common, help="core-scaling sweep (Figs. 3/4)"
+    )
+    sweep_cmd.add_argument("workload")
+    sweep_cmd.add_argument(
         "-m",
         "--mode",
         choices=[m.value for m in GuardbandMode if m is not GuardbandMode.STATIC],
         default=GuardbandMode.UNDERVOLT.value,
     )
-    _add_runner_options(sweep)
 
-    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure = commands.add_parser(
+        "figure", parents=common, help="regenerate a paper figure"
+    )
     figure.add_argument("name", choices=FIGURES)
-    _add_runner_options(figure)
 
     audit = commands.add_parser(
-        "audit", help="reliability-audit a settled operating point"
+        "audit",
+        parents=common,
+        help="reliability-audit a settled operating point",
     )
     audit.add_argument("workload")
     audit.add_argument("-n", "--threads", type=int, default=8)
@@ -129,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     fleet = commands.add_parser(
         "fleet",
+        parents=common,
         help="simulate a day of job arrivals across a fleet of servers",
     )
     fleet.add_argument(
@@ -139,9 +188,6 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=86_400.0,
         help="trace horizon in seconds (default 86400: one day)",
-    )
-    fleet.add_argument(
-        "--seed", type=int, default=7, help="traffic/die seed (default 7)"
     )
     fleet.add_argument(
         "--rate",
@@ -166,22 +212,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the AGS run's structured event log as JSONL to PATH",
     )
-    _add_runner_options(fleet)
 
     commands.add_parser(
         "selfcheck",
+        parents=common,
         help="validate the model against the paper's calibration anchors",
     )
 
     commands.add_parser(
         "report",
+        parents=common,
         help="run the full evaluation and print a markdown report",
     )
 
     export = commands.add_parser(
-        "export", help="regenerate one figure's data and print it as JSON"
+        "export",
+        parents=common,
+        help="regenerate one figure's data and print it as JSON",
     )
     export.add_argument("name", choices=FIGURES)
+
+    metrics = commands.add_parser(
+        "metrics",
+        parents=common,
+        help="summarize a --metrics-out snapshot file",
+    )
+    metrics.add_argument("path", help="JSON snapshot written by --metrics-out")
+    metrics.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print Prometheus text exposition instead of the summary table",
+    )
     return parser
 
 
@@ -198,8 +259,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         "selfcheck": _cmd_selfcheck,
         "report": _cmd_report,
         "export": _cmd_export,
+        "metrics": _cmd_metrics,
     }[args.command]
-    return handler(args)
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_spans = getattr(args, "trace_spans", None)
+    if not metrics_out and not trace_spans:
+        return handler(args)
+    # Either observability switch turns the layer on for the whole run;
+    # outputs are written after the handler finishes, whatever its exit
+    # code, and the previous process-wide handle is always restored.
+    previous = install(Observability(enabled=True))
+    try:
+        code = handler(args)
+        obs = observability()
+        if metrics_out:
+            obs.metrics.write_json(metrics_out)
+            print(f"wrote {len(obs.metrics)} metric families to {metrics_out}")
+        if trace_spans:
+            obs.tracer.write_jsonl(trace_spans)
+            print(f"wrote {len(obs.tracer.spans)} spans to {trace_spans}")
+    finally:
+        install(previous)
+    return code
 
 
 # ----------------------------------------------------------------------
@@ -221,10 +302,13 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 def _cmd_measure(args: argparse.Namespace) -> int:
     profile = get_profile(args.workload)
-    server = build_server()
     mode = GuardbandMode(args.mode)
-    result = measure_consolidated(
-        server, profile, args.threads, mode, threads_per_core=args.smt
+    result = measure(
+        profile,
+        mode=mode,
+        n_threads=args.threads,
+        threads_per_core=args.smt,
+        seed=args.seed,
     )
     s0s = result.static.point.socket_point(0)
     s0a = result.adaptive.point.socket_point(0)
@@ -307,9 +391,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def _cmd_audit(args: argparse.Namespace) -> int:
     profile = get_profile(args.workload)
-    server = build_server()
+    server = build_server(seed=args.seed)
     mode = GuardbandMode(args.mode)
-    result = measure_consolidated(server, profile, args.threads, mode)
+    result = measure(profile, mode=mode, n_threads=args.threads, server=server)
     solution = result.adaptive.point.socket_point(0).solution
     report = audit_operating_point(
         server.sockets[0],
@@ -421,6 +505,37 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from .analysis.export import export_figure
 
     print(export_figure(args.name))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    try:
+        registry = load_metrics(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read metrics snapshot {args.path}: {exc}")
+        return 1
+    if args.prometheus:
+        print(registry.render_text(), end="")
+        return 0
+    print(f"metrics snapshot: {args.path} ({len(registry)} families)")
+    for family in registry.families():
+        print(f"{family.name} ({family.kind})")
+        for label_values, child in family.children():
+            labels = (
+                "{" + ", ".join(
+                    f"{n}={v}"
+                    for n, v in zip(family.label_names, label_values)
+                ) + "}"
+                if family.label_names
+                else ""
+            )
+            if family.kind == "histogram":
+                print(
+                    f"  {labels or '(all)'}: count {child.count}, "
+                    f"sum {child.sum:.6g}, mean {child.mean:.6g}"
+                )
+            else:
+                print(f"  {labels or '(all)'}: {child.value:.6g}")
     return 0
 
 

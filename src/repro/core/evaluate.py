@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from ..errors import SchedulingError
 from ..guardband import GuardbandMode
-from ..sim.results import RunResult, SteadyState
+from ..sim.results import RunResult
 from ..sim.run import active_mean_frequency
 from ..workloads.profile import WorkloadProfile
 from ..workloads.scaling import RuntimeModel
@@ -58,36 +58,19 @@ def measure_scheduled(
     ``profile`` names the workload whose runtime/energy metrics the result
     carries (placements hold a single workload in the scheduler
     comparisons; mixed placements should be measured per workload).
-    """
-    runtime = runtime_model or RuntimeModel()
-    apply_with_contention(server, placement, runtime)
-    share = placement.share_of(profile.name)
-    n_active = sum(s.chip.n_active_cores() for s in server.sockets)
 
-    states = {}
-    for measured_mode in (GuardbandMode.STATIC, mode):
-        point = server.operate(measured_mode, f_target)
-        frequency = active_mean_frequency(point)
-        execution_time = runtime.execution_time(
-            profile,
-            share,
-            frequency=frequency,
-            reference_frequency=server.config.chip.f_nominal,
-            threads_per_core=placement.threads_per_core,
-        )
-        states[measured_mode] = SteadyState(
-            workload=profile.name,
-            mode=measured_mode,
-            n_active_cores=n_active,
-            point=point,
-            execution_time=execution_time,
-            active_frequency=frequency,
-        )
-    return RunResult(
-        profile=profile,
-        n_active_cores=n_active,
-        static=states[GuardbandMode.STATIC],
-        adaptive=states[mode],
+    Thin wrapper over :func:`repro.api.measure` (the canonical
+    implementation); kept for backwards compatibility.
+    """
+    from ..api import measure
+
+    return measure(
+        profile,
+        mode=mode,
+        schedule=placement,
+        server=server,
+        runtime_model=runtime_model,
+        f_target=f_target,
     )
 
 

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..config import ServerConfig
 from ..errors import SchedulingError
 from ..guardband import GuardbandMode
+from ..obs import DEFAULT_LATENCY_BUCKETS, observability
 from ..sim.batch import SweepRunner, SweepTask, default_runner
 from ..sim.results import RunResult
 from ..sim.run import build_server
@@ -188,6 +189,9 @@ class FleetSimulation:
         self.qos_violations = 0
         self.n_epochs = 0
         self.settle_seconds = 0.0
+        #: Simulated now (ns) — advanced by the event loop; read by the
+        #: observability layer's span clock, never by the model itself.
+        self.now_ns = 0
         self._runtime = RuntimeModel()
         self._idle_memo: Dict[str, Tuple[float, float]] = {}
         self._specs = {job.job_id: job for job in self.trace}
@@ -256,7 +260,7 @@ class FleetSimulation:
         re-estimated job rates and completions, QoS adjudication."""
         account = self.accounts[state.server_id]
         account.advance(now_ns)
-        state.plan = plan
+        previous_plan, state.plan = state.plan, plan
         if plan.placement is None:
             if state.powered:
                 idle_adaptive, idle_static = self._idle_powers(
@@ -266,7 +270,37 @@ class FleetSimulation:
             else:
                 account.set_power(0.0, 0.0)
             return
-        result = self._settle(plan.placement, plan.guardband_mode)
+        obs = observability()
+        with obs.span(
+            "fleet.epoch",
+            server_id=state.server_id,
+            regime=plan.mode_name,
+            guardband=plan.guardband_mode.value,
+            n_jobs=len(state.jobs),
+        ):
+            result = self._settle(plan.placement, plan.guardband_mode)
+        if obs.enabled:
+            obs.count(
+                "fleet_epochs_total",
+                help_text="Placement-change epochs settled.",
+                regime=plan.mode_name,
+                guardband=plan.guardband_mode.value,
+            )
+            previous_regime = (
+                previous_plan.mode_name
+                if previous_plan is not None and previous_plan.placement
+                else "idle"
+            )
+            if previous_regime != plan.mode_name:
+                obs.count(
+                    "ags_regime_switches_total",
+                    help_text=(
+                        "Per-server AGS regime transitions "
+                        "(borrowing/packing/qos_mapping, 'idle' = empty)."
+                    ),
+                    from_regime=previous_regime,
+                    to_regime=plan.mode_name,
+                )
         account.set_power(
             result.adaptive.point.server_power,
             result.static.point.server_power,
@@ -314,6 +348,11 @@ class FleetSimulation:
         measured = socket_min_active_frequency(result.adaptive.point, 0)
         if measured < self.config.required_frequency:
             self.qos_violations += 1
+            observability().count(
+                "fleet_qos_violations_total",
+                help_text="Frequency-SLA violations by cause.",
+                reason="frequency",
+            )
             self.log.append(
                 "qos_violation",
                 now_ns,
@@ -344,13 +383,28 @@ class FleetSimulation:
             profile=spec.profile_name,
             n_threads=spec.n_threads,
         )
+        observability().count(
+            "fleet_jobs_arrived_total",
+            help_text="Job arrivals by class.",
+            job_class=spec.job_class,
+        )
         if not self._try_start(spec, event.time_ns):
             self.queue.append(spec.job_id)
             self.log.append("queued", event.time_ns, job_id=spec.job_id)
+            observability().count(
+                "fleet_jobs_queued_total",
+                help_text="Arrivals rejected by first-fit (queued).",
+                job_class=spec.job_class,
+            )
             if spec.latency_critical:
                 # A critical job that cannot start immediately already
                 # missed its SLA — admission latency is part of QoS.
                 self.qos_violations += 1
+                observability().count(
+                    "fleet_qos_violations_total",
+                    help_text="Frequency-SLA violations by cause.",
+                    reason="queued",
+                )
                 self.log.append(
                     "qos_violation",
                     event.time_ns,
@@ -368,6 +422,7 @@ class FleetSimulation:
             state.powered = True
             self.accounts[server_id].advance(now_ns)
             self.log.append("power_on", now_ns, server_id=server_id)
+            self._record_power_cycle("on")
         state.jobs[spec.job_id] = spec
         state.rebalance_generation += 1  # cancel any pending power-off
         record = self.records[spec.job_id]
@@ -386,6 +441,19 @@ class FleetSimulation:
             server_id=server_id,
             queued_seconds=ns_to_seconds(now_ns - record.arrival_ns),
         )
+        obs = observability()
+        if obs.enabled:
+            obs.count(
+                "fleet_jobs_started_total",
+                help_text="Jobs placed onto a server.",
+                job_class=spec.job_class,
+            )
+            obs.observe(
+                "fleet_queue_wait_seconds",
+                ns_to_seconds(now_ns - record.arrival_ns),
+                help_text="Admission-queue wait of started jobs.",
+                buckets=DEFAULT_LATENCY_BUCKETS,
+            )
         self._commit_plan(state, plan, now_ns)
         return True
 
@@ -408,6 +476,19 @@ class FleetSimulation:
             server_id=job.server_id,
             latency_seconds=record.latency_seconds,
         )
+        obs = observability()
+        if obs.enabled:
+            obs.count(
+                "fleet_jobs_completed_total",
+                help_text="Jobs finished inside the horizon.",
+                job_class=record.job_class,
+            )
+            obs.observe(
+                "fleet_job_latency_seconds",
+                record.latency_seconds,
+                help_text="Arrival-to-completion latency of finished jobs.",
+                buckets=DEFAULT_LATENCY_BUCKETS,
+            )
         plan = self.scheduler.build_plan(list(state.jobs.values()))
         self._commit_plan(state, plan, now_ns)
         if state.empty:
@@ -437,6 +518,7 @@ class FleetSimulation:
         self.log.append(
             "power_off", event.time_ns, server_id=state.server_id
         )
+        self._record_power_cycle("off")
 
     def _drain_queue(self, now_ns: int) -> None:
         """Start every queued job that now fits, FIFO with skip-ahead."""
@@ -447,12 +529,63 @@ class FleetSimulation:
                 still_waiting.append(job_id)
         self.queue = still_waiting
 
+    def _record_power_cycle(self, transition: str) -> None:
+        """Mirror a power edge into the metrics layer (read-only)."""
+        obs = observability()
+        if not obs.enabled:
+            return
+        obs.count(
+            "fleet_power_cycles_total",
+            help_text="Server power transitions.",
+            transition=transition,
+        )
+        obs.gauge(
+            "fleet_servers_powered",
+            sum(1 for s in self.servers if s.powered),
+            help_text="Powered-on servers right now.",
+        )
+
     # ------------------------------------------------------------------
     # The loop
     # ------------------------------------------------------------------
     def run(self) -> FleetResult:
         """Drive the whole trace and return the sealed ledgers."""
         horizon_ns = self.config.horizon_ns
+        obs = observability()
+        # The tracer's clock reads the loop's simulated now; installing
+        # (and restoring) it is a no-op while observability is disabled.
+        previous_clock = obs.set_clock(lambda: self.now_ns)
+        try:
+            with obs.span(
+                "fleet.run",
+                policy=self.policy.name,
+                n_servers=self.config.n_servers,
+                seed=self.config.seed,
+            ):
+                result = self._run_loop(horizon_ns)
+        finally:
+            obs.set_clock(previous_clock)
+        if obs.enabled:
+            obs.gauge(
+                "fleet_energy_joules",
+                result.adaptive_energy_joules,
+                help_text="Fleet energy at the horizon by rail.",
+                rail="adaptive",
+            )
+            obs.gauge(
+                "fleet_energy_joules",
+                result.static_energy_joules,
+                help_text="Fleet energy at the horizon by rail.",
+                rail="static",
+            )
+            obs.gauge(
+                "fleet_settle_wall_seconds",
+                self.settle_seconds,
+                help_text="Cumulative wall time spent settling placements.",
+            )
+        return result
+
+    def _run_loop(self, horizon_ns: int) -> FleetResult:
         for spec in self.trace:
             if spec.arrival_ns < horizon_ns:
                 self.events.push(
@@ -463,6 +596,7 @@ class FleetSimulation:
             if peek is None or peek > horizon_ns:
                 break
             event = self.events.pop()
+            self.now_ns = event.time_ns
             if isinstance(event, CompletionEvent):
                 self._handle_completion(event)
             elif isinstance(event, ArrivalEvent):
@@ -471,6 +605,7 @@ class FleetSimulation:
                 self._handle_rebalance(event)
             else:  # pragma: no cover - no other event kinds exist
                 raise SchedulingError(f"unhandled event {event!r}")
+        self.now_ns = horizon_ns
         for account in self.accounts:
             account.advance(horizon_ns)
         for job in self.running.values():

@@ -32,6 +32,7 @@ from ..core.advisor import ColocationAdvisor
 from ..core.placement import Placement, ThreadGroup
 from ..errors import SchedulingError
 from ..guardband import GuardbandMode
+from ..obs import observability
 from ..sim.results import RunResult
 from ..sim.run import build_server
 from .traffic import JobSpec
@@ -371,18 +372,42 @@ class OnlineFleetScheduler:
         for critical in critical_names:
             for candidate in corunner_names:
                 if not self._advisor_safe(critical, candidate):
+                    self._record_gate("rejected", "predictor")
                     return False
         # Exact path: settle the hypothetical placement (memoized by the
         # operating-point cache; if admitted, the energy accounting
         # replays this very point for free).
         result = self._settle(plan.placement, plan.guardband_mode)
         measured = socket_min_active_frequency(result.adaptive.point, 0)
-        return measured >= self.required_frequency
+        if measured < self.required_frequency:
+            self._record_gate("rejected", "measured")
+            return False
+        self._record_gate("admitted", "measured")
+        return True
+
+    @staticmethod
+    def _record_gate(verdict: str, path: str) -> None:
+        observability().count(
+            "ags_advisor_gate_total",
+            help_text=(
+                "Colocation-advisor gate verdicts on candidate plans "
+                "hosting a latency-critical job."
+            ),
+            verdict=verdict,
+            path=path,
+        )
 
     def _advisor_safe(self, critical_name: str, candidate_name: str) -> bool:
         """Predictor fast path, memoized per (critical, candidate) pair."""
         key = (critical_name, candidate_name)
         if key not in self._advisor_verdicts:
+            observability().count(
+                "ags_advisor_predictions_total",
+                help_text=(
+                    "Fresh MIPS-predictor evaluations (memo misses) of "
+                    "(critical, candidate) pairs."
+                ),
+            )
             from ..workloads import get_profile
 
             advisor = ColocationAdvisor(

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..config import ServerConfig
+from ..obs import DEFAULT_COUNT_BUCKETS, observability
 from .calibration import calibrate_socket
 
 if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
@@ -83,6 +84,11 @@ class GuardbandController:
         """Place the socket in ``mode`` and settle its operating point."""
         if not self._calibrated:
             self.calibrate()
+        observability().count(
+            "guardband_operate_total",
+            help_text="Socket settle requests by guardband mode.",
+            mode=getattr(mode, "value", str(mode)),
+        )
         if mode is GuardbandMode.STATIC:
             solution = self.static_policy.apply(self.socket, f_target)
             return OperatingPoint(
@@ -95,6 +101,7 @@ class GuardbandController:
             result: UndervoltResult = self.undervolt_policy.converge(
                 self.socket, f_target
             )
+            self._record_settle(result)
             return OperatingPoint(
                 mode=mode,
                 solution=result.solution,
@@ -110,3 +117,22 @@ class GuardbandController:
                 undervolt=0.0,
             )
         raise ValueError(f"unknown guardband mode: {mode!r}")
+
+    @staticmethod
+    def _record_settle(result: UndervoltResult) -> None:
+        """Observe one converged 32 ms firmware loop (read-only)."""
+        obs = observability()
+        if not obs.enabled:
+            return
+        obs.observe(
+            "guardband_settle_ticks",
+            result.ticks,
+            help_text="32 ms firmware ticks to undervolt convergence.",
+            buckets=DEFAULT_COUNT_BUCKETS,
+        )
+        obs.observe(
+            "guardband_undervolt_mv",
+            result.undervolt * 1000.0,
+            help_text="Converged undervolt depth (mV).",
+            buckets=(10.0, 20.0, 40.0, 60.0, 80.0, 100.0, 150.0, 200.0),
+        )

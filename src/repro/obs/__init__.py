@@ -1,0 +1,170 @@
+"""Zero-perturbation observability: metrics and span tracing.
+
+The subsystem has two halves — a :class:`~repro.obs.registry.MetricsRegistry`
+(counters, gauges, fixed-bucket histograms with label sets, Prometheus
+text exposition) and a :class:`~repro.obs.tracing.Tracer` (nested spans
+stamped with the simulation clock plus monotonic wall durations, emitted
+as canonical JSONL) — bundled into one process-wide
+:class:`Observability` handle the instrumented layers share.
+
+**The contract: observing never perturbs.**  Instrumentation only *reads*
+simulation state and writes into accumulators nothing in the model reads
+back; it never touches an RNG, a cache the solver consults, or any
+control-flow path.  A fleet run with full instrumentation enabled
+produces a bit-identical event log (the same SHA-256 run identity) as an
+uninstrumented run — enforced by ``tests/test_obs_integration.py``.
+
+By default observability is **disabled**: every call site guards on
+``obs.enabled`` (or uses the no-op-when-disabled convenience methods), so
+the uninstrumented hot path costs one attribute read.  Enable it process-
+wide with::
+
+    from repro.obs import Observability, install
+
+    previous = install(Observability(enabled=True))
+    ...                                   # run anything
+    print(observability().metrics.render_text())
+    install(previous)
+
+or from the CLI with ``--metrics-out`` / ``--trace-spans`` on any
+subcommand (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Union
+
+from .registry import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+    load_metrics,
+)
+from .tracing import NULL_SPAN, Span, Tracer, _NullSpan
+
+__all__ = [
+    "Counter",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Observability",
+    "Span",
+    "Tracer",
+    "install",
+    "load_metrics",
+    "observability",
+]
+
+
+class Observability:
+    """One process-wide bundle of a metrics registry and a tracer.
+
+    The convenience methods (:meth:`count`, :meth:`gauge`, :meth:`observe`,
+    :meth:`span`) are no-ops while ``enabled`` is ``False``, so call sites
+    stay one line and cost almost nothing when observability is off.
+    Hot loops that record several metrics should still guard once on
+    :attr:`enabled`.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+
+    # ------------------------------------------------------------------
+    # Metric conveniences (no-ops while disabled)
+    # ------------------------------------------------------------------
+    def count(
+        self,
+        name: str,
+        amount: float = 1.0,
+        help_text: str = "",
+        **labels: Any,
+    ) -> None:
+        """Increment a counter, creating it on first use."""
+        if not self.enabled:
+            return
+        family = self.metrics.counter(
+            name, help_text, labels=tuple(sorted(labels))
+        )
+        target = family.labels(**labels) if labels else family
+        target.inc(amount)
+
+    def gauge(
+        self, name: str, value: float, help_text: str = "", **labels: Any
+    ) -> None:
+        """Set a gauge, creating it on first use."""
+        if not self.enabled:
+            return
+        family = self.metrics.gauge(
+            name, help_text, labels=tuple(sorted(labels))
+        )
+        target = family.labels(**labels) if labels else family
+        target.set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        help_text: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> None:
+        """Record a histogram observation, creating it on first use."""
+        if not self.enabled:
+            return
+        family = self.metrics.histogram(
+            name, help_text, labels=tuple(sorted(labels)), buckets=buckets
+        )
+        target = family.labels(**labels) if labels else family
+        target.observe(value)
+
+    # ------------------------------------------------------------------
+    # Tracing conveniences
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Union[Span, _NullSpan]:
+        """Open a span (context manager); a shared no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def set_clock(
+        self, clock: Optional[Callable[[], Optional[int]]]
+    ) -> Optional[Callable[[], Optional[int]]]:
+        """Install a simulation-clock reader on the tracer (no-op when
+        disabled); returns the previous reader for restoration."""
+        if not self.enabled:
+            return None
+        return self.tracer.set_clock(clock)
+
+
+#: The process-wide instance every instrumented layer consults.
+_current = Observability(enabled=False)
+
+
+def observability() -> Observability:
+    """The process-wide :class:`Observability` handle."""
+    return _current
+
+
+def install(obs: Optional[Observability]) -> Observability:
+    """Swap the process-wide handle; returns the previous one.
+
+    Pass ``None`` to reset to a fresh disabled instance.
+    """
+    global _current
+    previous = _current
+    _current = obs if obs is not None else Observability(enabled=False)
+    return previous

@@ -1,0 +1,478 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the *passive* half of the observability layer: every
+instrument is an accumulator that subsystems write into and never read
+back, so recording a metric cannot perturb a simulation (no RNG, no
+control flow, no shared mutable state the model consults).  See
+``docs/OBSERVABILITY.md`` for the catalog of metric names this codebase
+emits and the zero-perturbation guarantee they ride on.
+
+Model
+-----
+A *family* is one named metric of one kind with a fixed tuple of label
+names (``fleet_jobs_arrived_total`` labelled by ``job_class``).  A
+*child* is the accumulator for one concrete label-value assignment.
+Families with no labels expose the child interface directly, so
+``registry.counter("x").inc()`` and
+``registry.counter("x", labels=("k",)).labels(k="v").inc()`` both read
+naturally.
+
+Exports
+-------
+:meth:`MetricsRegistry.render_text`
+    Prometheus text exposition (version 0.0.4) of every sample.
+:meth:`MetricsRegistry.to_dict` / :func:`load_metrics`
+    Loss-free JSON round-trip, used by ``repro ... --metrics-out`` and
+    the ``repro metrics`` summarizer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram buckets for wall-clock durations in seconds.
+DEFAULT_TIME_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Default histogram buckets for job-scale latencies in seconds.
+DEFAULT_LATENCY_BUCKETS = (
+    60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0, 14400.0, 28800.0, 57600.0,
+)
+
+#: Default histogram buckets for iteration counts (firmware ticks, steps).
+DEFAULT_COUNT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 400.0)
+
+
+class MetricError(ValueError):
+    """A metric was registered or used inconsistently."""
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample rendering: integers stay integral."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_pairs(
+    names: Sequence[str], values: Sequence[str]
+) -> str:
+    if not names:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + body + "}"
+
+
+# ----------------------------------------------------------------------
+# Child accumulators
+# ----------------------------------------------------------------------
+class Counter:
+    """Monotonically increasing accumulator."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise MetricError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def samples(self, name: str) -> List[Tuple[str, float]]:
+        """``(suffix, value)`` samples this child renders."""
+        return [(name, self.value)]
+
+
+class Gauge:
+    """Set-to-current-value instrument."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.value -= amount
+
+    def samples(self, name: str) -> List[Tuple[str, float]]:
+        """``(suffix, value)`` samples this child renders."""
+        return [(name, self.value)]
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative Prometheus rendering."""
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        if not buckets:
+            raise MetricError("histogram needs at least one bucket bound")
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds):
+            raise MetricError(f"bucket bounds must be sorted, got {bounds}")
+        if len(set(bounds)) != len(bounds):
+            raise MetricError(f"bucket bounds must be distinct, got {bounds}")
+        #: Finite upper bounds; the +Inf bucket is implicit.
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Per-bucket cumulative counts, ending with the total."""
+        total = 0
+        out = []
+        for count in self.bucket_counts:
+            total += count
+            out.append(total)
+        return out
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0 when empty)."""
+        if not self.count:
+            return 0.0
+        return self.sum / self.count
+
+
+# ----------------------------------------------------------------------
+# Families
+# ----------------------------------------------------------------------
+_CHILD_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric: a kind, label names, and per-labelset children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if kind not in _CHILD_KINDS:
+            raise MetricError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.label_names = tuple(label_names)
+        if kind == "histogram":
+            self.buckets: Optional[Tuple[float, ...]] = tuple(
+                DEFAULT_TIME_BUCKETS if buckets is None else buckets
+            )
+        else:
+            self.buckets = None
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        if not self.label_names:
+            self._children[()] = self._new_child()
+
+    def _new_child(self):
+        if self.kind == "histogram":
+            return Histogram(self.buckets or DEFAULT_TIME_BUCKETS)
+        return _CHILD_KINDS[self.kind]()
+
+    def labels(self, **labels: Any):
+        """The child accumulator for one label-value assignment."""
+        if set(labels) != set(self.label_names):
+            raise MetricError(
+                f"{self.name} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    # Label-less families act as their own single child.
+    def _solo(self):
+        if self.label_names:
+            raise MetricError(
+                f"{self.name} is labelled by {self.label_names}; "
+                "use .labels(...)"
+            )
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Label-less counter/gauge increment."""
+        self._solo().inc(amount)
+
+    def set(self, value: float) -> None:
+        """Label-less gauge set."""
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        """Label-less histogram observation."""
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        """Label-less counter/gauge value."""
+        return self._solo().value
+
+    def children(self) -> Iterable[Tuple[Tuple[str, ...], Any]]:
+        """``(label_values, child)`` pairs in insertion order."""
+        return self._children.items()
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+class MetricsRegistry:
+    """Process-local registry of metric families.
+
+    Families are created on first use (``registry.counter(...)``) and
+    re-fetching with the same signature returns the same family; mismatched
+    kind/labels/buckets raise :class:`MetricError` — a typo in one call
+    site should fail loudly, not silently fork a second metric.
+    """
+
+    def __init__(self) -> None:
+        self._families: "Dict[str, MetricFamily]" = {}
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    # ------------------------------------------------------------------
+    # Registration / lookup
+    # ------------------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(
+                name, kind, help_text, labels, buckets=buckets
+            )
+            self._families[name] = family
+            return family
+        if family.kind != kind:
+            raise MetricError(
+                f"{name} is a {family.kind}, requested as {kind}"
+            )
+        if family.label_names != tuple(labels):
+            raise MetricError(
+                f"{name} is labelled by {family.label_names}, "
+                f"requested with {tuple(labels)}"
+            )
+        if (
+            kind == "histogram"
+            and buckets is not None
+            and family.buckets is not None
+            and tuple(buckets) != family.buckets
+        ):
+            raise MetricError(f"{name} re-registered with different buckets")
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a counter family."""
+        return self._family(name, "counter", help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._family(name, "gauge", help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        """Register (or fetch) a fixed-bucket histogram family.
+
+        ``buckets=None`` means "whatever the family already uses" on a
+        refetch (and the default time buckets on first registration), so
+        observation sites don't have to repeat the bounds.
+        """
+        return self._family(name, "histogram", help_text, labels, buckets)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The registered family, or ``None``."""
+        return self._families.get(name)
+
+    def families(self) -> List[MetricFamily]:
+        """Every registered family, sorted by name."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    # ------------------------------------------------------------------
+    # Prometheus text exposition
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help_text:
+                lines.append(f"# HELP {family.name} {family.help_text}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for label_values, child in family.children():
+                if family.kind == "histogram":
+                    lines.extend(
+                        self._histogram_lines(family, label_values, child)
+                    )
+                else:
+                    labels = _label_pairs(family.label_names, label_values)
+                    lines.append(
+                        f"{family.name}{labels} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @staticmethod
+    def _histogram_lines(
+        family: MetricFamily,
+        label_values: Tuple[str, ...],
+        child: Histogram,
+    ) -> List[str]:
+        lines = []
+        cumulative = child.cumulative_counts()
+        bounds = [_format_value(b) for b in child.bounds] + ["+Inf"]
+        for bound, count in zip(bounds, cumulative):
+            labels = _label_pairs(
+                family.label_names + ("le",), label_values + (bound,)
+            )
+            lines.append(f"{family.name}_bucket{labels} {count}")
+        labels = _label_pairs(family.label_names, label_values)
+        lines.append(f"{family.name}_sum{labels} {_format_value(child.sum)}")
+        lines.append(f"{family.name}_count{labels} {child.count}")
+        return lines
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (``--metrics-out`` files)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able snapshot of every family and child."""
+        families = []
+        for family in self.families():
+            children = []
+            for label_values, child in family.children():
+                if family.kind == "histogram":
+                    children.append(
+                        {
+                            "labels": list(label_values),
+                            "bucket_counts": list(child.bucket_counts),
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                    )
+                else:
+                    children.append(
+                        {"labels": list(label_values), "value": child.value}
+                    )
+            families.append(
+                {
+                    "name": family.name,
+                    "kind": family.kind,
+                    "help": family.help_text,
+                    "label_names": list(family.label_names),
+                    "buckets": (
+                        None if family.buckets is None else list(family.buckets)
+                    ),
+                    "children": children,
+                }
+            )
+        return {"version": 1, "families": families}
+
+    def write_json(self, path: str) -> None:
+        """Persist the snapshot for ``repro metrics`` to read back."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def load_metrics(source: Any) -> MetricsRegistry:
+    """Rebuild a registry from :meth:`MetricsRegistry.to_dict` output.
+
+    ``source`` may be the dict itself or a path to a JSON file.
+    """
+    if isinstance(source, (str, bytes)):
+        with open(source, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = source
+    if not isinstance(payload, Mapping) or "families" not in payload:
+        raise MetricError("not a metrics snapshot (missing 'families')")
+    registry = MetricsRegistry()
+    for spec in payload["families"]:
+        name = spec["name"]
+        kind = spec["kind"]
+        label_names = tuple(spec.get("label_names", ()))
+        if kind == "histogram":
+            family = registry.histogram(
+                name,
+                spec.get("help", ""),
+                labels=label_names,
+                buckets=spec.get("buckets") or DEFAULT_TIME_BUCKETS,
+            )
+        elif kind == "gauge":
+            family = registry.gauge(name, spec.get("help", ""), label_names)
+        elif kind == "counter":
+            family = registry.counter(name, spec.get("help", ""), label_names)
+        else:
+            raise MetricError(f"unknown metric kind {kind!r} in snapshot")
+        for child_spec in spec.get("children", ()):
+            label_values = child_spec.get("labels", [])
+            child = (
+                family.labels(**dict(zip(label_names, label_values)))
+                if label_names
+                else family._solo()
+            )
+            if kind == "histogram":
+                child.bucket_counts = list(child_spec["bucket_counts"])
+                child.sum = float(child_spec["sum"])
+                child.count = int(child_spec["count"])
+            else:
+                child.value = float(child_spec["value"])
+    return registry

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import ServerConfig
 from ..guardband import GuardbandMode
+from ..obs import observability
 from ..workloads.profile import WorkloadProfile
 from ..workloads.scaling import RuntimeModel, SocketShare
 from .cache import CacheStats, OperatingPointCache, fingerprint
@@ -440,6 +441,21 @@ class SweepRunner:
         pass that server's seed so results stay bit-identical to settling
         on the server directly.
         """
+        with observability().span("sweep.batch", n_tasks=len(tasks)) as span:
+            report = self._run_batch(tasks, config, seed_root)
+            span.annotate(
+                executed=report.n_executed,
+                cached=report.n_from_cache,
+                used_processes=report.used_processes,
+            )
+        return report
+
+    def _run_batch(
+        self,
+        tasks: Sequence[SweepTask],
+        config: Optional[ServerConfig],
+        seed_root: Optional[int],
+    ) -> SweepReport:
         start = time.perf_counter()
         cfg = config or ServerConfig()
         cfg_fp = fingerprint(cfg)
@@ -508,7 +524,57 @@ class SweepRunner:
             cache_stats=dataclasses.replace(self.cache.stats),
         )
         self.reports.append(report)
+        self._record_report(report)
         return report
+
+    def _record_report(self, report: SweepReport) -> None:
+        """Mirror one batch's outcome into the observability layer.
+
+        Pure observation after the fact: nothing here feeds back into
+        task scheduling, caching, or results.
+        """
+        obs = observability()
+        if not obs.enabled:
+            return
+        obs.count(
+            "sweep_batches_total", help_text="Sweep batches executed."
+        )
+        obs.count(
+            "sweep_tasks_total",
+            amount=report.n_from_cache,
+            help_text="Sweep tasks by outcome.",
+            outcome="cached",
+        )
+        obs.count(
+            "sweep_tasks_total",
+            amount=report.n_executed,
+            help_text="Sweep tasks by outcome.",
+            outcome="executed",
+        )
+        obs.observe(
+            "sweep_batch_seconds",
+            report.wall_time,
+            help_text="End-to-end wall time per batch.",
+        )
+        executed_wall = 0.0
+        for timing in report.timings:
+            if not timing.from_cache:
+                executed_wall += timing.wall_time
+                obs.observe(
+                    "sweep_task_seconds",
+                    timing.wall_time,
+                    help_text="Per-task settle wall time (fresh points).",
+                )
+        if report.n_executed and report.wall_time > 0:
+            obs.gauge(
+                "sweep_worker_utilization",
+                executed_wall / (report.wall_time * self.max_workers),
+                help_text=(
+                    "Busy fraction of the worker pool over the last "
+                    "executing batch (task wall time / batch wall time "
+                    "/ workers)."
+                ),
+            )
 
     def run_results(
         self,

@@ -36,6 +36,7 @@ from typing import Any, Dict, Optional
 from ..chip.power import PowerBreakdown
 from ..guardband import GuardbandMode
 from ..guardband.controller import OperatingPoint
+from ..obs import observability
 from ..pdn.delivery import DropBreakdown
 from ..workloads.profile import WorkloadProfile
 from .results import SteadyState
@@ -239,21 +240,44 @@ class OperatingPointCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self._record_lookup("hit")
             return self._entries[key]
         state = self._disk_get(key)
         if state is not None:
             self.stats.hits += 1
             self.stats.disk_hits += 1
+            self._record_lookup("disk_hit")
             self._remember(key, state)
             return state
         self.stats.misses += 1
+        self._record_lookup("miss")
         return None
 
     def put(self, key: str, state: SteadyState) -> None:
         """Store one settled state under ``key`` (memory, then disk)."""
         self._remember(key, state)
         self.stats.stores += 1
+        observability().count(
+            "opcache_stores_total",
+            help_text="Operating points stored into the cache.",
+        )
         self._disk_put(key, state)
+
+    @staticmethod
+    def _record_disk_error(op: str) -> None:
+        observability().count(
+            "opcache_disk_errors_total",
+            help_text="Disk-layer faults absorbed as misses.",
+            op=op,
+        )
+
+    @staticmethod
+    def _record_lookup(result: str) -> None:
+        observability().count(
+            "opcache_lookups_total",
+            help_text="Operating-point cache lookups by outcome.",
+            result=result,
+        )
 
     def clear(self) -> None:
         """Drop the in-memory layer (disk files are left in place)."""
@@ -268,6 +292,10 @@ class OperatingPointCache:
         while len(self._entries) > self._max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            observability().count(
+                "opcache_evictions_total",
+                help_text="LRU evictions from the in-memory layer.",
+            )
 
     def _disk_path(self, key: str) -> str:
         return os.path.join(self._disk_dir, f"{key}.json")
@@ -284,6 +312,7 @@ class OperatingPointCache:
             return decode_steady_state(payload["state"])
         except (OSError, ValueError, KeyError, TypeError):
             self.stats.disk_errors += 1
+            self._record_disk_error("read")
             return None
 
     def _disk_put(self, key: str, state: SteadyState) -> None:
@@ -298,3 +327,4 @@ class OperatingPointCache:
             os.replace(tmp, self._disk_path(key))
         except OSError:
             self.stats.disk_errors += 1
+            self._record_disk_error("write")

@@ -83,26 +83,20 @@ def measure_consolidated(
     All threads go to socket 0 (cores activated in succession from core 0,
     as in the paper's Sec. 4.2 procedure); socket 1 idles.  The server is
     cleared first.
-    """
-    runtime = runtime_model or RuntimeModel()
-    server.clear()
-    server.place(0, profile, n_threads, threads_per_core=threads_per_core)
-    share = SocketShare.consolidated(n_threads, server.n_sockets)
-    n_active = server.sockets[0].chip.n_active_cores()
 
-    static_point = server.operate(GuardbandMode.STATIC, f_target)
-    static_state = _steady_state(
-        server, profile, share, GuardbandMode.STATIC, n_active, static_point, runtime
-    )
-    adaptive_point = server.operate(mode, f_target)
-    adaptive_state = _steady_state(
-        server, profile, share, mode, n_active, adaptive_point, runtime
-    )
-    return RunResult(
-        profile=profile,
-        n_active_cores=n_active,
-        static=static_state,
-        adaptive=adaptive_state,
+    Thin wrapper over :func:`repro.api.measure` (the canonical
+    implementation); kept for backwards compatibility.
+    """
+    from ..api import measure
+
+    return measure(
+        profile,
+        mode=mode,
+        n_threads=n_threads,
+        threads_per_core=threads_per_core,
+        server=server,
+        runtime_model=runtime_model,
+        f_target=f_target,
     )
 
 
@@ -141,29 +135,21 @@ def measure_placement(
     keep_on:
         Per-socket count of cores to keep powered (others are gated); when
         omitted no core is gated — the Sec. 3 configuration.
-    """
-    runtime = runtime_model or RuntimeModel()
-    server.clear()
-    for sid, n_threads in enumerate(share.threads_per_socket):
-        if n_threads:
-            server.place(sid, profile, n_threads, threads_per_core=threads_per_core)
-    if keep_on is not None:
-        server.gate_unused(keep_on)
-    n_active = sum(s.chip.n_active_cores() for s in server.sockets)
 
-    static_point = server.operate(GuardbandMode.STATIC, f_target)
-    static_state = _steady_state(
-        server, profile, share, GuardbandMode.STATIC, n_active, static_point, runtime
-    )
-    adaptive_point = server.operate(mode, f_target)
-    adaptive_state = _steady_state(
-        server, profile, share, mode, n_active, adaptive_point, runtime
-    )
-    return RunResult(
-        profile=profile,
-        n_active_cores=n_active,
-        static=static_state,
-        adaptive=adaptive_state,
+    Thin wrapper over :func:`repro.api.measure` (the canonical
+    implementation); kept for backwards compatibility.
+    """
+    from ..api import measure
+
+    return measure(
+        profile,
+        mode=mode,
+        placement=share,
+        keep_on=keep_on,
+        threads_per_core=threads_per_core,
+        server=server,
+        runtime_model=runtime_model,
+        f_target=f_target,
     )
 
 

@@ -42,6 +42,45 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--workers", "0"])
 
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["workloads"],
+            ["measure", "raytrace"],
+            ["sweep", "raytrace"],
+            ["figure", "fig3"],
+            ["audit", "raytrace"],
+            ["fleet"],
+            ["selfcheck"],
+            ["report"],
+            ["export", "fig3"],
+            ["metrics", "m.json"],
+        ],
+    )
+    def test_every_subcommand_accepts_shared_options(self, argv):
+        args = build_parser().parse_args(
+            argv
+            + [
+                "--workers", "2",
+                "--cache-dir", "cache",
+                "--timings",
+                "--seed", "3",
+                "--metrics-out", "m.json",
+                "--trace-spans", "s.jsonl",
+            ]
+        )
+        assert args.workers == 2
+        assert args.cache_dir == "cache"
+        assert args.timings is True
+        assert args.seed == 3
+        assert args.metrics_out == "m.json"
+        assert args.trace_spans == "s.jsonl"
+
+    def test_metrics_defaults(self):
+        args = build_parser().parse_args(["metrics", "m.json"])
+        assert args.path == "m.json"
+        assert args.prometheus is False
+
 
 class TestCommands:
     def test_workloads_lists_catalog(self, capsys):
@@ -131,6 +170,47 @@ class TestCommands:
 
         with pytest.raises(WorkloadError):
             main(["measure", "doom"])
+
+    def test_measure_accepts_seed(self, capsys):
+        assert main(["measure", "raytrace", "-n", "2", "--seed", "11"]) == 0
+        assert "power saving" in capsys.readouterr().out
+
+
+class TestObservabilityOptions:
+    def test_measure_metrics_out_writes_snapshot(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["measure", "raytrace", "--metrics-out", str(path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert path.is_file()
+
+    def test_metrics_summary_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["sweep", "raytrace", "--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics snapshot" in out
+        assert "sweep_batches_total" in out
+        assert "guardband_operate_total" in out
+
+    def test_metrics_prometheus_rendering(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["measure", "raytrace", "--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(path), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE guardband_operate_total counter" in out
+        assert 'guardband_operate_total{mode="undervolt"}' in out
+
+    def test_metrics_on_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["metrics", str(tmp_path / "absent.json")]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_metrics_on_non_snapshot_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text("{}")
+        assert main(["metrics", str(path)]) == 1
+        assert "error" in capsys.readouterr().out
 
 
 @pytest.mark.slow

@@ -1,0 +1,216 @@
+"""The metrics registry: instruments, families, exposition, round-trip."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    load_metrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(MetricError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+    def test_gauge_may_go_negative(self):
+        g = Gauge()
+        g.dec(3)
+        assert g.value == -3.0
+
+
+class TestHistogram:
+    def test_bucket_assignment_is_upper_bound_inclusive(self):
+        h = Histogram(buckets=(1.0, 5.0))
+        h.observe(1.0)   # lands in le=1
+        h.observe(1.1)   # lands in le=5
+        h.observe(99.0)  # lands in +Inf
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.cumulative_counts() == [1, 2, 3]
+        assert h.count == 3
+        assert h.sum == pytest.approx(101.1)
+
+    def test_mean(self):
+        h = Histogram(buckets=(10.0,))
+        assert h.mean == 0.0
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == 3.0
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(MetricError):
+            Histogram(buckets=(5.0, 1.0))
+
+    def test_rejects_duplicate_bounds(self):
+        with pytest.raises(MetricError):
+            Histogram(buckets=(1.0, 1.0))
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(MetricError):
+            Histogram(buckets=())
+
+
+class TestFamilies:
+    def test_labelless_family_acts_as_child(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", "help")
+        family.inc(2)
+        assert family.value == 2.0
+
+    def test_labelled_family_keys_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("jobs_total", labels=("job_class",))
+        family.labels(job_class="batch").inc()
+        family.labels(job_class="batch").inc()
+        family.labels(job_class="lc").inc()
+        assert family.labels(job_class="batch").value == 2.0
+        assert family.labels(job_class="lc").value == 1.0
+
+    def test_wrong_label_names_raise(self):
+        registry = MetricsRegistry()
+        family = registry.counter("jobs_total", labels=("job_class",))
+        with pytest.raises(MetricError):
+            family.labels(wrong="x")
+
+    def test_labelled_family_rejects_solo_use(self):
+        registry = MetricsRegistry()
+        family = registry.counter("jobs_total", labels=("job_class",))
+        with pytest.raises(MetricError):
+            family.inc()
+
+    def test_refetch_returns_same_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total")
+        b = registry.counter("x_total")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(MetricError):
+            registry.gauge("x_total")
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("a",))
+        with pytest.raises(MetricError):
+            registry.counter("x_total", labels=("b",))
+
+    def test_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_histogram_defaults_to_time_buckets(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("h")
+        assert family.buckets == DEFAULT_TIME_BUCKETS
+
+
+class TestRenderText:
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_text() == ""
+
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "Jobs seen.", labels=("kind",)).labels(
+            kind="batch"
+        ).inc(3)
+        registry.gauge("servers_on", "Powered servers.").set(2)
+        text = registry.render_text()
+        assert "# HELP jobs_total Jobs seen." in text
+        assert "# TYPE jobs_total counter" in text
+        assert 'jobs_total{kind="batch"} 3' in text
+        assert "# TYPE servers_on gauge" in text
+        assert "servers_on 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 5.0)).observe(0.5)
+        registry.histogram("lat").observe(30.0)
+        text = registry.render_text()
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="5"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 30.5" in text
+        assert "lat_count 2" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("p",)).labels(p='a"b\\c\nd').inc()
+        text = registry.render_text()
+        assert 'x_total{p="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_integral_floats_render_as_integers(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(4.0)
+        registry.gauge("h").set(4.5)
+        text = registry.render_text()
+        assert "g 4\n" in text
+        assert "h 4.5" in text
+
+    def test_infinity_renders_prometheus_style(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(math.inf)
+        assert "g +Inf" in registry.render_text()
+
+
+class TestRoundTrip:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "Jobs.", labels=("kind",)).labels(
+            kind="batch"
+        ).inc(7)
+        registry.gauge("servers_on", "Servers.").set(3)
+        registry.histogram("lat", "Latency.", buckets=(1.0, 5.0)).observe(2.0)
+        return registry
+
+    def test_dict_round_trip_preserves_exposition(self):
+        registry = self._populated()
+        rebuilt = load_metrics(registry.to_dict())
+        assert rebuilt.render_text() == registry.render_text()
+
+    def test_json_file_round_trip(self, tmp_path):
+        registry = self._populated()
+        path = tmp_path / "metrics.json"
+        registry.write_json(str(path))
+        rebuilt = load_metrics(str(path))
+        assert rebuilt.render_text() == registry.render_text()
+
+    def test_load_rejects_non_snapshot(self):
+        with pytest.raises(MetricError):
+            load_metrics({"nope": 1})
+
+    def test_registry_introspection(self):
+        registry = self._populated()
+        assert len(registry) == 3
+        assert "jobs_total" in registry
+        assert registry.get("missing") is None
+        assert [f.name for f in registry.families()] == [
+            "jobs_total", "lat", "servers_on",
+        ]

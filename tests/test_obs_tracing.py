@@ -1,0 +1,129 @@
+"""Span tracing: nesting, clocks, emission."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_SPAN, Tracer
+
+
+class TestSpanLifecycle:
+    def test_ids_are_sequential_from_one(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.span_id for s in tracer.spans] == [1, 2]
+
+    def test_nesting_records_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+
+    def test_completion_order_children_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_wall_duration_is_stamped(self):
+        tracer = Tracer()
+        with tracer.span("a") as span:
+            pass
+        assert span.wall_seconds is not None
+        assert span.wall_seconds >= 0.0
+
+    def test_annotate_is_chainable_and_merges(self):
+        tracer = Tracer()
+        with tracer.span("a", x=1) as span:
+            assert span.annotate(y=2) is span
+        assert span.attrs == {"x": 1, "y": 2}
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("a"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.attrs["error"] == "RuntimeError"
+        assert span.wall_seconds is not None
+
+    def test_find_filters_by_name(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.find("a")] == ["a"]
+        assert len(tracer) == 2
+
+
+class TestSimClock:
+    def test_no_clock_means_no_sim_time(self):
+        tracer = Tracer()
+        with tracer.span("a") as span:
+            pass
+        assert span.start_sim_ns is None
+        assert span.end_sim_ns is None
+
+    def test_clock_stamps_open_and_close(self):
+        tracer = Tracer()
+        now = {"t": 100}
+        tracer.set_clock(lambda: now["t"])
+        with tracer.span("a") as span:
+            now["t"] = 250
+        assert span.start_sim_ns == 100
+        assert span.end_sim_ns == 250
+
+    def test_set_clock_returns_previous_for_restoration(self):
+        tracer = Tracer()
+        first = lambda: 1  # noqa: E731
+        assert tracer.set_clock(first) is None
+        assert tracer.set_clock(lambda: 2) is first
+
+
+class TestEmission:
+    def test_lines_are_canonical_json(self):
+        tracer = Tracer()
+        tracer.set_clock(lambda: 5)
+        with tracer.span("a", b=1):
+            pass
+        (line,) = tracer.lines()
+        record = json.loads(line)
+        assert record["name"] == "a"
+        assert record["sim_ns"] == 5
+        assert record["attrs"] == {"b": 1}
+        assert record["wall_ms"] >= 0.0
+        # canonical: sorted keys, compact separators
+        assert line == json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        )
+
+    def test_write_jsonl(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        path = tmp_path / "spans.jsonl"
+        tracer.write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["a", "b"]
+
+    def test_attrs_omitted_when_empty(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert "attrs" not in json.loads(tracer.lines()[0])
+
+
+class TestNullSpan:
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+            assert span.annotate(x=1) is NULL_SPAN
