@@ -13,6 +13,7 @@ The package layers, bottom-up:
 * :mod:`repro.telemetry` — AMESTER-style sensor sampling.
 * :mod:`repro.analysis` — metric/figure builders for the evaluation.
 * :mod:`repro.obs` — zero-perturbation metrics and span tracing.
+* :mod:`repro.faults` — deterministic fault injection and chaos reports.
 * :mod:`repro.api` — the unified ``measure``/``sweep`` facade.
 
 Quickstart::
@@ -31,6 +32,7 @@ from .config import (
     PdnConfig,
     ServerConfig,
 )
+from .faults import FaultInjector, FaultPlan, chaos_plan, injected, run_chaos
 from .guardband import GuardbandController, GuardbandMode
 from .sim import Power720Server, RunResult, SteadyState
 from .sim.run import (
@@ -52,6 +54,8 @@ __version__ = "1.0.0"
 __all__ = [
     "ChipConfig",
     "DidtConfig",
+    "FaultInjector",
+    "FaultPlan",
     "GuardbandConfig",
     "GuardbandController",
     "GuardbandMode",
@@ -65,11 +69,14 @@ __all__ = [
     "__version__",
     "all_profiles",
     "build_server",
+    "chaos_plan",
     "core_scaling_sweep",
     "get_profile",
+    "injected",
     "measure",
     "measure_consolidated",
     "measure_placement",
     "profile_names",
+    "run_chaos",
     "sweep",
 ]

@@ -34,6 +34,8 @@ from .config import ServerConfig
 from .core.evaluate import apply_with_contention
 from .core.placement import Placement
 from .errors import SchedulingError
+from .faults.injector import injected
+from .faults.plan import FaultPlan
 from .guardband import GuardbandMode
 from .sim.batch import SweepRunner, core_scaling_tasks, default_runner
 from .sim.cache import OperatingPointCache
@@ -85,6 +87,7 @@ def measure(
     seed: int = 7,
     runtime_model: Optional[RuntimeModel] = None,
     f_target: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Measure one workload under one guardband mode, any way it can run.
 
@@ -105,7 +108,28 @@ def measure(
     :class:`~repro.sim.results.RunResult` pair.  ``server`` reuses an
     existing machine (it is cleared first); otherwise a fresh one is built
     from ``config`` and ``seed``.
+
+    ``fault_plan`` runs the measurement under an installed
+    :class:`~repro.faults.injector.FaultInjector` seeded from the plan;
+    with the default ``None`` the fault layer is never touched and the
+    result is bit-identical to a build without it.
     """
+    if fault_plan is not None:
+        with injected(fault_plan):
+            return measure(
+                workload,
+                mode=mode,
+                n_threads=n_threads,
+                placement=placement,
+                schedule=schedule,
+                keep_on=keep_on,
+                threads_per_core=threads_per_core,
+                server=server,
+                config=config,
+                seed=seed,
+                runtime_model=runtime_model,
+                f_target=f_target,
+            )
     profile = _resolve_profile(workload)
     guardband_mode = _resolve_mode(mode)
     if placement is not None and schedule is not None:
@@ -271,6 +295,7 @@ def sweep(
     runner: Optional[SweepRunner] = None,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> List[RunResult]:
     """The 1→``n`` active-core scaling sweep, batched and cached.
 
@@ -280,7 +305,30 @@ def sweep(
     With neither ``runner`` nor ``workers``/``cache_dir`` given, the
     process-wide default runner (and its shared cache) is used — the same
     substrate the figure builders run on.
+
+    ``fault_plan`` installs a seeded fault injector for the whole batch
+    (forcing in-process execution — pool workers cannot see the
+    injector); ``None`` leaves the fault layer untouched.  Unless a
+    ``runner`` is passed explicitly, a faulted sweep gets a private
+    runner so corrupted operating points never land in the shared
+    process-wide cache.
     """
+    if fault_plan is not None:
+        if runner is None and workers is None and cache_dir is None:
+            runner = SweepRunner(cache=OperatingPointCache())
+        with injected(fault_plan):
+            return sweep(
+                workload,
+                mode=mode,
+                core_counts=core_counts,
+                threads_per_core=threads_per_core,
+                f_target=f_target,
+                runtime_params=runtime_params,
+                config=config,
+                runner=runner,
+                workers=workers,
+                cache_dir=cache_dir,
+            )
     profile = _resolve_profile(workload)
     guardband_mode = _resolve_mode(mode)
     if runner is None:

@@ -18,13 +18,22 @@ Subcommands
 ``metrics``
     Summarize a ``--metrics-out`` snapshot (or re-render it as
     Prometheus text).
+``chaos``
+    Run one fleet scenario twice — fault-free, then under a seeded
+    fault plan — and print the degradation report (see
+    ``docs/RESILIENCE.md``).
 
 Every subcommand accepts the shared options ``--workers``,
-``--cache-dir``, ``--timings``, ``--seed``, ``--metrics-out`` and
-``--trace-spans`` (hoisted into one parent parser).  ``--metrics-out``
-and ``--trace-spans`` enable the zero-perturbation observability layer
-for the run and write its registry snapshot / span JSONL on exit; see
-``docs/OBSERVABILITY.md``.
+``--cache-dir``, ``--timings``, ``--seed``, ``--debug``,
+``--metrics-out`` and ``--trace-spans`` (hoisted into one parent
+parser).  ``--metrics-out`` and ``--trace-spans`` enable the
+zero-perturbation observability layer for the run and write its
+registry snapshot / span JSONL on exit; see ``docs/OBSERVABILITY.md``.
+
+Simulator errors (:class:`~repro.errors.ReproError` subclasses) exit
+with a one-line ``error: <Type>: <message>`` on stderr and a distinct
+nonzero code per error family; ``--debug`` re-raises the full
+traceback instead.
 
 Every command prints plain text tables; nothing writes to disk unless
 ``--trace-out``, ``--cache-dir``, ``--metrics-out`` or ``--trace-spans``
@@ -40,6 +49,17 @@ from typing import List, Optional
 from . import __version__
 from .api import measure
 from .config import ServerConfig
+from .errors import (
+    CalibrationError,
+    ConfigError,
+    ConvergenceError,
+    FaultError,
+    ReproError,
+    SchedulingError,
+    SensorError,
+    SweepError,
+    WorkloadError,
+)
 from .guardband import GuardbandMode, audit_operating_point
 from .obs import Observability, install, load_metrics, observability
 from .sim.batch import SweepRunner, set_default_runner
@@ -50,6 +70,29 @@ from .workloads import all_profiles, get_profile
 #: Figures the ``figure`` subcommand can regenerate.
 FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17")
+
+#: Exit code per simulator error family, checked subclass-before-base
+#: (``SweepError`` and ``FaultError`` must precede ``ReproError``).
+#: Codes 0-2 are reserved: success, generic failure, argparse usage.
+ERROR_EXIT_CODES = (
+    (WorkloadError, 3),
+    (ConfigError, 4),
+    (SchedulingError, 5),
+    (ConvergenceError, 6),
+    (CalibrationError, 7),
+    (SensorError, 8),
+    (SweepError, 9),
+    (FaultError, 10),
+    (ReproError, 11),
+)
+
+#: Metric families the ``metrics`` subcommand rolls up as resilience.
+RESILIENCE_FAMILIES = (
+    "faults_injected_total",
+    "fallback_transitions_total",
+    "tasks_retried_total",
+    "fallback_static_seconds",
+)
 
 
 def positive_int(value: str) -> int:
@@ -91,6 +134,12 @@ def _common_options() -> argparse.ArgumentParser:
     )
     common.add_argument(
         "--seed", type=int, default=7, help="die/traffic seed (default 7)"
+    )
+    common.add_argument(
+        "--debug",
+        action="store_true",
+        help="re-raise simulator errors with the full traceback instead of "
+        "the one-line stderr summary",
     )
     obs = common.add_argument_group("observability")
     obs.add_argument(
@@ -232,6 +281,103 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("name", choices=FIGURES)
 
+    chaos = commands.add_parser(
+        "chaos",
+        parents=common,
+        help="run a fleet scenario fault-free and degraded; report the delta",
+    )
+    chaos.add_argument(
+        "--servers", type=positive_int, default=2, help="fleet size (default 2)"
+    )
+    chaos.add_argument(
+        "--duration",
+        type=float,
+        default=14_400.0,
+        help="trace horizon in seconds (default 14400: four hours)",
+    )
+    chaos.add_argument(
+        "--rate",
+        type=float,
+        default=18.0,
+        help="mean arrival rate in jobs/hour (default 18)",
+    )
+    chaos.add_argument(
+        "--lc-fraction",
+        type=float,
+        default=0.15,
+        help="fraction of arrivals that are latency-critical (default 0.15)",
+    )
+    chaos.add_argument(
+        "--crash-server",
+        type=int,
+        default=1,
+        help="server id to crash (default 1)",
+    )
+    chaos.add_argument(
+        "--crash-at",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="crash time (default: a quarter into the horizon)",
+    )
+    chaos.add_argument(
+        "--repair-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="repair delay after the crash (default: a quarter horizon)",
+    )
+    chaos.add_argument(
+        "--no-crash",
+        action="store_true",
+        help="drop the server crash from the plan",
+    )
+    chaos.add_argument(
+        "--corrupt-server",
+        type=int,
+        default=0,
+        help="server whose CPM stream gets pinned (default 0)",
+    )
+    chaos.add_argument(
+        "--corrupt-socket",
+        type=int,
+        default=0,
+        help="socket whose CPM stream gets pinned (default 0)",
+    )
+    chaos.add_argument(
+        "--corrupt-at",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="corruption onset (default: 30%% into the horizon)",
+    )
+    chaos.add_argument(
+        "--corrupt-for",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="corruption window length (default: a fifth of the horizon)",
+    )
+    chaos.add_argument(
+        "--no-corrupt",
+        action="store_true",
+        help="drop the CPM corruption from the plan",
+    )
+    chaos.add_argument(
+        "--kill-job",
+        type=int,
+        action="append",
+        default=None,
+        metavar="JOB_ID",
+        help="kill this running job halfway through (repeatable)",
+    )
+    chaos.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the injector's jitter stream (default 0)",
+    )
+
     metrics = commands.add_parser(
         "metrics",
         parents=common,
@@ -244,6 +390,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print Prometheus text exposition instead of the summary table",
     )
     return parser
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """The CLI exit code for one simulator error (subclass-first)."""
+    for error_type, code in ERROR_EXIT_CODES:
+        if isinstance(exc, error_type):
+            return code
+    return 1  # pragma: no cover - table ends with the base class
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -260,7 +414,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "export": _cmd_export,
         "metrics": _cmd_metrics,
+        "chaos": _cmd_chaos,
     }[args.command]
+    try:
+        return _run_handler(handler, args)
+    except ReproError as exc:
+        if getattr(args, "debug", False):
+            raise
+        message = str(exc).splitlines()[0] if str(exc) else "(no detail)"
+        print(
+            f"error: {type(exc).__name__}: {message}", file=sys.stderr
+        )
+        return exit_code_for(exc)
+
+
+def _run_handler(handler, args: argparse.Namespace) -> int:
+    """Run one command, wiring up observability when asked for."""
     metrics_out = getattr(args, "metrics_out", None)
     trace_spans = getattr(args, "trace_spans", None)
     if not metrics_out and not trace_spans:
@@ -508,6 +677,44 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import chaos_plan, run_chaos
+    from .fleet import FleetConfig, TrafficConfig
+
+    traffic = TrafficConfig(
+        duration_seconds=args.duration,
+        jobs_per_hour=args.rate,
+        lc_fraction=args.lc_fraction,
+    )
+    config = FleetConfig(
+        n_servers=args.servers, traffic=traffic, seed=args.seed
+    )
+    plan = chaos_plan(
+        args.duration,
+        crash_server=None if args.no_crash else args.crash_server,
+        crash_at_seconds=args.crash_at,
+        repair_after_seconds=args.repair_after,
+        corrupt_server=None if args.no_corrupt else args.corrupt_server,
+        corrupt_socket=args.corrupt_socket,
+        corrupt_at_seconds=args.corrupt_at,
+        corrupt_for_seconds=args.corrupt_for,
+        kill_jobs=tuple(args.kill_job or ()),
+        seed=args.fault_seed,
+    )
+    if plan.is_empty:
+        raise FaultError(
+            "the chaos plan is empty: --no-crash and --no-corrupt with no "
+            "--kill-job leaves nothing to inject"
+        )
+    runner = _runner_from_args(args)
+    report = run_chaos(config, plan, runner=runner)
+    print(report.render())
+    if args.timings:
+        print()
+        print(runner.timings_summary())
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     try:
         registry = load_metrics(args.path)
@@ -536,7 +743,61 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 )
             else:
                 print(f"  {labels or '(all)'}: {child.value:.6g}")
+    _print_resilience_summary(registry)
     return 0
+
+
+def _print_resilience_summary(registry) -> None:
+    """Roll up the fault/fallback/retry families, when any were recorded."""
+    present = {
+        family.name: family
+        for family in registry.families()
+        if family.name in RESILIENCE_FAMILIES
+    }
+    if not present:
+        return
+    print()
+    print("resilience summary")
+    family = present.get("faults_injected_total")
+    if family is not None:
+        total = sum(child.value for _, child in family.children())
+        by_kind = ", ".join(
+            f"{values[0]} x{child.value:g}"
+            for values, child in sorted(family.children())
+        )
+        print(f"  faults injected: {total:g} ({by_kind})")
+    family = present.get("fallback_transitions_total")
+    if family is not None:
+        # Label order is (direction, layer, reason).
+        entered = sum(
+            child.value
+            for values, child in family.children()
+            if values[0] == "enter"
+        )
+        exited = sum(
+            child.value
+            for values, child in family.children()
+            if values[0] == "exit"
+        )
+        print(
+            f"  fallback transitions: {entered:g} entered, {exited:g} exited"
+            + (" (still in fallback)" if entered > exited else "")
+        )
+    family = present.get("tasks_retried_total")
+    if family is not None:
+        by_layer = ", ".join(
+            f"{values[0]} x{child.value:g}"
+            for values, child in sorted(family.children())
+        )
+        print(f"  tasks retried: {by_layer}")
+    family = present.get("fallback_static_seconds")
+    if family is not None:
+        for _, child in family.children():
+            if child.count:
+                print(
+                    f"  static-fallback dwell: {child.count} window(s), "
+                    f"total {child.sum:.0f} s, mean {child.mean:.0f} s"
+                )
 
 
 # ----------------------------------------------------------------------

@@ -50,3 +50,28 @@ class SensorError(ReproError):
 
 class WorkloadError(ReproError):
     """An unknown benchmark name or invalid workload parameter."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan or spec is invalid.
+
+    Raised eagerly when a :class:`~repro.faults.spec.FaultSpec` fails
+    validation (negative window, bad target) or when a plan references an
+    entity the simulation does not have (e.g. a server id beyond the
+    fleet size).
+    """
+
+
+class SweepError(ReproError):
+    """One or more tasks of a sweep batch failed to execute.
+
+    Carries the per-task failure manifest so callers can tell *which*
+    points died (and why) while the successful remainder of the batch is
+    already cached; see :attr:`failures` and
+    :class:`~repro.sim.batch.TaskFailure`.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        super().__init__(message)
+        #: The :class:`~repro.sim.batch.TaskFailure` manifest.
+        self.failures = tuple(failures)

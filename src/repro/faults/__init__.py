@@ -1,0 +1,75 @@
+"""Deterministic fault injection and graceful degradation.
+
+The subsystem has two halves:
+
+* **Injection** — :class:`FaultPlan` composes seeded
+  :class:`~repro.faults.spec.FaultSpec` objects;
+  :class:`FaultInjector` applies the standalone ones through hooks in
+  the CPM reader, the power-delivery path and the calibration
+  procedure, while the fleet engine consumes server-scoped specs as
+  discrete events (crashes, job kills, per-socket telemetry windows).
+  With no injector installed every hook is a single attribute check —
+  the no-faults path stays bit-identical (event-log SHA-256 unchanged),
+  enforced by test.
+* **Degradation** — :class:`~repro.faults.gate.CpmPlausibilityGate`
+  lets the guardband controller detect untrustworthy telemetry and fall
+  back per-socket to the static guardband with hysteresis; the fleet
+  scheduler requeues jobs off failed servers with capped exponential
+  backoff; the sweep runner isolates poisoned tasks behind a failure
+  manifest.  :func:`run_chaos` quantifies the cost in a
+  :class:`~repro.faults.report.DegradationReport`.
+
+See ``docs/RESILIENCE.md`` for the fault taxonomy and the fallback
+state machine.
+"""
+
+from .gate import CpmPlausibilityGate, GateVerdict
+from .injector import (
+    DROPPED_CODE,
+    NULL_INJECTOR,
+    FaultInjector,
+    fault_injector,
+    injected,
+    install_injector,
+)
+from .plan import FaultPlan, chaos_plan
+from .spec import (
+    CPM_CORRUPTION_KINDS,
+    CalibrationFault,
+    CpmDropFault,
+    CpmNoiseFault,
+    CpmStuckFault,
+    FaultSpec,
+    JobKillFault,
+    LoadlineExcursionFault,
+    ServerCrashFault,
+    StaleTelemetryFault,
+    VrmDroopFault,
+)
+from .report import DegradationReport, run_chaos
+
+__all__ = [
+    "CPM_CORRUPTION_KINDS",
+    "CalibrationFault",
+    "CpmDropFault",
+    "CpmNoiseFault",
+    "CpmPlausibilityGate",
+    "CpmStuckFault",
+    "DROPPED_CODE",
+    "DegradationReport",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "GateVerdict",
+    "JobKillFault",
+    "LoadlineExcursionFault",
+    "NULL_INJECTOR",
+    "ServerCrashFault",
+    "StaleTelemetryFault",
+    "VrmDroopFault",
+    "chaos_plan",
+    "fault_injector",
+    "injected",
+    "install_injector",
+    "run_chaos",
+]

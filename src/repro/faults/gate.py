@@ -1,0 +1,86 @@
+"""CPM plausibility gate: is this telemetry trustworthy?
+
+The real firmware cross-checks CPM outputs before acting on them — a
+sensor stream that pins to an extreme, leaves the detector range, or
+disagrees wildly with what the electrical state predicts must not drive
+the adaptive guardband (the consequence of trusting a low-reading CPM is
+an unnecessary throttle; of trusting a high-reading one, a timing
+failure).  :class:`CpmPlausibilityGate` renders that judgement from a
+pair of per-core worst-code vectors:
+
+* ``observed`` — what the telemetry path actually returned (possibly
+  corrupted by an injected fault);
+* ``expected`` — what the model predicts at the settled operating point
+  (the controller computes this directly from the chip's CPM bank, which
+  the injector never touches).
+
+Verdict reasons are stable strings used by metrics labels and the
+fallback state machine in :class:`~repro.guardband.GuardbandController`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class GateVerdict:
+    """Outcome of one plausibility check."""
+
+    healthy: bool
+
+    #: ``"ok"`` | ``"dropped"`` | ``"out_of_range"`` | ``"pinned_low"``
+    #: | ``"pinned_high"`` | ``"implausible"`` | ``"missing"``.
+    reason: str = "ok"
+
+
+class CpmPlausibilityGate:
+    """Judges observed CPM codes against model-predicted ones.
+
+    Parameters
+    ----------
+    code_max:
+        Upper end of the detector range (codes are valid in
+        ``[0, code_max]``).
+    tolerance_bits:
+        Largest per-core ``|observed - expected|`` still considered
+        plausible.  Process variation and read jitter are within ±1 bit
+        on the real machine; the default of 2 leaves headroom without
+        masking genuine corruption.
+    """
+
+    def __init__(self, code_max: int, tolerance_bits: int = 2) -> None:
+        if code_max < 1:
+            raise ValueError(f"code_max must be >= 1, got {code_max}")
+        if tolerance_bits < 0:
+            raise ValueError(
+                f"tolerance_bits must be >= 0, got {tolerance_bits}"
+            )
+        self.code_max = code_max
+        self.tolerance_bits = tolerance_bits
+
+    def judge(
+        self, observed: Sequence[int], expected: Sequence[int]
+    ) -> GateVerdict:
+        """Render a verdict for one socket's per-core worst codes."""
+        if not observed or len(observed) != len(expected):
+            return GateVerdict(healthy=False, reason="missing")
+        if any(code < 0 for code in observed):
+            return GateVerdict(healthy=False, reason="dropped")
+        if any(code > self.code_max for code in observed):
+            return GateVerdict(healthy=False, reason="out_of_range")
+        if all(code == 0 for code in observed) and any(
+            code > self.tolerance_bits for code in expected
+        ):
+            return GateVerdict(healthy=False, reason="pinned_low")
+        if all(code == self.code_max for code in observed) and any(
+            code < self.code_max - self.tolerance_bits for code in expected
+        ):
+            return GateVerdict(healthy=False, reason="pinned_high")
+        worst = max(
+            abs(obs - exp) for obs, exp in zip(observed, expected)
+        )
+        if worst > self.tolerance_bits:
+            return GateVerdict(healthy=False, reason="implausible")
+        return GateVerdict(healthy=True)

@@ -1,0 +1,246 @@
+"""The process-wide fault injector: seeded, zero-perturbation when off.
+
+Mirrors the observability layer's handle pattern
+(:func:`repro.obs.observability` / :func:`repro.obs.install`): the hooks
+in the CPM reader, the delivery path and the calibration procedure ask
+:func:`fault_injector` for the current handle and bail out on the very
+first ``enabled`` check while injection is disabled — the disabled path
+executes no extra arithmetic, draws no randomness and caches nothing, so
+results stay **bit-identical** to a build without the hooks (enforced by
+test).
+
+Determinism while enabled: the jitter stream is seeded from the plan, and
+every hook transformation is a pure function of ``(plan, simulated time,
+target, draw order)`` — two identical runs corrupt identically.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..obs import observability
+from .plan import FaultPlan
+from .spec import (
+    CalibrationFault,
+    CpmDropFault,
+    CpmNoiseFault,
+    CpmStuckFault,
+    FaultSpec,
+    LoadlineExcursionFault,
+    StaleTelemetryFault,
+    VrmDroopFault,
+)
+
+#: Sentinel code of a dropped CPM read (real detectors cannot go below 0,
+#: so downstream plausibility gates recognise it unambiguously).
+DROPPED_CODE = -1
+
+#: Seed offset separating the injector's stream from model seeds.
+_SEED_STREAM = 0x5EED
+
+
+def _record_injection(kind: str) -> None:
+    observability().count(
+        "faults_injected_total",
+        help_text="Fault injections applied, by fault kind.",
+        kind=kind,
+    )
+
+
+class FaultInjector:
+    """Applies a plan's standalone specs to the measure-path hooks.
+
+    The injector holds a simulated-time clock (seconds, default 0.0 —
+    which makes every ``start_seconds=0`` spec live immediately, the
+    natural setting for standalone ``measure()`` calls).  Long-running
+    callers advance it with :meth:`set_time`.
+    """
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.now_seconds = 0.0
+        #: Deterministic injection tally by fault kind (test-friendly
+        #: mirror of the ``faults_injected_total`` metric).
+        self.counts: Dict[str, int] = {}
+        self._rng = np.random.default_rng(plan.seed + _SEED_STREAM)
+        standalone = plan.standalone_specs()
+        self._cpm = [
+            s
+            for s in standalone
+            if isinstance(s, (CpmStuckFault, CpmNoiseFault, CpmDropFault))
+        ]
+        self._stale = [
+            s for s in standalone if isinstance(s, StaleTelemetryFault)
+        ]
+        self._droop = [s for s in standalone if isinstance(s, VrmDroopFault)]
+        self._loadline = [
+            s for s in standalone if isinstance(s, LoadlineExcursionFault)
+        ]
+        self._calibration = [
+            s for s in standalone if isinstance(s, CalibrationFault)
+        ]
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def set_time(self, now_seconds: float) -> None:
+        """Advance the injector's notion of simulated time."""
+        self.now_seconds = now_seconds
+
+    def _active(self, spec: FaultSpec) -> bool:
+        return spec.active_at(self.now_seconds)
+
+    def _record(self, kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        _record_injection(kind)
+
+    # ------------------------------------------------------------------
+    # Telemetry hooks (CpmReader)
+    # ------------------------------------------------------------------
+    def transform_codes(
+        self, socket_id: int, core_id: int, codes: Sequence[int]
+    ) -> List[int]:
+        """Corrupt one core's CPM codes per the live telemetry specs."""
+        out = list(codes)
+        for spec in self._cpm:
+            if spec.socket_id != socket_id or not self._active(spec):
+                continue
+            if spec.core_id is not None and spec.core_id != core_id:
+                continue
+            if isinstance(spec, CpmStuckFault):
+                out = [spec.code] * len(out)
+            elif isinstance(spec, CpmDropFault):
+                out = [DROPPED_CODE] * len(out)
+            else:  # CpmNoiseFault
+                jitter = self._rng.integers(
+                    -spec.amplitude_bits, spec.amplitude_bits + 1, size=len(out)
+                )
+                out = [int(c + j) for c, j in zip(out, jitter)]
+            self._record(spec.kind)
+        return out
+
+    def stale_active(self, socket_id: int) -> bool:
+        """Whether a stale-telemetry window is live on ``socket_id``."""
+        return any(
+            s.socket_id == socket_id and self._active(s) for s in self._stale
+        )
+
+    def record_stale(self) -> None:
+        """Tally one stale-window replay (the reader served cached codes)."""
+        self._record(StaleTelemetryFault.kind)
+
+    # ------------------------------------------------------------------
+    # Power-delivery hooks (PowerDeliveryPath)
+    # ------------------------------------------------------------------
+    def rail_droop(self, rail: int) -> float:
+        """Additional sustained droop (V) injected on ``rail`` right now."""
+        depth = 0.0
+        for spec in self._droop:
+            if spec.socket_id == rail and self._active(spec):
+                depth += spec.depth_volts
+                self._record(spec.kind)
+        return depth
+
+    def loadline_scale(self, rail: int) -> float:
+        """Multiplier on the loadline drop of ``rail`` right now."""
+        factor = 1.0
+        for spec in self._loadline:
+            if spec.socket_id == rail and self._active(spec):
+                factor *= spec.factor
+                self._record(spec.kind)
+        return factor
+
+    # ------------------------------------------------------------------
+    # Firmware hooks (calibration)
+    # ------------------------------------------------------------------
+    def calibration_should_fail(self, socket_id: int) -> bool:
+        """Whether CPM calibration on ``socket_id`` must fail right now."""
+        for spec in self._calibration:
+            if spec.socket_id == socket_id and self._active(spec):
+                self._record(spec.kind)
+                return True
+        return False
+
+
+class _DisabledInjector:
+    """The do-nothing handle installed while injection is off.
+
+    Every hook's fast path is one attribute check on :attr:`enabled`;
+    the methods exist only so type-agnostic callers never branch."""
+
+    enabled = False
+    plan = None
+    counts: Dict[str, int] = {}
+
+    def set_time(self, now_seconds: float) -> None:
+        pass
+
+    def transform_codes(
+        self, socket_id: int, core_id: int, codes: Sequence[int]
+    ) -> List[int]:
+        return list(codes)
+
+    def stale_active(self, socket_id: int) -> bool:
+        return False
+
+    def record_stale(self) -> None:
+        pass
+
+    def rail_droop(self, rail: int) -> float:
+        return 0.0
+
+    def loadline_scale(self, rail: int) -> float:
+        return 1.0
+
+    def calibration_should_fail(self, socket_id: int) -> bool:
+        return False
+
+
+#: The disabled singleton — installed by default, forever zero-cost.
+NULL_INJECTOR = _DisabledInjector()
+
+_current: Union[FaultInjector, _DisabledInjector] = NULL_INJECTOR
+
+
+def fault_injector() -> Union[FaultInjector, _DisabledInjector]:
+    """The process-wide injector handle (disabled unless installed)."""
+    return _current
+
+
+def install_injector(
+    injector: Optional[Union[FaultInjector, _DisabledInjector]],
+) -> Union[FaultInjector, _DisabledInjector]:
+    """Swap the process-wide injector; returns the previous handle.
+
+    Pass ``None`` (or :data:`NULL_INJECTOR`) to disable injection.
+    """
+    global _current
+    previous = _current
+    _current = injector if injector is not None else NULL_INJECTOR
+    return previous
+
+
+@contextmanager
+def injected(
+    plan_or_injector: Union[FaultPlan, FaultInjector],
+) -> Iterator[Union[FaultInjector, _DisabledInjector]]:
+    """Scoped injection: install for the block, always restore after.
+
+    Accepts a plan (a fresh injector is built around it) or a prepared
+    injector (callers that need to advance its clock or read counts).
+    """
+    injector = (
+        plan_or_injector
+        if isinstance(plan_or_injector, FaultInjector)
+        else FaultInjector(plan_or_injector)
+    )
+    previous = install_injector(injector)
+    try:
+        yield injector
+    finally:
+        install_injector(previous)

@@ -1,0 +1,149 @@
+"""Deterministic fault schedules: a seed plus composed specs.
+
+A :class:`FaultPlan` is pure data — freezing it keeps two chaos runs with
+the same plan byte-identical, which is what the determinism acceptance
+test asserts.  The seed feeds the injector's noise stream; schedules
+carry no wall-clock state at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Type
+
+from .spec import (
+    CpmStuckFault,
+    FaultSpec,
+    JobKillFault,
+    ServerCrashFault,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded composition of fault specs."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    #: Seed of the injector's jitter stream (noise faults); two runs of
+    #: the same plan consume identical streams.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the plan injects nothing at all."""
+        return not self.specs
+
+    def of_type(self, *types: Type[FaultSpec]) -> Tuple[FaultSpec, ...]:
+        """Specs that are instances of any of ``types``, in plan order."""
+        return tuple(s for s in self.specs if isinstance(s, types))
+
+    def standalone_specs(self) -> Tuple[FaultSpec, ...]:
+        """Specs the process-wide injector applies on the measure path
+        (socket-targeted specs without a ``server_id`` scope)."""
+        return tuple(
+            s
+            for s in self.specs
+            if getattr(s, "server_id", 0) is None
+        )
+
+    def server_scoped_specs(self) -> Tuple[FaultSpec, ...]:
+        """Specs the fleet engine consumes as discrete events."""
+        return tuple(
+            s
+            for s in self.specs
+            if isinstance(s, (ServerCrashFault, JobKillFault))
+            or getattr(s, "server_id", None) is not None
+        )
+
+    def describe(self) -> str:
+        """One line per spec, in plan order (for reports and the CLI)."""
+        lines = []
+        for spec in self.specs:
+            window = f"t={spec.start_seconds:g}s"
+            if spec.duration_seconds is not None:
+                window += f"+{spec.duration_seconds:g}s"
+            target = []
+            server_id = getattr(spec, "server_id", None)
+            if server_id is not None:
+                target.append(f"server {server_id}")
+            if hasattr(spec, "socket_id"):
+                target.append(f"socket {spec.socket_id}")
+            if isinstance(spec, JobKillFault):
+                target.append(f"job {spec.job_id}")
+            where = ", ".join(target) or "fleet"
+            lines.append(f"{spec.kind} @ {window} ({where})")
+        return "\n".join(lines)
+
+
+def chaos_plan(
+    duration_seconds: float,
+    crash_server: Optional[int] = 1,
+    crash_at_seconds: Optional[float] = None,
+    repair_after_seconds: Optional[float] = None,
+    corrupt_server: Optional[int] = 0,
+    corrupt_socket: int = 0,
+    corrupt_at_seconds: Optional[float] = None,
+    corrupt_for_seconds: Optional[float] = None,
+    kill_jobs: Sequence[int] = (),
+    kill_at_seconds: Optional[float] = None,
+    seed: int = 0,
+) -> FaultPlan:
+    """The canonical chaos scenario the ``repro chaos`` CLI runs.
+
+    Kills one server a quarter into the horizon (repairing it another
+    quarter later) and pins one socket's CPM stream to code 0 for a fifth
+    of the horizon — pass ``None`` for ``crash_server`` / ``corrupt_server``
+    to drop either ingredient.
+    """
+    specs: list = []
+    if crash_server is not None:
+        crash_at = (
+            0.25 * duration_seconds
+            if crash_at_seconds is None
+            else crash_at_seconds
+        )
+        repair = (
+            0.25 * duration_seconds
+            if repair_after_seconds is None
+            else repair_after_seconds
+        )
+        specs.append(
+            ServerCrashFault(
+                start_seconds=crash_at,
+                server_id=crash_server,
+                repair_seconds=repair,
+            )
+        )
+    if corrupt_server is not None:
+        corrupt_at = (
+            0.3 * duration_seconds
+            if corrupt_at_seconds is None
+            else corrupt_at_seconds
+        )
+        corrupt_for = (
+            0.2 * duration_seconds
+            if corrupt_for_seconds is None
+            else corrupt_for_seconds
+        )
+        specs.append(
+            CpmStuckFault(
+                start_seconds=corrupt_at,
+                duration_seconds=corrupt_for,
+                socket_id=corrupt_socket,
+                server_id=corrupt_server,
+                code=0,
+            )
+        )
+    kill_at = (
+        0.5 * duration_seconds if kill_at_seconds is None else kill_at_seconds
+    )
+    for job_id in kill_jobs:
+        specs.append(JobKillFault(start_seconds=kill_at, job_id=job_id))
+    return FaultPlan(specs=tuple(specs), seed=seed)

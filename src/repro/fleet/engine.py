@@ -30,11 +30,14 @@ event-log hash is identical across ``--workers`` settings by construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..config import ServerConfig
-from ..errors import SchedulingError
+from ..errors import FaultError, SchedulingError
+from ..faults.injector import _record_injection
+from ..faults.plan import FaultPlan
+from ..faults.spec import JobKillFault, ServerCrashFault
 from ..guardband import GuardbandMode
 from ..obs import DEFAULT_LATENCY_BUCKETS, observability
 from ..sim.batch import SweepRunner, SweepTask, default_runner
@@ -45,7 +48,11 @@ from .events import (
     ArrivalEvent,
     CompletionEvent,
     EventQueue,
+    FallbackEvent,
+    JobKillEvent,
+    JobRetryEvent,
     RebalanceEvent,
+    ServerFaultEvent,
     ns_to_seconds,
     seconds_to_ns,
 )
@@ -102,6 +109,18 @@ class FleetConfig:
     #: Borrowing/packing regime switch point (fraction of server threads).
     utilization_threshold: float = 0.5
 
+    #: How long a socket stays in static fallback *after* its injected
+    #: telemetry-corruption window ends, before adaptive mode re-arms
+    #: (the fleet-level hysteresis dwell).
+    fallback_rearm_seconds: float = 300.0
+
+    #: Base delay before a requeued job (crash victim, injected kill)
+    #: re-attempts placement; doubles per retry of the same job.
+    retry_backoff_seconds: float = 60.0
+
+    #: Cap on the exponential retry backoff.
+    retry_backoff_cap_seconds: float = 960.0
+
     def __post_init__(self) -> None:
         if self.n_servers < 1:
             raise SchedulingError(
@@ -111,6 +130,14 @@ class FleetConfig:
             raise SchedulingError("qos_frequency_fraction must be positive")
         if self.power_off_hysteresis_seconds < 0:
             raise SchedulingError("hysteresis must be >= 0")
+        if self.fallback_rearm_seconds < 0:
+            raise SchedulingError("fallback_rearm_seconds must be >= 0")
+        if self.retry_backoff_seconds <= 0:
+            raise SchedulingError("retry_backoff_seconds must be positive")
+        if self.retry_backoff_cap_seconds < self.retry_backoff_seconds:
+            raise SchedulingError(
+                "retry_backoff_cap_seconds must be >= retry_backoff_seconds"
+            )
 
     @property
     def required_frequency(self) -> float:
@@ -159,9 +186,12 @@ class FleetSimulation:
         policy: FleetPolicy = AGS_POLICY,
         runner: Optional[SweepRunner] = None,
         trace: Optional[Sequence[JobSpec]] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.config = config
         self.policy = policy
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        self._validate_fault_plan()
         self.runner = runner if runner is not None else default_runner()
         self.trace: Tuple[JobSpec, ...] = tuple(
             trace
@@ -195,6 +225,33 @@ class FleetSimulation:
         self._runtime = RuntimeModel()
         self._idle_memo: Dict[str, Tuple[float, float]] = {}
         self._specs = {job.job_id: job for job in self.trace}
+        # --- graceful-degradation state (inert with an empty plan) ---
+        #: Jobs waiting out a retry backoff (neither running nor queued —
+        #: the conservation check counts them with the queue).
+        self.pending_retries: Set[int] = set()
+        #: Per-job requeue tally (drives the exponential backoff).
+        self.retry_counts: Dict[int, int] = {}
+        #: High-water generation per job: a restart begins above every
+        #: completion event its previous life scheduled, so stale
+        #: pre-crash completions can never finish the restarted job.
+        self._job_generations: Dict[int, int] = {}
+        self.n_requeues = 0
+        self.n_server_crashes = 0
+        self.n_job_kills = 0
+        #: Open fallback windows: (server, socket) -> entry time (ns).
+        self._fallback_since: Dict[Tuple[int, int], int] = {}
+        #: Closed fallback dwell per (server, socket), in ns.
+        self._fallback_ns: Dict[Tuple[int, int], int] = {}
+
+    def _validate_fault_plan(self) -> None:
+        """Reject plans naming servers the fleet does not have."""
+        for spec in self.fault_plan.server_scoped_specs():
+            server_id = getattr(spec, "server_id", None)
+            if server_id is not None and server_id >= self.config.n_servers:
+                raise FaultError(
+                    f"{spec.kind}: server_id {server_id} out of range for a "
+                    f"{self.config.n_servers}-server fleet"
+                )
 
     # ------------------------------------------------------------------
     # Measurement plumbing
@@ -257,7 +314,19 @@ class FleetSimulation:
         self, state: ServerState, plan: PlacementPlan, now_ns: int
     ) -> None:
         """Apply a server's rebuilt placement: energy edge, new powers,
-        re-estimated job rates and completions, QoS adjudication."""
+        re-estimated job rates and completions, QoS adjudication.
+
+        A server with any socket in static fallback settles the whole
+        placement at the static guardband — conservative by design: one
+        distrusted CPM stream forfeits the server's adaptive surplus
+        until the telemetry re-arms.  Inert with no fallback sockets.
+        """
+        if (
+            state.fallback_sockets
+            and plan.placement is not None
+            and plan.guardband_mode is not GuardbandMode.STATIC
+        ):
+            plan = replace(plan, guardband_mode=GuardbandMode.STATIC)
         account = self.accounts[state.server_id]
         account.advance(now_ns)
         previous_plan, state.plan = state.plan, plan
@@ -433,6 +502,9 @@ class FleetSimulation:
             server_id=server_id,
             remaining_seconds=spec.service_seconds,
             last_update_ns=now_ns,
+            # Restarts resume above the high-water generation so stale
+            # pre-requeue completion events never match (0 on first start).
+            generation=self._job_generations.get(spec.job_id, 0),
         )
         self.log.append(
             "start",
@@ -489,6 +561,12 @@ class FleetSimulation:
                 help_text="Arrival-to-completion latency of finished jobs.",
                 buckets=DEFAULT_LATENCY_BUCKETS,
             )
+        self._after_departure(state, now_ns)
+
+    def _after_departure(self, state: ServerState, now_ns: int) -> None:
+        """Shared tail of a job leaving a server (completion, kill):
+        rebuild the placement, arm the power-off hysteresis on an emptied
+        server, and drain the admission queue into the freed capacity."""
         plan = self.scheduler.build_plan(list(state.jobs.values()))
         self._commit_plan(state, plan, now_ns)
         if state.empty:
@@ -546,6 +624,227 @@ class FleetSimulation:
         )
 
     # ------------------------------------------------------------------
+    # Fault handling and graceful degradation
+    # ------------------------------------------------------------------
+    def _schedule_faults(self) -> None:
+        """Map the plan's server-scoped specs onto discrete events.
+
+        Crashes (and their repairs), job kills, and per-socket telemetry
+        corruption windows (which the engine models as static-fallback
+        windows: corruption duration plus the re-arm dwell).  Called once
+        before the loop; a no-op with an empty plan.
+        """
+        rearm_ns = seconds_to_ns(self.config.fallback_rearm_seconds)
+        for spec in self.fault_plan.server_scoped_specs():
+            start_ns = seconds_to_ns(spec.start_seconds)
+            if isinstance(spec, ServerCrashFault):
+                self.events.push(
+                    ServerFaultEvent(
+                        time_ns=start_ns,
+                        server_id=spec.server_id,
+                        action="crash",
+                    )
+                )
+                if spec.repair_seconds is not None:
+                    self.events.push(
+                        ServerFaultEvent(
+                            time_ns=start_ns
+                            + seconds_to_ns(spec.repair_seconds),
+                            server_id=spec.server_id,
+                            action="repair",
+                        )
+                    )
+            elif isinstance(spec, JobKillFault):
+                self.events.push(
+                    JobKillEvent(time_ns=start_ns, job_id=spec.job_id)
+                )
+            elif getattr(spec, "socket_id", None) is not None:
+                server_id = spec.server_id
+                self.events.push(
+                    FallbackEvent(
+                        time_ns=start_ns,
+                        server_id=server_id,
+                        socket_id=spec.socket_id,
+                        action="enter",
+                        kind=spec.kind,
+                    )
+                )
+                if spec.duration_seconds is not None:
+                    self.events.push(
+                        FallbackEvent(
+                            time_ns=start_ns
+                            + seconds_to_ns(spec.duration_seconds)
+                            + rearm_ns,
+                            server_id=server_id,
+                            socket_id=spec.socket_id,
+                            action="exit",
+                            kind=spec.kind,
+                        )
+                    )
+
+    def _requeue(self, job_id: int, now_ns: int, reason: str) -> None:
+        """Pull one running job off its server and schedule a retry.
+
+        The job restarts from scratch (crash-victim work is lost); the
+        retry fires after a capped exponential backoff.
+        """
+        job = self.running.pop(job_id)
+        state = self.servers[job.server_id]
+        state.jobs.pop(job_id, None)
+        self._job_generations[job_id] = job.generation + 1
+        retries = self.retry_counts.get(job_id, 0) + 1
+        self.retry_counts[job_id] = retries
+        backoff = min(
+            self.config.retry_backoff_seconds * 2 ** (retries - 1),
+            self.config.retry_backoff_cap_seconds,
+        )
+        self.pending_retries.add(job_id)
+        self.events.push(
+            JobRetryEvent(
+                time_ns=now_ns + seconds_to_ns(backoff), job_id=job_id
+            )
+        )
+        self.n_requeues += 1
+        self.log.append(
+            "requeue",
+            now_ns,
+            job_id=job_id,
+            server_id=state.server_id,
+            reason=reason,
+            retries=retries,
+            backoff_seconds=backoff,
+        )
+        observability().count(
+            "tasks_retried_total",
+            help_text="Task retry attempts by layer.",
+            layer="fleet",
+        )
+
+    def _handle_server_fault(self, event: ServerFaultEvent) -> None:
+        state = self.servers[event.server_id]
+        if event.action == "repair":
+            if not state.failed:
+                return
+            state.failed = False
+            self.log.append(
+                "server_repair", event.time_ns, server_id=state.server_id
+            )
+            self._drain_queue(event.time_ns)
+            return
+        if state.failed:
+            return
+        self.n_server_crashes += 1
+        _record_injection(ServerCrashFault.kind)
+        account = self.accounts[state.server_id]
+        account.advance(event.time_ns)
+        account.set_power(0.0, 0.0)
+        victims = sorted(state.jobs)
+        for job_id in victims:
+            self._requeue(job_id, event.time_ns, reason="server_crash")
+        state.failed = True
+        state.powered = False
+        state.plan = None
+        state.rebalance_generation += 1  # cancel any pending power-off
+        self.log.append(
+            "server_crash",
+            event.time_ns,
+            server_id=state.server_id,
+            n_victims=len(victims),
+        )
+
+    def _handle_job_kill(self, event: JobKillEvent) -> None:
+        job = self.running.get(event.job_id)
+        if job is None:
+            return  # not running right now — the kill misses
+        self.n_job_kills += 1
+        _record_injection(JobKillFault.kind)
+        state = self.servers[job.server_id]
+        self.log.append(
+            "job_kill",
+            event.time_ns,
+            job_id=event.job_id,
+            server_id=state.server_id,
+        )
+        self._requeue(event.job_id, event.time_ns, reason="job_kill")
+        self._after_departure(state, event.time_ns)
+
+    def _handle_job_retry(self, event: JobRetryEvent) -> None:
+        if event.job_id not in self.pending_retries:
+            return
+        self.pending_retries.discard(event.job_id)
+        spec = self._specs[event.job_id]
+        if not self._try_start(spec, event.time_ns):
+            # Still no room: join the FIFO queue, drained on the next
+            # departure like any other waiting job.
+            self.queue.append(event.job_id)
+            self.log.append(
+                "queued", event.time_ns, job_id=event.job_id, retry=True
+            )
+
+    def _handle_fallback(self, event: FallbackEvent) -> None:
+        state = self.servers[event.server_id]
+        key = (event.server_id, event.socket_id)
+        if event.action == "enter":
+            if event.socket_id in state.fallback_sockets:
+                return
+            _record_injection(event.kind)
+            state.fallback_sockets.add(event.socket_id)
+            self._fallback_since[key] = event.time_ns
+            self._record_fleet_fallback("enter")
+            self.log.append(
+                "fallback_enter",
+                event.time_ns,
+                server_id=event.server_id,
+                socket_id=event.socket_id,
+                fault_kind=event.kind,
+            )
+        else:
+            if event.socket_id not in state.fallback_sockets:
+                return
+            state.fallback_sockets.discard(event.socket_id)
+            dwell_ns = event.time_ns - self._fallback_since.pop(key)
+            self._fallback_ns[key] = self._fallback_ns.get(key, 0) + dwell_ns
+            self._record_fleet_fallback("exit")
+            self._observe_fallback_dwell(ns_to_seconds(dwell_ns))
+            self.log.append(
+                "fallback_exit",
+                event.time_ns,
+                server_id=event.server_id,
+                socket_id=event.socket_id,
+                dwell_seconds=ns_to_seconds(dwell_ns),
+            )
+        # Re-settle the resident placement so the guardband change takes
+        # effect immediately, not at the next membership change.
+        if state.jobs and not state.failed:
+            plan = self.scheduler.build_plan(list(state.jobs.values()))
+            self._commit_plan(state, plan, event.time_ns)
+
+    @staticmethod
+    def _record_fleet_fallback(direction: str) -> None:
+        observability().count(
+            "fallback_transitions_total",
+            help_text=(
+                "Static-guardband fallback transitions by layer "
+                "(guardband = per-socket controller, fleet = engine)."
+            ),
+            direction=direction,
+            layer="fleet",
+            reason="cpm_corruption",
+        )
+
+    @staticmethod
+    def _observe_fallback_dwell(seconds: float) -> None:
+        observability().observe(
+            "fallback_static_seconds",
+            seconds,
+            help_text=(
+                "Per-socket dwell in static fallback (corruption window "
+                "plus re-arm hysteresis)."
+            ),
+            buckets=(60.0, 300.0, 600.0, 1800.0, 3600.0, 7200.0, 14400.0),
+        )
+
+    # ------------------------------------------------------------------
     # The loop
     # ------------------------------------------------------------------
     def run(self) -> FleetResult:
@@ -586,6 +885,7 @@ class FleetSimulation:
         return result
 
     def _run_loop(self, horizon_ns: int) -> FleetResult:
+        self._schedule_faults()
         for spec in self.trace:
             if spec.arrival_ns < horizon_ns:
                 self.events.push(
@@ -603,6 +903,14 @@ class FleetSimulation:
                 self._handle_arrival(event)
             elif isinstance(event, RebalanceEvent):
                 self._handle_rebalance(event)
+            elif isinstance(event, ServerFaultEvent):
+                self._handle_server_fault(event)
+            elif isinstance(event, JobKillEvent):
+                self._handle_job_kill(event)
+            elif isinstance(event, JobRetryEvent):
+                self._handle_job_retry(event)
+            elif isinstance(event, FallbackEvent):
+                self._handle_fallback(event)
             else:  # pragma: no cover - no other event kinds exist
                 raise SchedulingError(f"unhandled event {event!r}")
         self.now_ns = horizon_ns
@@ -610,6 +918,11 @@ class FleetSimulation:
             account.advance(horizon_ns)
         for job in self.running.values():
             job.sync(horizon_ns)
+        # Close fallback windows still open at the horizon.
+        for key in sorted(self._fallback_since):
+            dwell_ns = horizon_ns - self._fallback_since[key]
+            self._fallback_ns[key] = self._fallback_ns.get(key, 0) + dwell_ns
+        self._fallback_since.clear()
         adaptive_j = sum(a.adaptive_joules for a in self.accounts)
         static_j = sum(a.static_joules for a in self.accounts)
         return FleetResult(
@@ -622,7 +935,7 @@ class FleetSimulation:
                 1 for r in self.records.values() if r.completed
             ),
             n_running=len(self.running),
-            n_queued=len(self.queue),
+            n_queued=len(self.queue) + len(self.pending_retries),
             qos_violations=self.qos_violations,
             n_epochs=self.n_epochs,
             event_log_hash=self.log.digest(),
@@ -630,6 +943,15 @@ class FleetSimulation:
                 self.records[job_id] for job_id in sorted(self.records)
             ),
             events=self.log.entries,
+            n_requeues=self.n_requeues,
+            n_server_crashes=self.n_server_crashes,
+            n_job_kills=self.n_job_kills,
+            fallback_seconds=tuple(
+                (server_id, socket_id, ns_to_seconds(dwell))
+                for (server_id, socket_id), dwell in sorted(
+                    self._fallback_ns.items()
+                )
+            ),
         )
 
 

@@ -86,6 +86,53 @@ class RebalanceEvent(FleetEvent):
     priority = 2
 
 
+@dataclass(frozen=True)
+class ServerFaultEvent(FleetEvent):
+    """An injected server crash (``action="crash"``) or its repair
+    (``action="repair"``).  Fires before capacity-claiming events so a
+    simultaneous arrival never lands on a dying server."""
+
+    server_id: int = 0
+    action: str = "crash"
+
+    priority = 0
+
+
+@dataclass(frozen=True)
+class JobKillEvent(FleetEvent):
+    """An injected kill of one running job (requeued, not lost)."""
+
+    job_id: int = 0
+
+    priority = 0
+
+
+@dataclass(frozen=True)
+class JobRetryEvent(FleetEvent):
+    """A requeued job's backoff expires; the fleet re-attempts placement."""
+
+    job_id: int = 0
+
+    priority = 1
+
+
+@dataclass(frozen=True)
+class FallbackEvent(FleetEvent):
+    """One socket's guardband trust changes: ``action="enter"`` pins it to
+    the static guardband (injected CPM-stream corruption), ``action="exit"``
+    re-arms adaptive mode after the corruption window plus the hysteresis
+    dwell."""
+
+    server_id: int = 0
+    socket_id: int = 0
+    action: str = "enter"
+
+    #: Kind tag of the corrupting fault spec (metrics/event-log label).
+    kind: str = "cpm_stuck"
+
+    priority = 0
+
+
 class EventQueue:
     """Deterministic priority queue over fleet events."""
 

@@ -192,6 +192,24 @@ class FleetResult:
     #: The structured event stream.
     events: Tuple[dict, ...] = field(repr=False, default=())
 
+    #: Jobs requeued off crashed servers or injected kills (with retries).
+    n_requeues: int = 0
+
+    #: Injected server crashes observed during the run.
+    n_server_crashes: int = 0
+
+    #: Injected job kills observed during the run.
+    n_job_kills: int = 0
+
+    #: Per-socket static-fallback dwell: ``(server_id, socket_id,
+    #: seconds)`` for every socket that spent time distrusting its CPMs.
+    fallback_seconds: Tuple[Tuple[int, int, float], ...] = ()
+
+    @property
+    def total_fallback_seconds(self) -> float:
+        """Fleet-wide socket-seconds spent in static fallback."""
+        return sum(entry[2] for entry in self.fallback_seconds)
+
     @property
     def conserved(self) -> bool:
         """Job conservation: every arrival is accounted for."""

@@ -25,7 +25,7 @@ The scheduler realizes the paper's cluster sketch (Sec. 5.1.1) as an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..config import ServerConfig
 from ..core.advisor import ColocationAdvisor
@@ -145,6 +145,14 @@ class ServerState:
     #: The server's current plan (``None`` = empty).
     plan: Optional[PlacementPlan] = None
 
+    #: Whether the server is down (injected crash, awaiting repair).
+    #: Failed servers admit nothing and burn no power.
+    failed: bool = False
+
+    #: Sockets whose CPM telemetry is distrusted: the server settles
+    #: every placement at the full static guardband while non-empty.
+    fallback_sockets: Set[int] = field(default_factory=set)
+
     @property
     def total_threads(self) -> int:
         """Threads resident on the server."""
@@ -200,8 +208,9 @@ class OnlineFleetScheduler:
         host the job (it must queue).  Does not mutate any state — the
         engine commits the returned plan.
         """
-        powered = [s for s in servers if s.powered]
-        dark = [s for s in servers if not s.powered]
+        alive = [s for s in servers if not s.failed]
+        powered = [s for s in alive if s.powered]
+        dark = [s for s in alive if not s.powered]
         for state in powered + dark:
             candidate = list(state.jobs.values()) + [job]
             if not self.fits(candidate):

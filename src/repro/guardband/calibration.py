@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from ..chip import Power7Chip
 from ..config import GuardbandConfig
+from ..errors import CalibrationError
+from ..faults.injector import fault_injector
 
 
 def calibrated_margin(chip_config, guardband: GuardbandConfig) -> float:
@@ -27,13 +29,25 @@ def calibrated_margin(chip_config, guardband: GuardbandConfig) -> float:
     )
 
 
-def calibrate_socket(chip: Power7Chip, guardband: GuardbandConfig) -> float:
+def calibrate_socket(
+    chip: Power7Chip, guardband: GuardbandConfig, socket_id: int = 0
+) -> float:
     """Run the calibration procedure on one die.
 
     The chip is (conceptually) placed at nominal frequency with exactly the
     protected margin, and every CPM is re-anchored to output the calibration
     code there.  Returns the calibrated margin in volts.
+
+    ``socket_id`` identifies the die to the fault injector: an active
+    :class:`~repro.faults.spec.CalibrationFault` on it makes the readback
+    fail, exactly as a real miscalibrated detector would.
     """
+    injector = fault_injector()
+    if injector.enabled and injector.calibration_should_fail(socket_id):
+        raise CalibrationError(
+            f"socket {socket_id}: injected calibration failure "
+            "(CPM readback mismatch)"
+        )
     margin = calibrated_margin(chip.config, guardband)
     chip.cpm_bank.calibrate(
         margin=margin,

@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..config import PdnConfig
+from ..faults.injector import fault_injector
 from ..floorplan import Floorplan
 from .didt import DidtNoiseModel
 from .irdrop import IrDropNetwork
@@ -150,13 +151,24 @@ class PowerDeliveryPath:
         total = float(np.sum(core_currents)) + uncore_current
         self._vrm.record_current(self._rail, total)
         loadline = self._vrm.loadline_drop(self._rail, total)
+        injected_droop = 0.0
+        injector = fault_injector()
+        if injector.enabled:
+            # Fault hooks: a loadline-excursion fault scales the resistive
+            # drop; a VRM-droop fault sags the delivered rail directly.
+            # Both bail to the fault-free arithmetic when inactive.
+            scale = injector.loadline_scale(self._rail)
+            if scale != 1.0:
+                loadline *= scale
+            injected_droop = injector.rail_droop(self._rail)
         ir_shared = self._ir.shared_drop(total)
         ir_local = self._ir.local_drops(core_currents)
         ripple = self._noise.typical_ripple(n_active_cores)
         droop = self._noise.worst_droop(n_active_cores)
         setpoint = self.setpoint
         voltages = tuple(
-            setpoint - loadline - ir_shared - local - ripple for local in ir_local
+            setpoint - injected_droop - loadline - ir_shared - local - ripple
+            for local in ir_local
         )
         return DropBreakdown(
             setpoint=setpoint,

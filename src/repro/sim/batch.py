@@ -30,10 +30,13 @@ import dataclasses
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import ServerConfig
+from ..errors import SweepError
+from ..faults.injector import fault_injector
 from ..guardband import GuardbandMode
 from ..obs import observability
 from ..workloads.profile import WorkloadProfile
@@ -333,6 +336,39 @@ class TaskTiming:
     wall_time: float
     from_cache: bool
 
+    #: Whether the task ultimately failed (its result slot holds ``None``).
+    failed: bool = False
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its attempts — the failure manifest entry.
+
+    The batch never aborts on a poisoned task: the exception is captured
+    per key, successful siblings are still settled and cached, and the
+    failure surfaces here (and as ``error: ...`` strings in strict-mode
+    :class:`~repro.errors.SweepError`)."""
+
+    #: Position of the task in the input batch.
+    index: int
+
+    #: ``SweepTask.label()`` of the failed task.
+    label: str
+
+    #: Exception class name (e.g. ``"ConvergenceError"``).
+    error_type: str
+
+    #: Stringified exception message.
+    error: str
+
+    #: Total attempts made (1 + retries).
+    attempts: int
+
+    def describe(self) -> str:
+        """One-line rendering for summaries and error messages."""
+        suffix = f" after {self.attempts} attempts" if self.attempts > 1 else ""
+        return f"{self.label}: {self.error_type}: {self.error}{suffix}"
+
 
 @dataclass(frozen=True)
 class SweepReport:
@@ -354,6 +390,10 @@ class SweepReport:
     #: Snapshot of the cache counters *after* the batch.
     cache_stats: CacheStats
 
+    #: Failure manifest: tasks whose result slot is ``None`` (non-strict
+    #: runners) or that a strict runner's :class:`SweepError` carries.
+    failures: Tuple[TaskFailure, ...] = ()
+
     @property
     def n_tasks(self) -> int:
         """Number of tasks in the batch."""
@@ -365,20 +405,28 @@ class SweepReport:
         return sum(1 for t in self.timings if t.from_cache)
 
     @property
+    def n_failed(self) -> int:
+        """Tasks that exhausted their attempts (see :attr:`failures`)."""
+        return len(self.failures)
+
+    @property
     def n_executed(self) -> int:
         """Tasks that settled at least one fresh operating point."""
-        return self.n_tasks - self.n_from_cache
+        return self.n_tasks - self.n_from_cache - self.n_failed
 
     def summary(self) -> str:
         """Multi-line human-readable timing summary (CLI ``--timings``)."""
         lines = [
             f"sweep: {self.n_tasks} task(s) in {self.wall_time:.2f}s "
             f"({self.n_executed} executed, {self.n_from_cache} from cache, "
+            f"{self.n_failed} failed, "
             f"{'process pool' if self.used_processes else 'in-process'})",
             f"cache: {self.cache_stats.summary()}",
         ]
+        for failure in self.failures:
+            lines.append(f"  FAILED {failure.describe()}")
         executed = sorted(
-            (t for t in self.timings if not t.from_cache),
+            (t for t in self.timings if not t.from_cache and not t.failed),
             key=lambda t: t.wall_time,
             reverse=True,
         )
@@ -408,6 +456,23 @@ class SweepRunner:
         Die seed every task's server is built with (one simulated machine
         for the whole campaign, like the paper's test box).  Per-task
         random streams derive from it via :func:`derive_seed`.
+    task_timeout:
+        Per-task wall-clock budget in seconds on the process-pool path
+        (``None`` = unlimited).  A task that overruns counts as one failed
+        attempt.  The in-process path cannot preempt a running task, so
+        the timeout applies only when a pool executes.
+    max_retries:
+        Bounded retry count per failing task (default 0: one attempt).
+        Retries matter under fault injection, where a failure can clear
+        with time; deterministic failures simply fail ``max_retries + 1``
+        times.
+    strict:
+        ``True`` (default) raises :class:`~repro.errors.SweepError` after
+        the batch completes when any task failed — successful siblings
+        are still settled and cached first, and the error carries the
+        failure manifest.  ``False`` returns the report with ``None``
+        placeholders in ``results`` and the manifest on
+        ``report.failures``.
     """
 
     def __init__(
@@ -415,12 +480,22 @@ class SweepRunner:
         max_workers: Optional[int] = 1,
         cache: Optional[OperatingPointCache] = None,
         seed_root: int = DEFAULT_SEED_ROOT,
+        task_timeout: Optional[float] = None,
+        max_retries: int = 0,
+        strict: bool = True,
     ) -> None:
         self.max_workers = os.cpu_count() if max_workers is None else max_workers
         if self.max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {task_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.cache = cache if cache is not None else OperatingPointCache()
         self.seed_root = seed_root
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.strict = strict
         #: Reports of every batch this runner executed (observability).
         self.reports: List[SweepReport] = []
 
@@ -477,16 +552,30 @@ class SweepRunner:
             if missing:
                 pending.append((index, tuple(missing)))
 
-        # Settle what the cache could not answer.
+        # Settle what the cache could not answer.  Worker exceptions are
+        # captured per task: one poisoned point never aborts the batch.
         used_processes = False
         fresh_wall: Dict[int, float] = {}
+        failures: List[TaskFailure] = []
         if pending:
             payloads = [
                 (cfg, seed, tasks[index], modes)
                 for index, modes in pending
             ]
             outcomes, used_processes = self._execute(payloads)
-            for (index, _), (fresh, wall) in zip(pending, outcomes):
+            for (index, _), (fresh, wall, error) in zip(pending, outcomes):
+                if error is not None:
+                    error_type, message, attempts = error
+                    failures.append(
+                        TaskFailure(
+                            index=index,
+                            label=tasks[index].label(),
+                            error_type=error_type,
+                            error=message,
+                            attempts=attempts,
+                        )
+                    )
+                    continue
                 fresh_wall[index] = wall
                 for mode_value, state in fresh.items():
                     mode = GuardbandMode(mode_value)
@@ -495,10 +584,23 @@ class SweepRunner:
                     )
                     states[index][mode_value] = state
 
-        # Assemble results and the report, in input order.
-        results = []
+        # Assemble results and the report, in input order.  Failed tasks
+        # hold a ``None`` placeholder so sibling indices stay aligned.
+        failed_indices = {failure.index for failure in failures}
+        results: List[Optional[RunResult]] = []
         timings = []
         for index, task in enumerate(tasks):
+            if index in failed_indices:
+                results.append(None)
+                timings.append(
+                    TaskTiming(
+                        label=task.label(),
+                        wall_time=0.0,
+                        from_cache=False,
+                        failed=True,
+                    )
+                )
+                continue
             static = states[index][GuardbandMode.STATIC.value]
             adaptive = states[index][task.mode.value]
             results.append(
@@ -522,9 +624,18 @@ class SweepRunner:
             wall_time=time.perf_counter() - start,
             used_processes=used_processes,
             cache_stats=dataclasses.replace(self.cache.stats),
+            failures=tuple(failures),
         )
         self.reports.append(report)
         self._record_report(report)
+        if failures and self.strict:
+            first = failures[0]
+            raise SweepError(
+                f"{len(failures)} of {len(tasks)} sweep task(s) failed "
+                f"(first: {first.describe()}); successful tasks were "
+                "cached — rerun with strict=False for partial results",
+                failures=failures,
+            )
         return report
 
     def _record_report(self, report: SweepReport) -> None:
@@ -551,6 +662,13 @@ class SweepRunner:
             help_text="Sweep tasks by outcome.",
             outcome="executed",
         )
+        if report.n_failed:
+            obs.count(
+                "sweep_tasks_total",
+                amount=report.n_failed,
+                help_text="Sweep tasks by outcome.",
+                outcome="failed",
+            )
         obs.observe(
             "sweep_batch_seconds",
             report.wall_time,
@@ -643,18 +761,112 @@ class SweepRunner:
 
     def _execute(
         self, payloads: List[tuple]
-    ) -> Tuple[List[Tuple[Dict[str, SteadyState], float]], bool]:
-        """Run payloads through the pool, or in-process when unavailable."""
-        if self.max_workers > 1 and len(payloads) > 1:
+    ) -> Tuple[List[tuple], bool]:
+        """Run payloads through the pool, or in-process when unavailable.
+
+        Returns ``(outcomes, used_processes)`` where each outcome is
+        ``(states, wall, None)`` on success or ``(None, 0.0,
+        (error_type, message, attempts))`` after the task exhausted its
+        attempts.  Worker exceptions never propagate — they land in the
+        failure manifest.
+
+        Pool workers are separate processes and cannot see this process's
+        installed fault injector, so batches running under injection are
+        forced in-process to keep the faults (and the results) coherent.
+        """
+        use_pool = (
+            self.max_workers > 1
+            and len(payloads) > 1
+            and not fault_injector().enabled
+        )
+        if use_pool:
             try:
-                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                    futures = [pool.submit(_execute_task, p) for p in payloads]
-                    return [f.result() for f in futures], True
+                return self._execute_pool(payloads), True
             except (OSError, PermissionError, NotImplementedError):
                 # Sandboxes and exotic platforms may refuse process pools;
                 # the in-process path produces bit-identical results.
                 pass
-        return [_execute_task(p) for p in payloads], False
+        return [self._execute_inline(p) for p in payloads], False
+
+    def _execute_pool(self, payloads: List[tuple]) -> List[tuple]:
+        """Pool path: per-future timeout, capped resubmission on failure."""
+        outcomes: List[Optional[tuple]] = [None] * len(payloads)
+        attempts = {i: 0 for i in range(len(payloads))}
+        remaining = list(range(len(payloads)))
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            while remaining:
+                futures = {
+                    i: pool.submit(_execute_task, payloads[i])
+                    for i in remaining
+                }
+                retry: List[int] = []
+                for i, future in futures.items():
+                    attempts[i] += 1
+                    try:
+                        states, wall = future.result(timeout=self.task_timeout)
+                        outcomes[i] = (states, wall, None)
+                    except FuturesTimeoutError:
+                        future.cancel()
+                        self._handle_attempt_failure(
+                            i,
+                            "TimeoutError",
+                            f"task exceeded {self.task_timeout}s",
+                            attempts,
+                            retry,
+                            outcomes,
+                        )
+                    except Exception as exc:  # noqa: BLE001 - manifest capture
+                        self._handle_attempt_failure(
+                            i,
+                            type(exc).__name__,
+                            str(exc),
+                            attempts,
+                            retry,
+                            outcomes,
+                        )
+                remaining = retry
+        return outcomes
+
+    def _execute_inline(self, payload: tuple) -> tuple:
+        """In-process path: bounded retries, exception capture."""
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                states, wall = _execute_task(payload)
+                return (states, wall, None)
+            except Exception as exc:  # noqa: BLE001 - manifest capture
+                if attempts <= self.max_retries:
+                    self._count_retry()
+                    continue
+                return (None, 0.0, (type(exc).__name__, str(exc), attempts))
+
+    def _handle_attempt_failure(
+        self,
+        index: int,
+        error_type: str,
+        message: str,
+        attempts: Dict[int, int],
+        retry: List[int],
+        outcomes: List[Optional[tuple]],
+    ) -> None:
+        if attempts[index] <= self.max_retries:
+            self._count_retry()
+            retry.append(index)
+        else:
+            outcomes[index] = (
+                None,
+                0.0,
+                (error_type, message, attempts[index]),
+            )
+
+    @staticmethod
+    def _count_retry() -> None:
+        observability().count(
+            "tasks_retried_total",
+            help_text="Task retry attempts by layer.",
+            layer="sweep",
+        )
 
 
 # ----------------------------------------------------------------------

@@ -22,9 +22,11 @@ core; the DPLL loop and most analyses use the minimum).
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 import numpy as np
+
+from ..faults.injector import fault_injector
 
 if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
     from ..sim.socket import ProcessorSocket, SocketSolution
@@ -59,6 +61,11 @@ class CpmReader:
         self._socket = socket
         self._window = window
         self._rng = np.random.default_rng(seed)
+        #: Last codes served per (core, mode) — only ever written while a
+        #: fault injector is installed, so it can replay a frozen window
+        #: during an injected stale-telemetry fault.  Untouched (and
+        #: empty) on the fault-free path.
+        self._last_codes: Dict[Tuple[int, str], Tuple[int, ...]] = {}
 
     @property
     def window(self) -> float:
@@ -82,7 +89,19 @@ class CpmReader:
             )
             voltage -= droop
         margin = chip.timing.margin(voltage, frequency)
-        return chip.cpm_bank.read_core(core_id, margin, frequency)
+        codes = chip.cpm_bank.read_core(core_id, margin, frequency)
+        injector = fault_injector()
+        if injector.enabled:
+            socket_id = getattr(self._socket, "socket_id", 0)
+            key = (core_id, mode.value)
+            if injector.stale_active(socket_id):
+                frozen = self._last_codes.get(key)
+                if frozen is not None:
+                    injector.record_stale()
+                    return list(frozen)
+            codes = injector.transform_codes(socket_id, core_id, codes)
+            self._last_codes[key] = tuple(codes)
+        return codes
 
     def read_chip(
         self,

@@ -165,11 +165,17 @@ class TestCommands:
             )
         assert hashes[0] == hashes[1]
 
-    def test_unknown_workload_raises(self):
+    def test_unknown_workload_exits_with_code(self, capsys):
+        assert main(["measure", "doom"]) == 3
+        err = capsys.readouterr().err
+        assert err.startswith("error: WorkloadError:")
+        assert err.count("\n") == 1
+
+    def test_unknown_workload_debug_reraises(self):
         from repro.errors import WorkloadError
 
         with pytest.raises(WorkloadError):
-            main(["measure", "doom"])
+            main(["measure", "doom", "--debug"])
 
     def test_measure_accepts_seed(self, capsys):
         assert main(["measure", "raytrace", "-n", "2", "--seed", "11"]) == 0

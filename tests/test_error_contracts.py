@@ -1,0 +1,139 @@
+"""Error-path contracts: typed errors end-to-end, CLI exit codes.
+
+Satellite of the fault-injection PR: every documented failure mode must
+surface as its :class:`~repro.errors.ReproError` subclass through the
+public API, and the CLI must map each family to a one-line stderr
+message with a distinct nonzero exit code (full traceback behind
+``--debug``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import measure
+from repro.cli import ERROR_EXIT_CODES, exit_code_for, main
+from repro.config import PdnConfig, ServerConfig
+from repro.core.placement import Placement
+from repro.errors import (
+    CalibrationError,
+    ConfigError,
+    ConvergenceError,
+    FaultError,
+    ReproError,
+    SchedulingError,
+    SensorError,
+    SweepError,
+    WorkloadError,
+)
+from repro.faults import (
+    CalibrationFault,
+    FaultPlan,
+    LoadlineExcursionFault,
+    injected,
+)
+from repro.guardband import GuardbandMode
+from repro.guardband.calibration import calibrate_socket
+from repro.sim.run import build_server
+from repro.workloads import get_profile
+
+
+class TestErrorPaths:
+    def test_pathological_loadline_raises_convergence_error(self):
+        pdn = dataclasses.replace(PdnConfig(), r_loadline=0.050)
+        config = ServerConfig(pdn=pdn)
+        server = build_server(config)
+        server.place(0, get_profile("lu_cb"), 8)
+        socket = server.sockets[0]
+        socket.path.set_voltage(config.static_vdd)
+        with pytest.raises(ConvergenceError):
+            socket.solve(frequencies=[4.2e9] * 8)
+
+    def test_injected_loadline_excursion_raises_convergence_error(self):
+        # The same starvation, reached through the fault layer: a huge
+        # loadline excursion on an otherwise healthy config.
+        plan = FaultPlan(
+            specs=(LoadlineExcursionFault(socket_id=0, factor=200.0),)
+        )
+        with pytest.raises(ConvergenceError):
+            measure("lu_cb", n_threads=8, fault_plan=plan)
+
+    def test_injected_calibration_failure_raises_typed_error(self):
+        server = build_server()
+        server.place(0, get_profile("raytrace"), 2)
+        plan = FaultPlan(specs=(CalibrationFault(socket_id=0),))
+        with injected(plan):
+            with pytest.raises(CalibrationError):
+                calibrate_socket(
+                    server.sockets[0].chip,
+                    server.config.guardband,
+                    socket_id=0,
+                )
+
+    def test_impossible_placement_raises_scheduling_error(self):
+        with pytest.raises(SchedulingError):
+            measure("raytrace", n_threads=999)
+
+    def test_conflicting_variants_raise_scheduling_error(self):
+        placement = Placement(groups=((), ()))
+        with pytest.raises(SchedulingError):
+            measure(
+                "raytrace",
+                placement=(1, 1),
+                schedule=placement,
+                mode=GuardbandMode.UNDERVOLT,
+            )
+
+
+class TestCliErrorMapping:
+    def test_every_family_has_a_distinct_code(self):
+        codes = [code for _, code in ERROR_EXIT_CODES]
+        assert len(codes) == len(set(codes))
+        assert all(code >= 3 for code in codes)
+
+    def test_subclasses_resolve_before_the_base(self):
+        assert exit_code_for(WorkloadError("x")) == 3
+        assert exit_code_for(ConfigError("x")) == 4
+        assert exit_code_for(SchedulingError("x")) == 5
+        assert exit_code_for(ConvergenceError("x")) == 6
+        assert exit_code_for(CalibrationError("x")) == 7
+        assert exit_code_for(SensorError("x")) == 8
+        assert exit_code_for(SweepError("x")) == 9
+        assert exit_code_for(FaultError("x")) == 10
+        assert exit_code_for(ReproError("x")) == 11
+
+    def test_cli_prints_one_line_and_exits_nonzero(self, capsys):
+        code = main(["measure", "nosuchthing"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert captured.err == (
+            "error: WorkloadError: unknown benchmark 'nosuchthing'\n"
+        )
+
+    def test_cli_scheduling_error_exit_code(self, capsys):
+        code = main(["measure", "raytrace", "-n", "999"])
+        assert code == 5
+        assert capsys.readouterr().err.startswith("error: SchedulingError:")
+
+    def test_cli_fault_error_from_empty_chaos_plan(self, capsys):
+        code = main(
+            ["chaos", "--no-crash", "--no-corrupt", "--duration", "60"]
+        )
+        assert code == 10
+        assert capsys.readouterr().err.startswith("error: FaultError:")
+
+    def test_debug_reraises_with_traceback(self):
+        with pytest.raises(WorkloadError):
+            main(["measure", "nosuchthing", "--debug"])
+
+    def test_chaos_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["chaos"])
+        assert args.servers == 2
+        assert args.duration == 14_400.0
+        assert args.crash_server == 1
+        assert args.corrupt_socket == 0
+        assert args.fault_seed == 0
+        assert args.kill_job is None
+        assert args.debug is False

@@ -1,0 +1,82 @@
+"""The sweep runner's failure manifest, strict mode and bounded retries."""
+
+import pytest
+
+from repro.errors import SweepError
+from repro.guardband import GuardbandMode
+from repro.sim.batch import SweepRunner, SweepTask, TaskFailure
+from repro.sim.cache import OperatingPointCache
+from repro.workloads import get_profile
+
+
+def good_task():
+    return SweepTask.consolidated(
+        get_profile("raytrace"), 1, GuardbandMode.UNDERVOLT
+    )
+
+
+def poisoned_task():
+    # More threads than the server has hardware slots: the worker's
+    # ``place`` raises SchedulingError — a per-task failure, not a crash.
+    return SweepTask.consolidated(
+        get_profile("raytrace"), 999, GuardbandMode.UNDERVOLT
+    )
+
+
+class TestFailureManifest:
+    def test_non_strict_returns_placeholders_and_manifest(self):
+        runner = SweepRunner(strict=False)
+        report = runner.run([good_task(), poisoned_task()])
+        assert report.n_tasks == 2
+        assert report.n_failed == 1
+        assert report.results[0] is not None
+        assert report.results[1] is None
+        failure = report.failures[0]
+        assert isinstance(failure, TaskFailure)
+        assert failure.index == 1
+        assert failure.error_type == "SchedulingError"
+        assert failure.attempts == 1
+        assert report.timings[1].failed
+
+    def test_strict_raises_with_manifest_after_caching_successes(self):
+        cache = OperatingPointCache()
+        runner = SweepRunner(cache=cache)
+        with pytest.raises(SweepError) as exc:
+            runner.run([good_task(), poisoned_task()])
+        assert len(exc.value.failures) == 1
+        assert exc.value.failures[0].error_type == "SchedulingError"
+        assert "SchedulingError" in str(exc.value)
+        # The sibling that succeeded was cached before the raise.
+        replay = SweepRunner(cache=cache).run([good_task()])
+        assert replay.n_from_cache == 1
+
+    def test_all_good_batch_has_empty_manifest(self):
+        report = SweepRunner().run([good_task()])
+        assert report.n_failed == 0
+        assert report.failures == ()
+
+    def test_bounded_retries_count_attempts(self):
+        runner = SweepRunner(strict=False, max_retries=2)
+        report = runner.run([poisoned_task()])
+        # A deterministic failure burns every attempt: 1 + max_retries.
+        assert report.failures[0].attempts == 3
+
+    def test_summary_names_failures(self):
+        runner = SweepRunner(strict=False)
+        report = runner.run([good_task(), poisoned_task()])
+        summary = report.summary()
+        assert "1 failed" in summary
+        assert "FAILED" in summary
+        assert "SchedulingError" in summary
+
+    def test_failure_describe_mentions_attempts(self):
+        failure = TaskFailure(
+            index=0, label="x", error_type="E", error="m", attempts=3
+        )
+        assert "after 3 attempts" in failure.describe()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SweepRunner(task_timeout=0)
+        with pytest.raises(ValueError):
+            SweepRunner(max_retries=-1)
