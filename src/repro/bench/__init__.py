@@ -1,0 +1,41 @@
+"""Performance trend recording and regression gating.
+
+The store-trend-and-gate pattern: every benchmark run *appends* one
+timing entry (with its host fingerprint and run metadata) to a JSON
+trend file — ``BENCH_fleet.json``, ``BENCH_sweep.json`` — and the gate
+compares the newest entry against the best prior entry recorded on a
+comparable host.  CI fails when the latest wall time regresses more
+than :data:`~repro.bench.trend.REGRESSION_THRESHOLD` (20%) against the
+stored trend; hosts with no comparable history establish a baseline
+instead of failing.
+"""
+
+from .suites import (
+    FLEET_BENCH_FILE,
+    SWEEP_BENCH_FILE,
+    bench_fig13_sweep,
+    bench_fleet_day,
+)
+from .trend import (
+    REGRESSION_THRESHOLD,
+    BenchEntry,
+    BenchTrend,
+    GateReport,
+    gate_trend,
+    host_fingerprint,
+    record,
+)
+
+__all__ = [
+    "bench_fig13_sweep",
+    "bench_fleet_day",
+    "BenchEntry",
+    "BenchTrend",
+    "FLEET_BENCH_FILE",
+    "gate_trend",
+    "GateReport",
+    "host_fingerprint",
+    "record",
+    "REGRESSION_THRESHOLD",
+    "SWEEP_BENCH_FILE",
+]

@@ -1,0 +1,170 @@
+"""The two gated benchmark suites: the fleet day and the Fig. 13 sweep.
+
+``bench_fleet_day`` times the same simulated day twice — once as the
+scalar, monolithic, single-process baseline and once sharded over fixed
+cells with the vectorized backend free to engage — checks that every
+shard count yields the *same* event-log SHA-256, and appends both wall
+times (plus the speedup ratio) to ``BENCH_fleet.json``.
+
+``bench_fig13_sweep`` times the Fig. 13 borrowing figure build from a
+cold sweep runner and appends it to ``BENCH_sweep.json``.
+"""
+
+import time
+from typing import Any, Dict, Optional, Sequence
+
+from ..chip.power import set_power_backend
+from ..errors import SchedulingError
+from ..fleet.engine import FleetConfig, FleetSimulation, clear_fleet_memos
+from ..fleet.shard import CellLayout, run_sharded
+from ..fleet.traffic import TrafficConfig
+from .trend import record
+
+#: Default trend files, relative to the invoking directory (repo root in
+#: CI); committed alongside the code so the trend survives checkouts.
+FLEET_BENCH_FILE = "BENCH_fleet.json"
+SWEEP_BENCH_FILE = "BENCH_sweep.json"
+
+
+def _timed(fn) -> "tuple":
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def bench_fleet_day(
+    n_servers: int = 8,
+    duration_seconds: float = 2 * 3600.0,
+    jobs_per_hour: float = 200.0,
+    lc_fraction: float = 0.2,
+    cell_servers: Optional[int] = None,
+    shard_counts: Sequence[int] = (1, 2),
+    seed: int = 7,
+    baseline: bool = True,
+    out_path: str = FLEET_BENCH_FILE,
+) -> Dict[str, Any]:
+    """Time the fleet day, verify shard-count SHA identity, record trend.
+
+    The baseline runs first, cold, with the scalar power backend forced
+    and the monolithic (single-cell, single-process) engine — the
+    "before" configuration.  The sharded runs follow; any memo warmth
+    they inherit from the baseline is part of the "after" story, since
+    a long-lived process is exactly where the memos pay off.
+    """
+    config = FleetConfig(
+        n_servers=n_servers,
+        traffic=TrafficConfig(
+            duration_seconds=duration_seconds,
+            jobs_per_hour=jobs_per_hour,
+            lc_fraction=lc_fraction,
+        ),
+        seed=seed,
+    )
+    layout = CellLayout(
+        n_servers=n_servers, cell_servers=cell_servers or n_servers
+    )
+    scale = (
+        f"servers={n_servers},rate={jobs_per_hour:g},"
+        f"duration={duration_seconds:g},cell={layout.cell_servers},"
+        f"seed={seed}"
+    )
+    report: Dict[str, Any] = {
+        "n_servers": n_servers,
+        "cell_servers": layout.cell_servers,
+        "n_cells": layout.n_cells,
+        "shard_counts": list(shard_counts),
+        "scale": scale,
+    }
+
+    baseline_wall = None
+    if baseline:
+        clear_fleet_memos()  # the baseline must be genuinely cold
+        previous = set_power_backend("scalar")
+        try:
+            base_result, baseline_wall = _timed(
+                lambda: FleetSimulation(config).run()
+            )
+        finally:
+            set_power_backend(previous)
+        report["baseline_wall_seconds"] = baseline_wall
+        report["baseline_digest"] = base_result.event_log_hash
+        report["n_jobs"] = base_result.n_arrivals
+        record(
+            out_path,
+            "fleet_day_scalar_baseline",
+            baseline_wall,
+            meta={
+                "scale": scale,
+                "n_servers": n_servers,
+                "n_jobs": base_result.n_arrivals,
+                "digest": base_result.event_log_hash,
+            },
+        )
+
+    digests = {}
+    walls = {}
+    sharded_result = None
+    for n_shards in shard_counts:
+        sharded_result, wall = _timed(
+            lambda shards=n_shards: run_sharded(
+                config,
+                n_shards=shards,
+                cell_servers=layout.cell_servers,
+                keep_events=False,
+            )
+        )
+        digests[n_shards] = sharded_result.event_log_hash
+        walls[n_shards] = wall
+    if len(set(digests.values())) != 1:
+        raise SchedulingError(
+            f"shard counts disagree on the event-log digest: {digests}"
+        )
+    report["sharded_digest"] = next(iter(digests.values()))
+    report["sharded_wall_seconds"] = dict(walls)
+    report.setdefault("n_jobs", sharded_result.n_arrivals)
+
+    best_wall = min(walls.values())
+    speedup = None
+    if baseline_wall is not None and best_wall > 0:
+        speedup = baseline_wall / best_wall
+        report["speedup"] = speedup
+    record(
+        out_path,
+        "fleet_day_sharded",
+        best_wall,
+        meta={
+            "scale": scale,
+            "n_servers": n_servers,
+            "n_jobs": report["n_jobs"],
+            "cell_servers": layout.cell_servers,
+            "digest": report["sharded_digest"],
+            "digest_identical_across_shards": True,
+            "walls_by_shards": {str(k): v for k, v in walls.items()},
+            "speedup_vs_scalar_baseline": speedup,
+        },
+    )
+    return report
+
+
+def bench_fig13_sweep(
+    out_path: str = SWEEP_BENCH_FILE,
+) -> Dict[str, Any]:
+    """Time the Fig. 13 borrowing build from a cold runner, record trend."""
+    from ..analysis.figures_scheduling import fig13_borrowing_all_workloads
+    from ..sim.batch import SweepRunner
+    from ..sim.cache import OperatingPointCache
+
+    runner = SweepRunner(cache=OperatingPointCache())
+    series, wall = _timed(
+        lambda: fig13_borrowing_all_workloads(runner=runner)
+    )
+    n_points = sum(
+        len(points) for points in series.borrowing.values()
+    ) + sum(len(points) for points in series.baseline.values())
+    record(
+        out_path,
+        "fig13_borrowing_all_workloads",
+        wall,
+        meta={"scale": "default", "n_points": n_points},
+    )
+    return {"wall_seconds": wall, "n_points": n_points}

@@ -1,0 +1,242 @@
+"""Benchmark trend files and the regression gate.
+
+A trend file (``BENCH_fleet.json``, ``BENCH_sweep.json``) is a JSON
+document holding an append-only list of timing entries.  Every entry
+carries a host fingerprint (platform / python / cpu count) so the gate
+never compares wall times measured on incomparable machines: the
+reference for the newest entry is the *best prior wall time recorded on
+the same host class*.  A host with no comparable history establishes a
+baseline instead of failing, which is what lets the first CI run on a
+fresh runner pass while subsequent runs are gated.
+"""
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+#: Fail the gate when the newest wall time is more than 20% slower than
+#: the best comparable prior entry.
+REGRESSION_THRESHOLD = 0.20
+
+_SCHEMA_VERSION = 1
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """Identify the machine class a timing was measured on."""
+    return {
+        "platform": platform.system().lower(),
+        "machine": platform.machine(),
+        "python": "%d.%d" % (sys.version_info[0], sys.version_info[1]),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """One timed benchmark run."""
+
+    name: str
+    wall_seconds: float
+    timestamp: str
+    host: Dict[str, Any] = field(default_factory=host_fingerprint)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def now(
+        cls,
+        name: str,
+        wall_seconds: float,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> "BenchEntry":
+        if wall_seconds < 0:
+            raise ConfigError(
+                f"wall_seconds must be >= 0, got {wall_seconds!r}"
+            )
+        return cls(
+            name=name,
+            wall_seconds=float(wall_seconds),
+            timestamp=datetime.now(timezone.utc).isoformat(),
+            meta=dict(meta or {}),
+        )
+
+    def comparable_to(self, other: "BenchEntry") -> bool:
+        """Same benchmark, same problem size, same host class.
+
+        The ``scale`` meta key (recorded by the suites) keeps a CI-sized
+        day from being gated against a datacenter-sized acceptance run
+        that happens to share the benchmark name.
+        """
+        return (
+            self.name == other.name
+            and self.host == other.host
+            and self.meta.get("scale") == other.meta.get("scale")
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "timestamp": self.timestamp,
+            "host": dict(self.host),
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "BenchEntry":
+        try:
+            return cls(
+                name=str(payload["name"]),
+                wall_seconds=float(payload["wall_seconds"]),
+                timestamp=str(payload["timestamp"]),
+                host=dict(payload.get("host", {})),
+                meta=dict(payload.get("meta", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed bench entry: {exc}") from exc
+
+
+@dataclass
+class BenchTrend:
+    """An append-only series of entries stored in one JSON file."""
+
+    entries: List[BenchEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str) -> "BenchTrend":
+        if not os.path.exists(path):
+            return cls()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot read trend file {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ConfigError(f"trend file {path} has no 'entries' list")
+        return cls(
+            entries=[BenchEntry.from_json(e) for e in payload["entries"]]
+        )
+
+    def save(self, path: str) -> None:
+        payload = {
+            "schema": _SCHEMA_VERSION,
+            "entries": [entry.to_json() for entry in self.entries],
+        }
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def append(self, entry: BenchEntry) -> None:
+        self.entries.append(entry)
+
+    def latest(self, name: str) -> Optional[BenchEntry]:
+        for entry in reversed(self.entries):
+            if entry.name == name:
+                return entry
+        return None
+
+    def reference_for(self, entry: BenchEntry) -> Optional[BenchEntry]:
+        """Best (fastest) prior entry comparable to ``entry``."""
+        prior = [
+            e
+            for e in self.entries
+            if e is not entry and e.comparable_to(entry)
+        ]
+        if not prior:
+            return None
+        return min(prior, key=lambda e: e.wall_seconds)
+
+    def names(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for entry in self.entries:
+            if entry.name not in seen:
+                seen.append(entry.name)
+        return tuple(seen)
+
+
+def record(
+    path: str,
+    name: str,
+    wall_seconds: float,
+    meta: Optional[Dict[str, Any]] = None,
+) -> BenchEntry:
+    """Append one timing to the trend file at ``path`` (created if new)."""
+    trend = BenchTrend.load(path)
+    entry = BenchEntry.now(name, wall_seconds, meta)
+    trend.append(entry)
+    trend.save(path)
+    return entry
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """Verdict for one benchmark name inside one trend file."""
+
+    name: str
+    passed: bool
+    message: str
+    latest_wall: float
+    reference_wall: Optional[float] = None
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.reference_wall is None or self.reference_wall <= 0:
+            return None
+        return self.latest_wall / self.reference_wall
+
+
+def gate_trend(
+    path: str, threshold: float = REGRESSION_THRESHOLD
+) -> List[GateReport]:
+    """Gate every benchmark name in one trend file.
+
+    For each name, the newest entry is compared against the fastest
+    prior entry from the same host class.  ``threshold`` is the allowed
+    fractional slowdown (0.20 → fail beyond 20% slower).
+    """
+    if threshold <= 0:
+        raise ConfigError(f"threshold must be > 0, got {threshold!r}")
+    trend = BenchTrend.load(path)
+    if not trend.entries:
+        raise ConfigError(f"trend file {path} has no entries to gate")
+    reports: List[GateReport] = []
+    for name in trend.names():
+        latest = trend.latest(name)
+        assert latest is not None
+        reference = trend.reference_for(latest)
+        if reference is None:
+            reports.append(
+                GateReport(
+                    name=name,
+                    passed=True,
+                    message="baseline established (no comparable history)",
+                    latest_wall=latest.wall_seconds,
+                )
+            )
+            continue
+        ratio = latest.wall_seconds / reference.wall_seconds
+        limit = 1.0 + threshold
+        verdict = (
+            f"{latest.wall_seconds:.3f}s vs best {reference.wall_seconds:.3f}s "
+            f"(x{ratio:.2f}, limit x{limit:.2f})"
+        )
+        reports.append(
+            GateReport(
+                name=name,
+                passed=ratio <= limit,
+                message=verdict,
+                latest_wall=latest.wall_seconds,
+                reference_wall=reference.wall_seconds,
+            )
+        )
+    return reports

@@ -43,6 +43,8 @@ asks for it.
 from __future__ import annotations
 
 import argparse
+import math
+import os
 import sys
 from typing import List, Optional
 
@@ -95,11 +97,69 @@ RESILIENCE_FAMILIES = (
 )
 
 
-def positive_int(value: str) -> int:
-    workers = int(value)
-    if workers < 1:
-        raise argparse.ArgumentTypeError(f"must be >= 1, got {workers}")
-    return workers
+#: Numeric options validated uniformly after parsing, keyed by argparse
+#: ``dest``.  Validation deliberately happens *post-parse* rather than in
+#: ``type=`` callbacks: argparse turns a type failure into a usage dump
+#: with exit code 2, whereas an out-of-range value is a simulator
+#: configuration error and must exit like one — a single ``error:`` line
+#: with the :class:`ConfigError` code.  Keeping the tables here (next to
+#: the shared parent parser) means every subcommand gets the same rules.
+_POSITIVE_INT_OPTIONS = (
+    "workers", "servers", "threads", "smt", "shards", "cell_servers",
+)
+_NONNEGATIVE_INT_OPTIONS = ("crash_server", "corrupt_server", "corrupt_socket")
+_POSITIVE_FLOAT_OPTIONS = ("duration", "rate", "threshold")
+_FRACTION_OPTIONS = ("lc_fraction",)
+_NONNEGATIVE_FLOAT_OPTIONS = (
+    "crash_at", "repair_after", "corrupt_at", "corrupt_for",
+)
+
+
+def _option_name(dest: str) -> str:
+    return "--" + dest.replace("_", "-")
+
+
+def validate_numeric_args(args: argparse.Namespace) -> None:
+    """Reject out-of-range or non-finite numeric options uniformly.
+
+    NaN deserves special mention: it slips through every ordered
+    comparison (``nan <= 0`` is False), and a NaN ``--duration`` used to
+    hang the trace generator forever.  Finiteness is checked explicitly.
+    """
+    for dest in _POSITIVE_INT_OPTIONS:
+        value = getattr(args, dest, None)
+        if value is not None and value < 1:
+            raise ConfigError(f"{_option_name(dest)} must be >= 1, got {value}")
+    for dest in _NONNEGATIVE_INT_OPTIONS:
+        value = getattr(args, dest, None)
+        if value is not None and value < 0:
+            raise ConfigError(f"{_option_name(dest)} must be >= 0, got {value}")
+    for dest in _POSITIVE_FLOAT_OPTIONS:
+        value = getattr(args, dest, None)
+        if value is None:
+            continue
+        if not math.isfinite(value) or value <= 0:
+            raise ConfigError(
+                f"{_option_name(dest)} must be a positive finite number, "
+                f"got {value}"
+            )
+    for dest in _FRACTION_OPTIONS:
+        value = getattr(args, dest, None)
+        if value is None:
+            continue
+        if not math.isfinite(value) or not 0 <= value <= 1:
+            raise ConfigError(
+                f"{_option_name(dest)} must be in [0, 1], got {value}"
+            )
+    for dest in _NONNEGATIVE_FLOAT_OPTIONS:
+        value = getattr(args, dest, None)
+        if value is None:
+            continue
+        if not math.isfinite(value) or value < 0:
+            raise ConfigError(
+                f"{_option_name(dest)} must be a non-negative finite "
+                f"number, got {value}"
+            )
 
 
 def _common_options() -> argparse.ArgumentParser:
@@ -115,7 +175,7 @@ def _common_options() -> argparse.ArgumentParser:
     runner = common.add_argument_group("batch runner")
     runner.add_argument(
         "--workers",
-        type=positive_int,
+        type=int,
         default=1,
         help="process-pool width for independent sweep points (default 1: "
         "in-process, bit-identical to the parallel schedule)",
@@ -230,7 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate a day of job arrivals across a fleet of servers",
     )
     fleet.add_argument(
-        "--servers", type=positive_int, default=4, help="fleet size (default 4)"
+        "--servers", type=int, default=4, help="fleet size (default 4)"
     )
     fleet.add_argument(
         "--duration",
@@ -249,6 +309,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.15,
         help="fraction of arrivals that are latency-critical (default 0.15)",
+    )
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes for sharded execution (default 1); any "
+        "value produces the identical event log and hash",
+    )
+    fleet.add_argument(
+        "--cell-servers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition the fleet into independent cells of N servers "
+        "(default: one cell spanning the whole fleet); the cell layout, "
+        "unlike --shards, is part of the run's identity",
     )
     fleet.add_argument(
         "--no-advisor-gate",
@@ -287,7 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a fleet scenario fault-free and degraded; report the delta",
     )
     chaos.add_argument(
-        "--servers", type=positive_int, default=2, help="fleet size (default 2)"
+        "--servers", type=int, default=2, help="fleet size (default 2)"
     )
     chaos.add_argument(
         "--duration",
@@ -378,6 +454,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed of the injector's jitter stream (default 0)",
     )
 
+    bench = commands.add_parser(
+        "bench",
+        parents=common,
+        help="time a benchmark suite into a trend file, or gate the trend",
+    )
+    bench.add_argument(
+        "suite",
+        choices=("fleet", "sweep", "gate"),
+        help="fleet: time the fleet day (scalar baseline vs sharded); "
+        "sweep: time the Fig. 13 borrowing build; gate: fail if the "
+        "newest entry regressed past the threshold",
+    )
+    bench.add_argument(
+        "paths",
+        nargs="*",
+        metavar="TREND_FILE",
+        help="trend files for 'gate' (default: every BENCH_*.json present)",
+    )
+    bench.add_argument(
+        "--servers", type=int, default=8, help="fleet size (default 8)"
+    )
+    bench.add_argument(
+        "--duration",
+        type=float,
+        default=7200.0,
+        help="fleet trace horizon in seconds (default 7200)",
+    )
+    bench.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="fleet arrival rate in jobs/hour (default 200)",
+    )
+    bench.add_argument(
+        "--lc-fraction",
+        type=float,
+        default=0.2,
+        help="latency-critical fraction of arrivals (default 0.2)",
+    )
+    bench.add_argument(
+        "--cell-servers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cell width for the sharded run (default: whole fleet)",
+    )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="highest shard count to verify and time (default 2); the "
+        "suite always times 1 shard as well and asserts one digest",
+    )
+    bench.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the scalar monolithic baseline (no speedup recorded)",
+    )
+    bench.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        default=None,
+        help="trend file to append to (defaults to BENCH_fleet.json or "
+        "BENCH_sweep.json per suite)",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="allowed fractional slowdown for 'gate' (default 0.20)",
+    )
+
     metrics = commands.add_parser(
         "metrics",
         parents=common,
@@ -415,8 +563,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "metrics": _cmd_metrics,
         "chaos": _cmd_chaos,
+        "bench": _cmd_bench,
     }[args.command]
     try:
+        validate_numeric_args(args)
         return _run_handler(handler, args)
     except ReproError as exc:
         if getattr(args, "debug", False):
@@ -600,13 +750,37 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     )
     runner = _runner_from_args(args)
     gate = not args.no_advisor_gate
-    comparison = run_comparison(config, runner=runner, advisor_gate=gate)
+    sharded = args.shards > 1 or args.cell_servers is not None
+    if sharded:
+        from .fleet.shard import run_sharded_comparison
+
+        comparison = run_sharded_comparison(
+            config,
+            n_shards=args.shards,
+            cell_servers=args.cell_servers,
+            advisor_gate=gate,
+            workers=args.workers,
+        )
+    else:
+        comparison = run_comparison(config, runner=runner, advisor_gate=gate)
     ags = comparison.ags
     consolidation = comparison.consolidation
     hours = args.duration / 3600.0
+    cells = ""
+    if sharded:
+        from .fleet.shard import CellLayout
+
+        layout = CellLayout(
+            n_servers=args.servers,
+            cell_servers=args.cell_servers or args.servers,
+        )
+        cells = (
+            f", {layout.n_cells} cell(s) x {layout.cell_servers} server(s) "
+            f"over {args.shards} shard(s)"
+        )
     print(
         f"fleet: {args.servers} server(s), {hours:g} h, seed {args.seed}, "
-        f"advisor gate {'on' if gate else 'OFF'}"
+        f"advisor gate {'on' if gate else 'OFF'}{cells}"
     )
     print(
         f"jobs: {ags.n_arrivals} arrived, {ags.n_completions} completed, "
@@ -634,6 +808,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             f"  {tag}: {stats['arrivals']:.0f} job(s), "
             f"mean latency {stats['mean_latency_s']:.0f} s, "
             f"mean slowdown {stats['mean_slowdown']:.2f}"
+        )
+        print(
+            f"      latency p50/p95/p99: {stats['p50_latency_s']:.0f}/"
+            f"{stats['p95_latency_s']:.0f}/{stats['p99_latency_s']:.0f} s, "
+            f"slowdown p50/p95/p99: {stats['p50_slowdown']:.2f}/"
+            f"{stats['p95_slowdown']:.2f}/{stats['p99_slowdown']:.2f}"
         )
     print(
         f"epochs: {ags.n_epochs} (AGS) + {consolidation.n_epochs} "
@@ -713,6 +893,79 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print()
         print(runner.timings_summary())
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        FLEET_BENCH_FILE,
+        REGRESSION_THRESHOLD,
+        SWEEP_BENCH_FILE,
+        bench_fig13_sweep,
+        bench_fleet_day,
+        gate_trend,
+    )
+
+    if args.suite == "fleet":
+        out = args.bench_out or FLEET_BENCH_FILE
+        shard_counts = (1,) if args.shards <= 1 else (1, args.shards)
+        report = bench_fleet_day(
+            n_servers=args.servers,
+            duration_seconds=args.duration,
+            jobs_per_hour=args.rate,
+            lc_fraction=args.lc_fraction,
+            cell_servers=args.cell_servers,
+            shard_counts=shard_counts,
+            seed=args.seed,
+            baseline=not args.no_baseline,
+            out_path=out,
+        )
+        print(
+            f"fleet day: {report['n_servers']} server(s), "
+            f"{report['n_jobs']} job(s), {report['n_cells']} cell(s) x "
+            f"{report['cell_servers']} server(s)"
+        )
+        for shards, wall in sorted(report["sharded_wall_seconds"].items()):
+            print(f"  sharded ({shards} shard(s)): {wall:.3f}s")
+        print(f"  digest: {report['sharded_digest'][:16]}... "
+              "(identical across shard counts)")
+        if "baseline_wall_seconds" in report:
+            print(
+                f"  scalar baseline: {report['baseline_wall_seconds']:.3f}s"
+                f"  -> speedup x{report['speedup']:.2f}"
+            )
+        print(f"recorded in {out}")
+        return 0
+    if args.suite == "sweep":
+        out = args.bench_out or SWEEP_BENCH_FILE
+        report = bench_fig13_sweep(out_path=out)
+        print(
+            f"fig13 borrowing sweep: {report['n_points']} point(s) in "
+            f"{report['wall_seconds']:.3f}s"
+        )
+        print(f"recorded in {out}")
+        return 0
+
+    # suite == "gate"
+    paths = args.paths or [
+        path
+        for path in (FLEET_BENCH_FILE, SWEEP_BENCH_FILE)
+        if os.path.exists(path)
+    ]
+    if not paths:
+        raise ConfigError(
+            "no trend files to gate; run 'repro bench fleet' or "
+            "'repro bench sweep' first, or pass paths explicitly"
+        )
+    threshold = (
+        args.threshold if args.threshold is not None else REGRESSION_THRESHOLD
+    )
+    failed = False
+    for path in paths:
+        for verdict in gate_trend(path, threshold=threshold):
+            status = "ok" if verdict.passed else "REGRESSED"
+            print(f"{path}: {verdict.name}: {status} ({verdict.message})")
+            failed = failed or not verdict.passed
+    return 1 if failed else 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:

@@ -28,6 +28,13 @@ from .metrics import (
     JobRecord,
     summarize_by_class,
 )
+from .shard import (
+    CellLayout,
+    default_shards,
+    merge_cell_results,
+    run_sharded,
+    run_sharded_comparison,
+)
 from .scheduler import (
     AGS_POLICY,
     CONSOLIDATION_POLICY,
@@ -52,9 +59,11 @@ __all__ = [
     "AGS_POLICY",
     "ArrivalEvent",
     "BATCH",
+    "CellLayout",
     "CompletionEvent",
     "CONSOLIDATION_POLICY",
     "constant_trace",
+    "default_shards",
     "EnergyAccount",
     "EventLog",
     "EventQueue",
@@ -68,12 +77,15 @@ __all__ = [
     "JobRecord",
     "JobSpec",
     "LATENCY_CRITICAL",
+    "merge_cell_results",
     "ns_to_seconds",
     "OnlineFleetScheduler",
     "PlacementPlan",
     "POLICIES",
     "RebalanceEvent",
     "run_comparison",
+    "run_sharded",
+    "run_sharded_comparison",
     "seconds_to_ns",
     "ServerState",
     "socket_min_active_frequency",

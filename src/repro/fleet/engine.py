@@ -35,12 +35,17 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..config import ServerConfig
 from ..errors import FaultError, SchedulingError
-from ..faults.injector import _record_injection
+from ..faults.injector import _record_injection, fault_injector
 from ..faults.plan import FaultPlan
 from ..faults.spec import JobKillFault, ServerCrashFault
 from ..guardband import GuardbandMode
 from ..obs import DEFAULT_LATENCY_BUCKETS, observability
-from ..sim.batch import SweepRunner, SweepTask, default_runner
+from ..sim.batch import (
+    SweepRunner,
+    SweepTask,
+    config_fingerprint,
+    default_runner,
+)
 from ..sim.results import RunResult
 from ..sim.run import build_server
 from ..workloads.scaling import RuntimeModel, SocketShare
@@ -48,6 +53,7 @@ from .events import (
     ArrivalEvent,
     CompletionEvent,
     EventQueue,
+    FleetEvent,
     FallbackEvent,
     JobKillEvent,
     JobRetryEvent,
@@ -150,6 +156,47 @@ class FleetConfig:
         return seconds_to_ns(self.traffic.duration_seconds)
 
 
+#: Process-wide idle-server power memo: (config fingerprint, mode value)
+#: → (adaptive, static) server watts.  An idle settle is a pure function
+#: of the server config and mode (scratch servers always use the default
+#: die seed), so every simulation of the same config — both halves of a
+#: comparison, every shard of a sharded day — shares one settle.  Skipped
+#: while a fault injector is live: injected electrical faults can perturb
+#: the settle, and those results must not leak across runs.
+_idle_power_memo: Dict[Tuple[str, str], Tuple[float, float]] = {}
+
+def clear_fleet_memos() -> None:
+    """Reset the process-wide measurement memos.
+
+    Timing code uses this to guarantee a genuinely cold run inside a
+    warm process (the scalar baseline of ``repro bench fleet``); tests
+    use it to observe the instrumentation a cold run emits.  Results
+    are unaffected either way — the memos only skip recomputation of
+    pure functions.
+    """
+    from .scheduler import _freq_memo, _plan_memo, _predictor_memo
+
+    _settle_memo.clear()
+    _idle_power_memo.clear()
+    _job_rate_memo.clear()
+    _predictor_memo.clear()
+    _plan_memo.clear()
+    _freq_memo.clear()
+
+
+#: Job-rate memo keyed by settled-result identity (see
+#: :meth:`FleetSimulation._job_rate`); values pin the result object.
+_job_rate_memo: Dict[Tuple[int, str, Tuple[int, ...], str], Tuple[RunResult, float]] = {}
+
+#: Process-wide settle memo: (config fingerprint, seed, placement, mode)
+#: → RunResult.  A settle is a pure function of that key, so every
+#: simulation in the process shares it — crucially including the many
+#: homogeneous *cells* of a sharded fleet day, which keep reaching the
+#: same placements on identically-configured servers.  Bypassed while a
+#: fault injector is live (injected faults can perturb the settle).
+_settle_memo: Dict[Tuple[str, int, object, GuardbandMode], RunResult] = {}
+
+
 @dataclass
 class _RunningJob:
     """Progress bookkeeping for one started job."""
@@ -224,6 +271,18 @@ class FleetSimulation:
         self.now_ns = 0
         self._runtime = RuntimeModel()
         self._idle_memo: Dict[str, Tuple[float, float]] = {}
+        self._cfg_fp = config_fingerprint(config.server_config)
+        #: Event dispatch table for the run loop (one dict lookup per
+        #: event instead of an isinstance ladder).
+        self._dispatch = {
+            CompletionEvent: self._handle_completion,
+            ArrivalEvent: self._handle_arrival,
+            RebalanceEvent: self._handle_rebalance,
+            ServerFaultEvent: self._handle_server_fault,
+            JobKillEvent: self._handle_job_kill,
+            JobRetryEvent: self._handle_job_retry,
+            FallbackEvent: self._handle_fallback,
+        }
         self._specs = {job.job_id: job for job in self.trace}
         # --- graceful-degradation state (inert with an empty plan) ---
         #: Jobs waiting out a retry backoff (neither running nor queued —
@@ -258,6 +317,12 @@ class FleetSimulation:
     # ------------------------------------------------------------------
     def _settle(self, placement, mode: GuardbandMode) -> RunResult:
         """Settle one placement through the shared runner (cached)."""
+        memoizable = not fault_injector().enabled
+        key = (self._cfg_fp, self.config.seed, placement, mode)
+        if memoizable:
+            hit = _settle_memo.get(key)
+            if hit is not None:
+                return hit
         profile = None
         for socket_groups in placement.groups:
             for group in socket_groups:
@@ -272,7 +337,10 @@ class FleetSimulation:
             [task], self.config.server_config, seed_root=self.config.seed
         )
         self.settle_seconds += report.wall_time
-        return report.results[0]
+        result = report.results[0]
+        if memoizable:
+            _settle_memo[key] = result
+        return result
 
     def _idle_powers(self, mode: GuardbandMode) -> Tuple[float, float]:
         """(adaptive, static) server power of a powered-on empty server.
@@ -281,6 +349,11 @@ class FleetSimulation:
         the power floor a hysteresis-held server keeps burning.
         """
         if mode.value not in self._idle_memo:
+            memoizable = not fault_injector().enabled
+            shared_key = (self._cfg_fp, mode.value)
+            if memoizable and shared_key in _idle_power_memo:
+                self._idle_memo[mode.value] = _idle_power_memo[shared_key]
+                return self._idle_memo[mode.value]
             powers = []
             for settle_mode in (mode, GuardbandMode.STATIC):
                 server = build_server(self.config.server_config)
@@ -288,12 +361,25 @@ class FleetSimulation:
                 point = server.operate(settle_mode)
                 powers.append(point.server_power)
             self._idle_memo[mode.value] = (powers[0], powers[1])
+            if memoizable:
+                _idle_power_memo[shared_key] = self._idle_memo[mode.value]
         return self._idle_memo[mode.value]
 
     def _job_rate(
         self, job: JobSpec, share: Tuple[int, ...], result: RunResult
     ) -> float:
-        """Work-progress rate of one job at a settled operating point."""
+        """Work-progress rate of one job at a settled operating point.
+
+        Memoized by the *identity* of the settled result — the settle
+        memo returns the same object for the same state, so a fleet day
+        re-derives each (point, workload, share) rate once.  The value
+        pins the result object, which keeps its id from being recycled;
+        the ``is`` check covers recycling regardless.
+        """
+        key = (id(result), job.profile_name, share, self._cfg_fp)
+        hit = _job_rate_memo.get(key)
+        if hit is not None and hit[0] is result:
+            return hit[1]
         profile = job.profile()
         socket_share = SocketShare(share)
         frequencies = [
@@ -305,7 +391,9 @@ class FleetSimulation:
         nominal = self.config.server_config.chip.f_nominal
         speedup = self._runtime.frequency_speedup(profile, observed, nominal)
         stretch = self._runtime.stretch_factor(profile, socket_share)
-        return speedup / stretch
+        rate = speedup / stretch
+        _job_rate_memo[key] = (result, rate)
+        return rate
 
     # ------------------------------------------------------------------
     # Epochs
@@ -392,6 +480,9 @@ class FleetSimulation:
                 runner_job.spec, plan.job_shares[job_id], result
             )
             runner_job.generation += 1
+            # The bump orphans the job's previously scheduled completion
+            # (a fresh start has none — a self-correcting overcount).
+            self.events.note_stale()
             self._schedule_completion(runner_job, now_ns)
         if plan.has_lc and self.policy.adaptive:
             self._adjudicate_qos(state, result, now_ns)
@@ -528,6 +619,25 @@ class FleetSimulation:
             )
         self._commit_plan(state, plan, now_ns)
         return True
+
+    def _event_is_stale(self, event: FleetEvent) -> bool:
+        """Whether an in-heap event's premise has been superseded.
+
+        Used both by the run loop's lazy deletion and as the heap's
+        compaction predicate, so it must be *monotone*: once an in-heap
+        event tests stale it can never test live again.  Generation
+        counters only increase (restarts resume above the high-water
+        mark), which is exactly that guarantee.  Conditions that can
+        toggle (a repaired server, a retry re-arming) stay out of this
+        predicate and are adjudicated by the handlers at fire time.
+        """
+        if isinstance(event, CompletionEvent):
+            job = self.running.get(event.job_id)
+            return job is None or job.generation != event.generation
+        if isinstance(event, RebalanceEvent):
+            state = self.servers[event.server_id]
+            return event.generation != state.rebalance_generation
+        return False
 
     def _handle_completion(self, event: CompletionEvent) -> None:
         job = self.running.get(event.job_id)
@@ -692,6 +802,8 @@ class FleetSimulation:
         state = self.servers[job.server_id]
         state.jobs.pop(job_id, None)
         self._job_generations[job_id] = job.generation + 1
+        # The victim's in-flight completion estimate will never match again.
+        self.events.note_stale()
         retries = self.retry_counts.get(job_id, 0) + 1
         self.retry_counts[job_id] = retries
         backoff = min(
@@ -896,23 +1008,18 @@ class FleetSimulation:
             if peek is None or peek > horizon_ns:
                 break
             event = self.events.pop()
+            if self._event_is_stale(event):
+                # Lazy deletion: the event's premise was superseded after
+                # it was scheduled.  Handlers would drop it anyway; doing
+                # it here keeps the stale-hint ledger balanced.
+                self.events.note_stale(-1)
+                continue
+            self.events.maybe_compact(self._event_is_stale)
             self.now_ns = event.time_ns
-            if isinstance(event, CompletionEvent):
-                self._handle_completion(event)
-            elif isinstance(event, ArrivalEvent):
-                self._handle_arrival(event)
-            elif isinstance(event, RebalanceEvent):
-                self._handle_rebalance(event)
-            elif isinstance(event, ServerFaultEvent):
-                self._handle_server_fault(event)
-            elif isinstance(event, JobKillEvent):
-                self._handle_job_kill(event)
-            elif isinstance(event, JobRetryEvent):
-                self._handle_job_retry(event)
-            elif isinstance(event, FallbackEvent):
-                self._handle_fallback(event)
-            else:  # pragma: no cover - no other event kinds exist
+            handler = self._dispatch.get(type(event))
+            if handler is None:  # pragma: no cover - no other event kinds
                 raise SchedulingError(f"unhandled event {event!r}")
+            handler(event)
         self.now_ns = horizon_ns
         for account in self.accounts:
             account.advance(horizon_ns)

@@ -22,12 +22,16 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..errors import SchedulingError
 
 #: Nanoseconds per second — the clock's base unit conversion.
 NS_PER_SECOND = 1_000_000_000
+
+#: Heaps smaller than this are never compacted — a linear sweep over a
+#: few dozen entries costs more bookkeeping than it frees.
+COMPACT_MIN_SIZE = 64
 
 
 def seconds_to_ns(seconds: float) -> int:
@@ -134,11 +138,28 @@ class FallbackEvent(FleetEvent):
 
 
 class EventQueue:
-    """Deterministic priority queue over fleet events."""
+    """Deterministic priority queue over fleet events.
+
+    Generation-invalidated events are dropped lazily on pop, which is
+    deterministic but lets a churn-heavy run (crash/requeue storms
+    rescheduling completions all day) grow the heap monotonically with
+    entries that will never fire.  The owner reports each known
+    invalidation via :meth:`note_stale`; when the hinted stale fraction
+    exceeds 50% (and the heap is non-trivial), :meth:`maybe_compact`
+    sweeps the stale entries out.  Compaction keeps every surviving
+    entry's original ``(time, priority, sequence)`` key and re-heapifies,
+    so the pop order of live events — and therefore the event-log digest
+    — is exactly what it would have been without compaction.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, int, FleetEvent]] = []
         self._sequence = 0
+        self._stale_hints = 0
+
+        #: Compaction telemetry: sweeps run and entries removed.
+        self.compactions = 0
+        self.compacted_entries = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -162,3 +183,40 @@ class EventQueue:
         if not self._heap:
             return None
         return self._heap[0][0]
+
+    def note_stale(self, count: int = 1) -> None:
+        """Adjust the count of entries believed stale (may overcount;
+        a compaction sweep resets it to ground truth)."""
+        self._stale_hints = max(0, self._stale_hints + count)
+
+    @property
+    def stale_hints(self) -> int:
+        """Entries currently believed stale."""
+        return self._stale_hints
+
+    def maybe_compact(
+        self, is_stale: Callable[[FleetEvent], bool]
+    ) -> int:
+        """Compact when the hinted stale fraction exceeds 50%."""
+        if len(self._heap) < COMPACT_MIN_SIZE:
+            return 0
+        if self._stale_hints * 2 <= len(self._heap):
+            return 0
+        return self.compact(is_stale)
+
+    def compact(self, is_stale: Callable[[FleetEvent], bool]) -> int:
+        """Drop every entry ``is_stale`` rejects; returns the number removed.
+
+        Safe only for *monotone* predicates (an event reported stale can
+        never become live again) — which holds for generation checks,
+        since generations only increase.
+        """
+        live = [entry for entry in self._heap if not is_stale(entry[3])]
+        removed = len(self._heap) - len(live)
+        if removed:
+            heapq.heapify(live)
+            self._heap = live
+            self.compactions += 1
+            self.compacted_entries += removed
+        self._stale_hints = 0
+        return removed

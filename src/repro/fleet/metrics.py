@@ -24,6 +24,7 @@ Three ledgers, all exact and deterministic:
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -33,6 +34,28 @@ from .events import NS_PER_SECOND, ns_to_seconds
 
 #: Joules per kilowatt-hour, for the report's human-facing numbers.
 JOULES_PER_KWH = 3_600_000.0
+
+#: Tail percentiles the QoS report carries.  Means hide exactly the tail
+#: violations the paper's QoS gating exists to prevent (Fig. 17 is a
+#: tail-latency argument), so every latency/slowdown summary also
+#: reports these.
+TAIL_PERCENTILES = (50, 95, 99)
+
+
+def percentile(values: List[float], pct: float) -> float:
+    """Nearest-rank percentile over ``values`` (0 when empty).
+
+    Nearest-rank (not interpolated) keeps the statistic an exact member
+    of the sample, so it is reproducible bit-for-bit across platforms
+    and unaffected by float summation order.
+    """
+    if not values:
+        return 0.0
+    if not 0 < pct <= 100:
+        raise SchedulingError(f"percentile must be in (0, 100], got {pct}")
+    ordered = sorted(values)
+    rank = math.ceil(pct / 100.0 * len(ordered))
+    return ordered[rank - 1]
 
 
 class EnergyAccount:
@@ -263,6 +286,28 @@ class FleetResult:
             return 0.0
         return sum(slowdowns) / len(slowdowns)
 
+    def latency_percentiles(
+        self, job_class: Optional[str] = None
+    ) -> Dict[int, float]:
+        """p50/p95/p99 completion latency (s) over finished jobs."""
+        records = (
+            self.records_of_class(job_class) if job_class else self.job_records
+        )
+        latencies = [
+            r.latency_seconds for r in records if r.latency_seconds is not None
+        ]
+        return {p: percentile(latencies, p) for p in TAIL_PERCENTILES}
+
+    def slowdown_percentiles(
+        self, job_class: Optional[str] = None
+    ) -> Dict[int, float]:
+        """p50/p95/p99 slowdown over finished jobs."""
+        records = (
+            self.records_of_class(job_class) if job_class else self.job_records
+        )
+        slowdowns = [r.slowdown for r in records if r.slowdown is not None]
+        return {p: percentile(slowdowns, p) for p in TAIL_PERCENTILES}
+
 
 @dataclass(frozen=True)
 class FleetComparison:
@@ -309,10 +354,16 @@ def summarize_by_class(result: FleetResult) -> Dict[str, Dict[str, float]]:
     for job_class in sorted({r.job_class for r in result.job_records}):
         records = result.records_of_class(job_class)
         completed = [r for r in records if r.completed]
-        summary[job_class] = {
+        stats = {
             "arrivals": float(len(records)),
             "completions": float(len(completed)),
             "mean_latency_s": result.mean_latency_seconds(job_class),
             "mean_slowdown": result.mean_slowdown(job_class),
         }
+        latency_tail = result.latency_percentiles(job_class)
+        slowdown_tail = result.slowdown_percentiles(job_class)
+        for p in TAIL_PERCENTILES:
+            stats[f"p{p}_latency_s"] = latency_tail[p]
+            stats[f"p{p}_slowdown"] = slowdown_tail[p]
+        summary[job_class] = stats
     return summary

@@ -1,0 +1,422 @@
+"""Sharded fleet execution: fixed cells, deterministic cross-shard merge.
+
+Scaling the fleet day past a few hundred servers needs process
+parallelism, but the event-log SHA-256 is the run's identity — it must
+not depend on how many processes happened to execute.  The decomposition
+therefore has two independent axes:
+
+* **cells** — the *semantic* unit.  The fleet is partitioned into fixed
+  cells of ``cell_servers`` servers; every job is routed to the cell
+  ``job_id % n_cells``.  Each cell runs a completely independent
+  :class:`~repro.fleet.engine.FleetSimulation` over its own sub-trace.
+  The cell layout is a pure function of ``(n_servers, cell_servers)`` —
+  it never changes with the process count.
+* **shards** — the *execution* unit.  Cells are distributed over
+  ``n_shards`` worker processes.  Because cells share nothing, any
+  assignment of cells to shards computes bit-identical per-cell results;
+  the canonical merged log (and its SHA-256) is therefore invariant
+  across ``n_shards`` by construction.  This is enforced by test.
+
+The canonical merged stream orders entries by ``(time_ns, cell_id,
+seq)`` where ``seq`` is the entry's position in its cell's log — a
+stable k-way merge of already-ordered streams.  Per-cell server ids are
+remapped to global ids (cell offset + local id) *before* rendering, so
+the merged log reads as one coherent fleet.
+
+A single-cell layout (``cell_servers >= n_servers``) routes every job to
+cell 0, which simulates exactly :class:`FleetSimulation` over the full
+trace — so the sharded digest degenerates to the plain one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import heapq
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import FaultError, SchedulingError
+from ..faults.plan import FaultPlan
+from ..faults.spec import JobKillFault
+from ..sim.batch import SweepRunner
+from ..sim.cache import canonical_json
+from .engine import FleetConfig, FleetSimulation
+from .metrics import FleetComparison, FleetResult, JobRecord
+from .scheduler import (
+    AGS_POLICY,
+    CONSOLIDATION_POLICY,
+    UNGATED_AGS_POLICY,
+    FleetPolicy,
+)
+from .traffic import generate_trace
+
+
+@dataclass(frozen=True)
+class CellLayout:
+    """The fixed cell partition of one fleet."""
+
+    n_servers: int
+    cell_servers: int
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise SchedulingError(
+                f"n_servers must be >= 1, got {self.n_servers}"
+            )
+        if self.cell_servers < 1:
+            raise SchedulingError(
+                f"cell_servers must be >= 1, got {self.cell_servers}"
+            )
+
+    @property
+    def n_cells(self) -> int:
+        """Number of cells (the last one may be smaller)."""
+        return -(-self.n_servers // self.cell_servers)
+
+    def cell_of_job(self, job_id: int) -> int:
+        """The cell a job is routed to."""
+        return job_id % self.n_cells
+
+    def cell_of_server(self, server_id: int) -> int:
+        """The cell owning a global server id."""
+        if not 0 <= server_id < self.n_servers:
+            raise SchedulingError(
+                f"server_id must be in [0, {self.n_servers}), got {server_id}"
+            )
+        return server_id // self.cell_servers
+
+    def offset(self, cell_id: int) -> int:
+        """Global id of a cell's first server."""
+        return cell_id * self.cell_servers
+
+    def size(self, cell_id: int) -> int:
+        """Number of servers in one cell."""
+        if not 0 <= cell_id < self.n_cells:
+            raise SchedulingError(
+                f"cell_id must be in [0, {self.n_cells}), got {cell_id}"
+            )
+        return (
+            min(self.n_servers, self.offset(cell_id) + self.cell_servers)
+            - self.offset(cell_id)
+        )
+
+
+def _split_fault_plan(
+    plan: FaultPlan, layout: CellLayout
+) -> Dict[int, FaultPlan]:
+    """Route a fault plan's specs to the cells that own their targets.
+
+    Standalone specs (``server_id is None`` socket faults) configure the
+    *process-wide* injector; under a multi-cell layout they would apply
+    to every cell at once — silently different semantics from the
+    unsharded run — so they are rejected outright.
+    """
+    if layout.n_cells == 1:
+        return {0: plan}
+    if plan.standalone_specs():
+        raise FaultError(
+            "standalone (non-server-scoped) fault specs cannot run under "
+            "a multi-cell sharded fleet; scope each spec with server_id "
+            "or run unsharded"
+        )
+    per_cell: Dict[int, List] = {}
+    for spec in plan.specs:
+        if isinstance(spec, JobKillFault):
+            cell_id = layout.cell_of_job(spec.job_id)
+            local = spec
+        else:
+            server_id = getattr(spec, "server_id", None)
+            if server_id is None:
+                raise FaultError(
+                    f"{spec.kind}: spec has no server scope; cannot route "
+                    "to a cell"
+                )
+            cell_id = layout.cell_of_server(server_id)
+            local = dataclasses.replace(
+                spec, server_id=server_id - layout.offset(cell_id)
+            )
+        per_cell.setdefault(cell_id, []).append(local)
+    return {
+        cell_id: FaultPlan(specs=tuple(specs), seed=plan.seed)
+        for cell_id, specs in per_cell.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Per-cell execution (runs in worker processes)
+# ----------------------------------------------------------------------
+def _run_cell(
+    config: FleetConfig,
+    policy: FleetPolicy,
+    layout: CellLayout,
+    cell_id: int,
+    fault_plan: Optional[FaultPlan],
+    workers: int,
+    trace: Optional[Tuple] = None,
+) -> Tuple[FleetResult, List[Tuple[int, str]]]:
+    """Simulate one cell; returns its result and canonical log lines.
+
+    The trace is regenerated from the config's seed (never shipped
+    across process boundaries) and filtered to this cell's jobs —
+    batch callers pass the pre-filtered slice instead, so a
+    625-cell fleet does not regenerate a million-job trace 625
+    times.  Log entries are remapped to global server ids and
+    rendered to canonical JSON here, so the parent only merges
+    strings.
+    """
+    offset = layout.offset(cell_id)
+    if trace is None:
+        trace = tuple(
+            job
+            for job in generate_trace(config.traffic, config.seed)
+            if layout.cell_of_job(job.job_id) == cell_id
+        )
+    cell_config = dataclasses.replace(
+        config, n_servers=layout.size(cell_id)
+    )
+    runner = SweepRunner(max_workers=workers, seed_root=config.seed)
+    sim = FleetSimulation(
+        cell_config,
+        policy,
+        runner=runner,
+        trace=trace,
+        fault_plan=fault_plan,
+    )
+    result = sim.run()
+    lines: List[Tuple[int, str]] = []
+    for entry in result.events:
+        if "server_id" in entry:
+            entry = dict(entry)
+            entry["server_id"] += offset
+        lines.append((entry["time_ns"], canonical_json(entry)))
+    records = tuple(
+        dataclasses.replace(
+            record,
+            server_id=(
+                None if record.server_id is None else record.server_id + offset
+            ),
+        )
+        for record in result.job_records
+    )
+    fallback = tuple(
+        (server_id + offset, socket_id, seconds)
+        for server_id, socket_id, seconds in result.fallback_seconds
+    )
+    result = dataclasses.replace(
+        result, events=(), job_records=records, fallback_seconds=fallback
+    )
+    return result, lines
+
+
+def _run_cells(payload: tuple) -> List[Tuple[int, FleetResult, list]]:
+    """Worker entry point: run a batch of cells sequentially.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it; also the
+    in-process path, which guarantees shard counts cannot change results.
+    """
+    config, policy, layout, cell_ids, plans, workers = payload
+    wanted = set(cell_ids)
+    by_cell: Dict[int, List] = {cell_id: [] for cell_id in cell_ids}
+    for job in generate_trace(config.traffic, config.seed):
+        cell_id = layout.cell_of_job(job.job_id)
+        if cell_id in wanted:
+            by_cell[cell_id].append(job)
+    out = []
+    for cell_id in cell_ids:
+        result, lines = _run_cell(
+            config,
+            policy,
+            layout,
+            cell_id,
+            plans.get(cell_id),
+            workers,
+            trace=tuple(by_cell.pop(cell_id)),
+        )
+        out.append((cell_id, result, lines))
+    return out
+
+
+# ----------------------------------------------------------------------
+# The merge
+# ----------------------------------------------------------------------
+def _merged_stream(
+    cell_lines: Dict[int, List[Tuple[int, str]]],
+) -> Iterator[Tuple[int, int, int, str]]:
+    """K-way merge of per-cell logs, keyed ``(time_ns, cell_id, seq)``.
+
+    Each cell's stream is already time-ordered, so the merge is stable
+    and linear; the key makes simultaneous cross-cell events rank by
+    cell id, then by each cell's own event order.
+    """
+    def stream(cell_id: int, lines: List[Tuple[int, str]]):
+        for seq, (time_ns, line) in enumerate(lines):
+            yield (time_ns, cell_id, seq, line)
+
+    return heapq.merge(
+        *(stream(cell_id, lines) for cell_id, lines in sorted(cell_lines.items()))
+    )
+
+
+def merge_cell_results(
+    config: FleetConfig,
+    policy: FleetPolicy,
+    cell_results: Dict[int, FleetResult],
+    cell_lines: Dict[int, List[Tuple[int, str]]],
+    keep_events: bool = True,
+) -> FleetResult:
+    """Fold per-cell outcomes into one fleet-level :class:`FleetResult`.
+
+    The merged ``event_log_hash`` is the SHA-256 over the canonically
+    merged JSONL stream — the sharded run's identity.  ``keep_events``
+    retains the merged entries on the result (parse of the canonical
+    lines); large benchmark runs pass ``False`` to keep memory flat.
+    """
+    hasher = hashlib.sha256()
+    merged_events: List[dict] = []
+    for _, _, _, line in _merged_stream(cell_lines):
+        hasher.update(line.encode("utf-8"))
+        hasher.update(b"\n")
+        if keep_events:
+            merged_events.append(json.loads(line))
+    results = [cell_results[cell_id] for cell_id in sorted(cell_results)]
+    records: List[JobRecord] = []
+    for result in results:
+        records.extend(result.job_records)
+    records.sort(key=lambda record: record.job_id)
+    fallback: List[Tuple[int, int, float]] = []
+    for result in results:
+        fallback.extend(result.fallback_seconds)
+    return FleetResult(
+        policy=policy.name,
+        horizon_ns=config.horizon_ns,
+        adaptive_energy_joules=sum(
+            r.adaptive_energy_joules for r in results
+        ),
+        static_energy_joules=sum(r.static_energy_joules for r in results),
+        n_arrivals=sum(r.n_arrivals for r in results),
+        n_completions=sum(r.n_completions for r in results),
+        n_running=sum(r.n_running for r in results),
+        n_queued=sum(r.n_queued for r in results),
+        qos_violations=sum(r.qos_violations for r in results),
+        n_epochs=sum(r.n_epochs for r in results),
+        event_log_hash=hasher.hexdigest(),
+        job_records=tuple(records),
+        events=tuple(merged_events),
+        n_requeues=sum(r.n_requeues for r in results),
+        n_server_crashes=sum(r.n_server_crashes for r in results),
+        n_job_kills=sum(r.n_job_kills for r in results),
+        fallback_seconds=tuple(sorted(fallback)),
+    )
+
+
+# ----------------------------------------------------------------------
+# The entry points
+# ----------------------------------------------------------------------
+def run_sharded(
+    config: FleetConfig,
+    policy: FleetPolicy = AGS_POLICY,
+    n_shards: int = 1,
+    cell_servers: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    workers: int = 1,
+    keep_events: bool = True,
+) -> FleetResult:
+    """One policy's sharded run over the fleet day.
+
+    Parameters
+    ----------
+    n_shards:
+        Worker-process count.  Pure execution parallelism: any value
+        produces the identical merged log and SHA-256.
+    cell_servers:
+        Cell width in servers.  ``None`` puts the whole fleet in one
+        cell (the plain, unsharded semantics).  The cell layout — not
+        the shard count — defines the run's scheduling topology, so it
+        is part of the run's identity.
+    workers:
+        Sweep-runner pool width *inside* each shard.
+    keep_events:
+        Retain the merged event stream on the result (see
+        :func:`merge_cell_results`).
+    """
+    if n_shards < 1:
+        raise SchedulingError(f"n_shards must be >= 1, got {n_shards}")
+    if workers < 1:
+        raise SchedulingError(f"workers must be >= 1, got {workers}")
+    layout = CellLayout(
+        n_servers=config.n_servers,
+        cell_servers=(
+            config.n_servers if cell_servers is None else cell_servers
+        ),
+    )
+    plans = _split_fault_plan(
+        fault_plan if fault_plan is not None else FaultPlan(), layout
+    )
+    cell_ids = list(range(layout.n_cells))
+    # Contiguous round-robin assignment; any assignment yields the same
+    # merged log, this one just balances cell counts.
+    batches = [
+        cell_ids[shard::n_shards]
+        for shard in range(min(n_shards, layout.n_cells))
+    ]
+    payloads = [
+        (config, policy, layout, batch, plans, workers)
+        for batch in batches
+        if batch
+    ]
+    outcomes: List[Tuple[int, FleetResult, list]] = []
+    if len(payloads) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+                for batch_out in pool.map(_run_cells, payloads):
+                    outcomes.extend(batch_out)
+        except (OSError, PermissionError, NotImplementedError):
+            # Sandboxes may refuse process pools; the in-process path is
+            # bit-identical by construction.
+            outcomes = []
+    if not outcomes:
+        for payload in payloads:
+            outcomes.extend(_run_cells(payload))
+    cell_results = {cell_id: result for cell_id, result, _ in outcomes}
+    cell_lines = {cell_id: lines for cell_id, _, lines in outcomes}
+    return merge_cell_results(
+        config, policy, cell_results, cell_lines, keep_events=keep_events
+    )
+
+
+def run_sharded_comparison(
+    config: FleetConfig,
+    n_shards: int = 1,
+    cell_servers: Optional[int] = None,
+    advisor_gate: bool = True,
+    workers: int = 1,
+    keep_events: bool = True,
+) -> FleetComparison:
+    """Sharded AGS vs. static vs. consolidation over one fleet day."""
+    ags_policy = AGS_POLICY if advisor_gate else UNGATED_AGS_POLICY
+    ags = run_sharded(
+        config,
+        ags_policy,
+        n_shards=n_shards,
+        cell_servers=cell_servers,
+        workers=workers,
+        keep_events=keep_events,
+    )
+    consolidation = run_sharded(
+        config,
+        CONSOLIDATION_POLICY,
+        n_shards=n_shards,
+        cell_servers=cell_servers,
+        workers=workers,
+        keep_events=keep_events,
+    )
+    return FleetComparison(ags=ags, consolidation=consolidation)
+
+
+def default_shards() -> int:
+    """A sensible shard count for the local machine."""
+    return max(1, (os.cpu_count() or 2) - 1)

@@ -115,6 +115,13 @@ class TrafficConfig:
     service_floor: float = 120.0
 
     def __post_init__(self) -> None:
+        # Finiteness first: NaN slips through every ordered comparison
+        # below (NaN <= 0 is False), and a NaN duration turns the trace
+        # generator's termination check into an infinite loop.
+        for name in ("duration_seconds", "jobs_per_hour", "lc_fraction",
+                     "diurnal_amplitude"):
+            if not math.isfinite(getattr(self, name)):
+                raise SchedulingError(f"{name} must be finite")
         if self.duration_seconds <= 0:
             raise SchedulingError("duration_seconds must be positive")
         if self.jobs_per_hour <= 0:

@@ -52,14 +52,14 @@ class Floorplan:
     def __init__(self, n_cores: int = 8) -> None:
         if n_cores < 1:
             raise ValueError(f"n_cores must be >= 1, got {n_cores}")
-        if n_cores > GRID_ROWS * GRID_COLUMNS:
-            raise ValueError(
-                f"floorplan grid holds at most {GRID_ROWS * GRID_COLUMNS} "
-                f"cores, got {n_cores}"
-            )
+        # Dies wider than the POWER7+'s 2x4 keep two rows and grow
+        # columns (a long slab, like scaled-up server dies).  Widths up
+        # to eight keep the canonical 4-column grid, so every historical
+        # layout — and every distance-derived IR matrix — is unchanged.
+        columns = max(GRID_COLUMNS, -(-n_cores // GRID_ROWS))
         self._n_cores = n_cores
         self._positions = [
-            CorePosition(core_id=i, row=i // GRID_COLUMNS, column=i % GRID_COLUMNS)
+            CorePosition(core_id=i, row=i // columns, column=i % columns)
             for i in range(n_cores)
         ]
 

@@ -58,6 +58,27 @@ WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
 
 
+#: Config-object → fingerprint memo.  :class:`~repro.config.ServerConfig`
+#: is a frozen dataclass, so the same object (or an equal one) always maps
+#: to the same fingerprint; hashing it is orders of magnitude cheaper than
+#: re-canonicalizing the whole nested config on every batch.  Only a
+#: handful of distinct configs ever exist per process, so the memo stays
+#: tiny and is never evicted.
+_cfg_fp_memo: Dict[Any, str] = {}
+
+
+def config_fingerprint(cfg: ServerConfig) -> str:
+    """Memoized :func:`~repro.sim.cache.fingerprint` of a server config."""
+    try:
+        cached = _cfg_fp_memo.get(cfg)
+    except TypeError:  # unhashable subclass — compute every time
+        return fingerprint(cfg)
+    if cached is None:
+        cached = fingerprint(cfg)
+        _cfg_fp_memo[cfg] = cached
+    return cached
+
+
 def derive_seed(seed_root: int, token: Any) -> int:
     """``seed_root`` plus a stable hash of ``token`` (order-independent).
 
@@ -533,7 +554,7 @@ class SweepRunner:
     ) -> SweepReport:
         start = time.perf_counter()
         cfg = config or ServerConfig()
-        cfg_fp = fingerprint(cfg)
+        cfg_fp = config_fingerprint(cfg)
         seed = self.seed_root if seed_root is None else seed_root
 
         # Resolve from cache; collect the modes each task still needs.

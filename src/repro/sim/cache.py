@@ -318,13 +318,25 @@ class OperatingPointCache:
     def _disk_put(self, key: str, state: SteadyState) -> None:
         if self._disk_dir is None:
             return
+        # The temp name carries the pid so shard/sweep workers sharing one
+        # cache directory never clobber each other's in-flight writes.
+        tmp = self._disk_path(key) + f".{os.getpid()}.tmp"
         try:
             os.makedirs(self._disk_dir, exist_ok=True)
             payload = {"key": key, "state": encode_steady_state(state)}
-            tmp = self._disk_path(key) + ".tmp"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, self._disk_path(key))
-        except OSError:
+            try:
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, self._disk_path(key))
+            finally:
+                # A dump that died mid-write (encoder TypeError, ENOSPC,
+                # kill between write and replace) must not strand the temp
+                # file forever; the rename already removed it on success.
+                if os.path.exists(tmp):
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+        except (OSError, TypeError, ValueError):
             self.stats.disk_errors += 1
             self._record_disk_error("write")

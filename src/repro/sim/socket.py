@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..chip import Power7Chip
-from ..chip.power import PowerBreakdown
+from ..chip.power import PowerBreakdown, power_backend_for
 from ..config import ServerConfig
 from ..errors import ConvergenceError
 from ..pdn import DropBreakdown, PowerDeliveryPath
@@ -238,6 +238,7 @@ class ProcessorSocket:
         voltages = np.full(n, setpoint - 0.02)
         freqs = list(chip.frequencies())
         delta = float("inf")
+        vectorized = power_backend_for(n) == "array"
         for iteration in range(1, MAX_ITERATIONS + 1):
             if servo:
                 freqs = []
@@ -254,9 +255,7 @@ class ProcessorSocket:
                 gated=occupancy.gated,
                 temperature=temperature,
             )
-            core_currents = [
-                power.core_power(i) / max(float(voltages[i]), 0.3) for i in range(n)
-            ]
+            core_currents = _core_currents(power, voltages, n, vectorized)
             uncore_power = power.uncore_dynamic + power.uncore_leakage
             uncore_current = uncore_power / max(float(np.mean(voltages)), 0.3)
             drops = self.path.deliver(
@@ -291,17 +290,39 @@ class ProcessorSocket:
             gated=occupancy.gated,
             temperature=temperature,
         )
-        core_currents = [
-            power.core_power(i) / max(float(voltages[i]), 0.3) for i in range(n)
-        ]
+        vectorized = power_backend_for(n) == "array"
+        core_currents = _core_currents(power, voltages, n, vectorized)
         uncore_power = power.uncore_dynamic + power.uncore_leakage
         uncore_current = uncore_power / max(float(np.mean(voltages)), 0.3)
         drops = self.path.deliver(core_currents, uncore_current, occupancy.n_active)
-        total_current = float(sum(core_currents)) + uncore_current
+        if vectorized:
+            # Sequential sum (not np.sum's pairwise reduction) to stay
+            # bit-identical with the scalar path.
+            total_current = float(sum(core_currents.tolist())) + uncore_current
+        else:
+            total_current = float(sum(core_currents)) + uncore_current
         return drops, power, total_current
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProcessorSocket(id={self.socket_id}, chip={self.chip!r})"
+
+
+def _core_currents(
+    power: PowerBreakdown, voltages: np.ndarray, n: int, vectorized: bool
+):
+    """Per-core current draw at the present iterate.
+
+    The array form computes ``(dyn + leak) / max(V, 0.3)`` elementwise —
+    the same IEEE operations in the same order as the scalar
+    comprehension, so the two are bit-identical (enforced by test).
+    """
+    if vectorized:
+        return (
+            np.asarray(power.core_dynamic) + np.asarray(power.core_leakage)
+        ) / np.maximum(voltages, 0.3)
+    return [
+        power.core_power(i) / max(float(voltages[i]), 0.3) for i in range(n)
+    ]
 
 
 @dataclass(frozen=True)

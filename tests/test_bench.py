@@ -1,0 +1,215 @@
+"""Benchmark trend storage and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchEntry,
+    BenchTrend,
+    bench_fleet_day,
+    gate_trend,
+    host_fingerprint,
+    record,
+)
+from repro.errors import ConfigError
+
+
+class TestTrendStorage:
+    def test_record_appends_and_round_trips(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        record(path, "a", 1.5, {"n": 3})
+        record(path, "a", 1.2)
+        trend = BenchTrend.load(path)
+        assert [e.wall_seconds for e in trend.entries] == [1.5, 1.2]
+        assert trend.entries[0].meta == {"n": 3}
+        assert trend.entries[0].host == host_fingerprint()
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        trend = BenchTrend.load(str(tmp_path / "absent.json"))
+        assert trend.entries == []
+
+    def test_malformed_file_is_a_config_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigError, match="entries"):
+            BenchTrend.load(str(path))
+
+    def test_malformed_entry_is_a_config_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"entries": [{"name": "x"}]}))
+        with pytest.raises(ConfigError, match="malformed"):
+            BenchTrend.load(str(path))
+
+    def test_negative_wall_is_rejected(self):
+        with pytest.raises(ConfigError):
+            BenchEntry.now("a", -1.0)
+
+    def test_save_creates_missing_parent_directories(self, tmp_path):
+        path = str(tmp_path / "nested" / "deeper" / "BENCH_x.json")
+        record(path, "a", 1.0)
+        assert BenchTrend.load(path).entries[0].name == "a"
+
+    def test_save_leaves_no_tmp_orphan(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        record(path, "a", 1.0)
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_x.json"]
+
+
+class TestGate:
+    def test_first_entry_establishes_a_baseline(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        record(path, "a", 10.0)
+        (verdict,) = gate_trend(path)
+        assert verdict.passed
+        assert "baseline" in verdict.message
+        assert verdict.reference_wall is None
+
+    def test_within_threshold_passes(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        record(path, "a", 10.0)
+        record(path, "a", 11.9)
+        (verdict,) = gate_trend(path)
+        assert verdict.passed
+        assert verdict.ratio == pytest.approx(1.19)
+
+    def test_beyond_threshold_fails(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        record(path, "a", 10.0)
+        record(path, "a", 12.1)
+        (verdict,) = gate_trend(path)
+        assert not verdict.passed
+
+    def test_reference_is_the_best_prior_not_the_last(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        record(path, "a", 8.0)
+        record(path, "a", 20.0)  # a prior regression must not reset the bar
+        record(path, "a", 9.5)
+        (verdict,) = gate_trend(path)
+        assert verdict.passed
+        assert verdict.reference_wall == 8.0
+
+    def test_each_name_gated_independently(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        record(path, "fast", 1.0)
+        record(path, "slow", 5.0)
+        record(path, "fast", 3.0)  # regressed
+        record(path, "slow", 5.1)  # fine
+        verdicts = {v.name: v.passed for v in gate_trend(path)}
+        assert verdicts == {"fast": False, "slow": True}
+
+    def test_foreign_host_entries_are_not_compared(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        trend = BenchTrend()
+        trend.append(
+            BenchEntry(
+                name="a",
+                wall_seconds=0.001,  # a much faster machine's timing
+                timestamp="2026-01-01T00:00:00+00:00",
+                host={"platform": "other", "cpus": 128},
+            )
+        )
+        trend.save(path)
+        record(path, "a", 10.0)
+        (verdict,) = gate_trend(path)
+        assert verdict.passed
+        assert verdict.reference_wall is None
+
+    def test_different_scales_are_not_compared(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        record(path, "a", 0.1, {"scale": "servers=8"})
+        record(path, "a", 500.0, {"scale": "servers=10000"})
+        (verdict,) = gate_trend(path)
+        assert verdict.passed
+        assert verdict.reference_wall is None
+
+    def test_custom_threshold(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        record(path, "a", 10.0)
+        record(path, "a", 14.0)
+        (strict,) = gate_trend(path, threshold=0.10)
+        (loose,) = gate_trend(path, threshold=0.50)
+        assert not strict.passed
+        assert loose.passed
+
+    def test_bad_threshold_is_rejected(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        record(path, "a", 1.0)
+        with pytest.raises(ConfigError):
+            gate_trend(path, threshold=0.0)
+
+    def test_empty_trend_cannot_be_gated(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        BenchTrend().save(path)
+        with pytest.raises(ConfigError, match="no entries"):
+            gate_trend(path)
+
+
+class TestBenchCli:
+    def test_gate_passes_and_fails_by_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "t.json")
+        record(path, "a", 10.0)
+        assert main(["bench", "gate", path]) == 0
+        record(path, "a", 50.0)
+        assert main(["bench", "gate", path]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+    def test_gate_with_nothing_to_gate_is_a_config_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "gate"]) == 4
+
+    def test_bad_threshold_exits_like_a_config_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "gate", "x.json", "--threshold", "nan"]) == 4
+        err = capsys.readouterr().err
+        assert err.startswith("error: ConfigError")
+        assert len(err.splitlines()) == 1
+
+
+class TestFleetSuite:
+    def test_tiny_day_records_baseline_sharded_and_speedup(self, tmp_path):
+        path = str(tmp_path / "BENCH_fleet.json")
+        report = bench_fleet_day(
+            n_servers=2,
+            duration_seconds=1800.0,
+            jobs_per_hour=100.0,
+            cell_servers=1,
+            shard_counts=(1, 2),
+            seed=7,
+            out_path=path,
+        )
+        assert report["sharded_digest"]
+        assert set(report["sharded_wall_seconds"]) == {1, 2}
+        assert report["speedup"] > 0
+        trend = BenchTrend.load(path)
+        assert set(trend.names()) == {
+            "fleet_day_scalar_baseline",
+            "fleet_day_sharded",
+        }
+        sharded = trend.latest("fleet_day_sharded")
+        assert sharded.meta["digest_identical_across_shards"] is True
+        assert sharded.meta["digest"] == report["sharded_digest"]
+
+    def test_no_baseline_skips_the_scalar_run(self, tmp_path):
+        path = str(tmp_path / "BENCH_fleet.json")
+        report = bench_fleet_day(
+            n_servers=2,
+            duration_seconds=900.0,
+            jobs_per_hour=100.0,
+            cell_servers=2,
+            shard_counts=(1,),
+            seed=7,
+            baseline=False,
+            out_path=path,
+        )
+        assert "speedup" not in report
+        trend = BenchTrend.load(path)
+        assert trend.names() == ("fleet_day_sharded",)

@@ -88,6 +88,47 @@ class TestDiskFaults:
         assert cache.stats.stores == 1
         assert cache.get("k") == steady_state  # memory layer still serves
 
+    def test_mid_write_failure_leaves_no_tmp_orphan(
+        self, disk_cache, steady_state, monkeypatch
+    ):
+        # json.dump dying mid-stream (encoder bug, ENOSPC) used to strand
+        # the half-written ``.tmp`` file forever.  It must be unlinked,
+        # absorbed, and counted under the write disk-error metric.
+        import repro.sim.cache as cache_mod
+
+        def exploding_dump(payload, fh, *args, **kwargs):
+            fh.write('{"partial":')
+            raise ValueError("simulated mid-write failure")
+
+        monkeypatch.setattr(cache_mod.json, "dump", exploding_dump)
+        disk_cache.put("k", steady_state)  # must not raise
+        assert disk_cache.stats.disk_errors == 1
+        leftovers = [
+            name
+            for name in __import__("os").listdir(disk_cache.disk_dir)
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+        assert disk_cache.get("k") == steady_state  # memory layer intact
+
+    def test_unencodable_state_is_absorbed(self, disk_cache, steady_state):
+        # A state the JSON codec rejects (TypeError) must behave like any
+        # other disk fault: memory layer serves, no exception, no orphan.
+        import dataclasses as _dc
+        import os
+
+        @_dc.dataclass
+        class Alien:
+            x: int = 1
+
+        bad = _dc.replace(steady_state, point=Alien())  # type: ignore[arg-type]
+        disk_cache.put("k", bad)
+        assert disk_cache.stats.disk_errors == 1
+        assert not any(
+            name.endswith(".tmp") for name in os.listdir(disk_cache.disk_dir)
+        )
+        assert disk_cache.get("k") is bad
+
     def test_faults_emit_disk_error_metrics(self, disk_cache):
         obs = Observability(enabled=True)
         previous = install(obs)

@@ -38,9 +38,58 @@ class TestParser:
         assert args.cache_dir is None
         assert args.timings is False
 
-    def test_fleet_rejects_bad_workers(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["fleet", "--workers", "0"])
+    def test_fleet_parses_bad_workers_for_post_validation(self):
+        # Out-of-range numerics parse cleanly (type=int) and are rejected
+        # post-parse by validate_numeric_args with a ConfigError — not by
+        # argparse's exit-2 usage dump.
+        args = build_parser().parse_args(["fleet", "--workers", "0"])
+        assert args.workers == 0
+
+
+class TestNumericValidation:
+    """Out-of-range numeric options: one error line, ConfigError exit 4."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fleet", "--servers", "0"],
+            ["fleet", "--servers", "-3"],
+            ["fleet", "--workers", "0"],
+            ["fleet", "--duration", "-5"],
+            ["fleet", "--duration", "0"],
+            ["fleet", "--duration", "nan"],
+            ["fleet", "--duration", "inf"],
+            ["fleet", "--rate", "-1"],
+            ["fleet", "--rate", "nan"],
+            ["fleet", "--lc-fraction", "1.5"],
+            ["fleet", "--lc-fraction", "nan"],
+            ["chaos", "--servers", "0"],
+            ["chaos", "--crash-at", "-10"],
+            ["chaos", "--repair-after", "nan"],
+            ["measure", "raytrace", "-n", "0"],
+            ["sweep", "raytrace", "--workers", "-2"],
+        ],
+    )
+    def test_bad_numeric_exits_4_with_one_line(self, argv, capsys):
+        assert main(argv) == 4
+        err = capsys.readouterr().err
+        assert err.startswith("error: ConfigError:")
+        assert err.count("\n") == 1
+
+    def test_error_names_the_offending_option(self, capsys):
+        assert main(["fleet", "--duration", "nan"]) == 4
+        assert "--duration" in capsys.readouterr().err
+
+    def test_validation_happens_before_the_handler_runs(self, capsys):
+        # A huge fleet with --servers 0 must fail instantly, proving the
+        # check runs pre-dispatch (the handler would take minutes).
+        assert main(["fleet", "--servers", "0", "--duration", "864000"]) == 4
+
+    def test_debug_reraises_config_error(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["fleet", "--servers", "0", "--debug"])
 
     @pytest.mark.parametrize(
         "argv",

@@ -192,3 +192,68 @@ class TestUnrepairedCrash:
         ).run()
         assert degraded.n_server_crashes == 1
         assert degraded.conserved
+
+
+class TestHeapCompaction:
+    """Mid-run heap compaction must never move an event."""
+
+    def _run(self, config, runner, trace, plan):
+        return FleetSimulation(
+            config, AGS_POLICY, runner=runner, trace=trace, fault_plan=plan
+        )
+
+    def test_digest_is_unchanged_by_compaction(
+        self, config, runner, monkeypatch
+    ):
+        """Force a compaction sweep on every loop iteration and compare
+        against a run with compaction disabled: the event-log hash (the
+        run's identity) must be bit-identical despite heavy crash/requeue
+        churn orphaning completion events all run long."""
+        import repro.fleet.events as events_mod
+
+        trace = generate_trace(config.traffic, config.seed)
+        plan = chaos_plan(
+            DURATION,
+            crash_server=1,
+            corrupt_server=0,
+            corrupt_socket=0,
+            seed=3,
+        )
+
+        monkeypatch.setattr(
+            events_mod.EventQueue,
+            "maybe_compact",
+            lambda self, is_stale: 0,
+        )
+        lazy_sim = self._run(config, runner, trace, plan)
+        lazy = lazy_sim.run()
+        monkeypatch.undo()
+
+        monkeypatch.setattr(
+            events_mod.EventQueue,
+            "maybe_compact",
+            events_mod.EventQueue.compact,
+        )
+        eager_sim = self._run(config, runner, trace, plan)
+        eager = eager_sim.run()
+
+        assert eager_sim.events.compactions > 0  # sweeps actually ran
+        assert eager.event_log_hash == lazy.event_log_hash
+        assert eager.adaptive_energy_joules == lazy.adaptive_energy_joules
+        assert eager.n_requeues == lazy.n_requeues
+        assert eager.conserved
+
+    def test_default_thresholds_match_the_lazy_baseline(
+        self, config, runner
+    ):
+        trace = generate_trace(config.traffic, config.seed)
+        plan = chaos_plan(
+            DURATION,
+            crash_server=1,
+            corrupt_server=0,
+            corrupt_socket=0,
+            seed=3,
+        )
+        first = self._run(config, runner, trace, plan).run()
+        second = self._run(config, runner, trace, plan).run()
+        assert first.event_log_hash == second.event_log_hash

@@ -5,6 +5,7 @@ import pytest
 from repro.errors import SchedulingError
 from repro.fleet.events import (
     ArrivalEvent,
+    COMPACT_MIN_SIZE,
     CompletionEvent,
     EventQueue,
     NS_PER_SECOND,
@@ -71,3 +72,82 @@ class TestEventQueue:
     def test_pop_empty_raises(self):
         with pytest.raises(SchedulingError):
             EventQueue().pop()
+
+
+class TestCompaction:
+    """Stale-entry compaction: bounded heaps, unchanged pop order."""
+
+    @staticmethod
+    def _churned_queue(n_live=100, n_stale=300):
+        """A queue interleaving live and stale completion events.
+
+        Stale events carry generation 0, live ones generation 1 — the
+        predicate used below mirrors the engine's generation check.
+        """
+        queue = EventQueue()
+        for i in range(max(n_live, n_stale)):
+            if i < n_stale:
+                queue.push(
+                    CompletionEvent(time_ns=2 * i, job_id=i, generation=0)
+                )
+                queue.note_stale()
+            if i < n_live:
+                queue.push(
+                    CompletionEvent(time_ns=2 * i + 1, job_id=i, generation=1)
+                )
+        return queue
+
+    @staticmethod
+    def _is_stale(event):
+        return isinstance(event, CompletionEvent) and event.generation == 0
+
+    def test_compact_drops_only_stale_entries(self):
+        queue = self._churned_queue()
+        removed = queue.compact(self._is_stale)
+        assert removed == 300
+        assert len(queue) == 100
+        assert queue.compactions == 1
+        assert queue.compacted_entries == 300
+        assert queue.stale_hints == 0
+
+    def test_pop_order_of_survivors_is_unchanged(self):
+        compacted = self._churned_queue()
+        lazy = self._churned_queue()
+        compacted.compact(self._is_stale)
+        popped_compacted = []
+        while len(compacted):
+            popped_compacted.append(compacted.pop())
+        popped_lazy = []
+        while len(lazy):
+            event = lazy.pop()
+            if not self._is_stale(event):
+                popped_lazy.append(event)
+        assert popped_compacted == popped_lazy
+
+    def test_maybe_compact_honours_the_50_percent_threshold(self):
+        queue = self._churned_queue(n_live=300, n_stale=100)
+        assert queue.maybe_compact(self._is_stale) == 0  # 25% stale
+        queue = self._churned_queue(n_live=100, n_stale=300)
+        assert queue.maybe_compact(self._is_stale) == 300
+
+    def test_maybe_compact_skips_small_heaps(self):
+        queue = self._churned_queue(n_live=4, n_stale=12)
+        assert len(queue) < COMPACT_MIN_SIZE
+        assert queue.maybe_compact(self._is_stale) == 0
+        assert len(queue) == 16
+
+    def test_hint_ledger_survives_overcounting(self):
+        # Hints may overcount (the engine can't always tell whether a
+        # generation bump orphaned a live entry); compaction must reset
+        # to ground truth rather than oscillate.
+        queue = self._churned_queue(n_live=100, n_stale=0)
+        for _ in range(500):
+            queue.note_stale()  # all lies
+        assert queue.maybe_compact(self._is_stale) == 0
+        assert queue.stale_hints == 0  # ledger reset to truth
+        assert len(queue) == 100
+
+    def test_negative_hints_clamp_at_zero(self):
+        queue = EventQueue()
+        queue.note_stale(-5)
+        assert queue.stale_hints == 0

@@ -219,6 +219,88 @@ class TestQueueing:
 
 
 @pytest.mark.slow
+class TestTailPercentiles:
+    """p50/p95/p99 latency and slowdown — the QoS report's tail view."""
+
+    @staticmethod
+    def _result_with_latencies(latencies):
+        from repro.fleet.metrics import FleetResult, JobRecord
+
+        records = tuple(
+            JobRecord(
+                job_id=i,
+                job_class=LATENCY_CRITICAL if i % 2 else BATCH,
+                profile_name="perl",
+                n_threads=1,
+                service_seconds=100.0,
+                arrival_ns=0,
+                start_ns=0,
+                completion_ns=int(lat * 1e9),
+            )
+            for i, lat in enumerate(latencies)
+        )
+        return FleetResult(
+            policy="ags",
+            horizon_ns=10**12,
+            adaptive_energy_joules=1.0,
+            static_energy_joules=2.0,
+            n_arrivals=len(records),
+            n_completions=len(records),
+            n_running=0,
+            n_queued=0,
+            qos_violations=0,
+            n_epochs=0,
+            event_log_hash="0" * 64,
+            job_records=records,
+        )
+
+    def test_nearest_rank_is_a_sample_member(self):
+        from repro.fleet.metrics import percentile
+
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+        assert percentile([7.0], 99) == 7.0
+        assert percentile([], 95) == 0.0
+
+    def test_percentiles_expose_the_tail_the_mean_hides(self):
+        # 99 fast jobs and one pathological straggler: the mean moves a
+        # little, p99 jumps to the straggler.
+        latencies = [100.0] * 99 + [10_000.0]
+        result = self._result_with_latencies(latencies)
+        tail = result.latency_percentiles()
+        assert tail[50] == 100.0
+        assert tail[95] == 100.0
+        assert tail[99] == 100.0  # rank 99 of 100
+        assert result.mean_latency_seconds() == pytest.approx(199.0)
+        from repro.fleet.metrics import percentile
+
+        sample = [r.latency_seconds for r in result.job_records]
+        assert percentile(sample, 100) == 10_000.0
+
+    def test_slowdown_percentiles_track_latency(self):
+        result = self._result_with_latencies([100.0, 200.0, 400.0])
+        tail = result.slowdown_percentiles()
+        assert tail[50] == pytest.approx(2.0)  # 200 s / 100 s service
+        assert tail[99] == pytest.approx(4.0)
+
+    def test_summary_by_class_carries_tail_columns(self, short_result):
+        from repro.fleet.metrics import summarize_by_class
+
+        for stats in summarize_by_class(short_result).values():
+            for key in (
+                "p50_latency_s", "p95_latency_s", "p99_latency_s",
+                "p50_slowdown", "p95_slowdown", "p99_slowdown",
+            ):
+                assert key in stats
+            assert stats["p50_latency_s"] <= stats["p99_latency_s"]
+            assert stats["p50_slowdown"] <= stats["p99_slowdown"]
+            if stats["completions"]:
+                assert stats["p99_latency_s"] > 0.0
+
+
 class TestFullDay:
     def test_default_day_meets_the_acceptance_bar(self):
         comparison = run_comparison(FleetConfig(n_servers=4, seed=7))

@@ -22,6 +22,14 @@ class TestTrafficConfig:
         "kwargs",
         [
             {"duration_seconds": 0.0},
+            # NaN/inf pass ordered comparisons (nan <= 0 is False) and a
+            # NaN duration used to hang generate_trace forever — the
+            # config must reject non-finite values outright.
+            {"duration_seconds": float("nan")},
+            {"duration_seconds": float("inf")},
+            {"jobs_per_hour": float("nan")},
+            {"lc_fraction": float("nan")},
+            {"diurnal_amplitude": float("nan")},
             {"jobs_per_hour": -1.0},
             {"diurnal_amplitude": 1.0},
             {"lc_fraction": 1.5},

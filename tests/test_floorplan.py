@@ -18,9 +18,18 @@ class TestPositions:
         assert plan.position(0).column == 0
         assert plan.position(5).column == 1
 
-    def test_rejects_too_many_cores(self):
-        with pytest.raises(ValueError):
-            Floorplan(9)
+    def test_wide_dies_grow_columns_two_rows_deep(self):
+        plan = Floorplan(16)
+        assert plan.position(0).row == 0 and plan.position(0).column == 0
+        assert plan.position(7).row == 0 and plan.position(7).column == 7
+        assert plan.position(8).row == 1 and plan.position(8).column == 0
+        assert plan.position(15).row == 1 and plan.position(15).column == 7
+
+    def test_canonical_eight_core_layout_is_unchanged(self):
+        plan = Floorplan(8)
+        assert plan.position(3).row == 0 and plan.position(3).column == 3
+        assert plan.position(4).row == 1 and plan.position(4).column == 0
+        assert sorted(plan.neighbours(0)) == [1, 4]
 
     def test_rejects_zero_cores(self):
         with pytest.raises(ValueError):

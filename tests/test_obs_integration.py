@@ -75,6 +75,12 @@ class TestZeroPerturbation:
 
 class TestFleetInstrumentation:
     def test_fleet_metrics_and_spans_populate(self, restored_observability):
+        # A warm process can satisfy the whole day from the settle memo,
+        # which (correctly) skips the guardband/opcache layers — this
+        # test is about what a cold run emits.
+        from repro.fleet.engine import clear_fleet_memos
+
+        clear_fleet_memos()
         result = _fleet_result()
         obs = restored_observability
         arrived = obs.metrics.get("fleet_jobs_arrived_total")
