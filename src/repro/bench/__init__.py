@@ -11,10 +11,13 @@ instead of failing.
 """
 
 from .suites import (
+    DEFAULT_BENCH_SCENARIO,
     FLEET_BENCH_FILE,
+    SCENARIO_BENCH_FILE,
     SWEEP_BENCH_FILE,
     bench_fig13_sweep,
     bench_fleet_day,
+    bench_scenario,
 )
 from .trend import (
     REGRESSION_THRESHOLD,
@@ -29,13 +32,16 @@ from .trend import (
 __all__ = [
     "bench_fig13_sweep",
     "bench_fleet_day",
+    "bench_scenario",
     "BenchEntry",
     "BenchTrend",
+    "DEFAULT_BENCH_SCENARIO",
     "FLEET_BENCH_FILE",
     "gate_trend",
     "GateReport",
     "host_fingerprint",
     "record",
     "REGRESSION_THRESHOLD",
+    "SCENARIO_BENCH_FILE",
     "SWEEP_BENCH_FILE",
 ]

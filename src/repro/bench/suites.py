@@ -1,4 +1,4 @@
-"""The two gated benchmark suites: the fleet day and the Fig. 13 sweep.
+"""The gated benchmark suites: fleet day, Fig. 13 sweep, and a scenario.
 
 ``bench_fleet_day`` times the same simulated day twice — once as the
 scalar, monolithic, single-process baseline and once sharded over fixed
@@ -8,6 +8,11 @@ times (plus the speedup ratio) to ``BENCH_fleet.json``.
 
 ``bench_fig13_sweep`` times the Fig. 13 borrowing figure build from a
 cold sweep runner and appends it to ``BENCH_sweep.json``.
+
+``bench_scenario`` times one catalog scenario end to end — TOML parse,
+lowering, sharded execution — verifies shard-count digest identity, and
+appends to ``BENCH_scenario.json``, which puts the scenario path on the
+same perf-trajectory gate as the raw engine.
 """
 
 import time
@@ -24,6 +29,12 @@ from .trend import record
 #: CI); committed alongside the code so the trend survives checkouts.
 FLEET_BENCH_FILE = "BENCH_fleet.json"
 SWEEP_BENCH_FILE = "BENCH_sweep.json"
+SCENARIO_BENCH_FILE = "BENCH_scenario.json"
+
+#: Catalog scenario the scenario suite times by default — the
+#: heterogeneous-generations study, because it exercises the widest
+#: slice of the lowering path (aging, per-group die seeds, mixed cells).
+DEFAULT_BENCH_SCENARIO = "heterogeneous_aging"
 
 
 def _timed(fn) -> "tuple":
@@ -144,6 +155,68 @@ def bench_fleet_day(
         },
     )
     return report
+
+
+def bench_scenario(
+    name: str = DEFAULT_BENCH_SCENARIO,
+    shard_counts: Sequence[int] = (1, 2),
+    out_path: str = SCENARIO_BENCH_FILE,
+    catalog_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Time one catalog scenario end to end, record its trend entry.
+
+    Runs cold (fleet memos cleared) so the entry times the whole
+    scenario loop a fresh process would pay: parse, lower, simulate,
+    merge.  Every shard count must produce one digest — the scenario
+    path inherits the sharded executor's identity guarantee, and the
+    bench asserts it stays that way.
+    """
+    from ..scenarios import find_scenario, run_scenario
+
+    scenario = find_scenario(name, directory=catalog_dir)
+    walls: Dict[int, float] = {}
+    digests: Dict[int, str] = {}
+    result = None
+    for n_shards in shard_counts:
+        clear_fleet_memos()
+        result, wall = _timed(
+            lambda shards=n_shards: run_scenario(
+                scenario, n_shards=shards, keep_events=False
+            )
+        )
+        walls[n_shards] = wall
+        digests[n_shards] = result.fleet.event_log_hash
+    if len(set(digests.values())) != 1:
+        raise SchedulingError(
+            f"shard counts disagree on the scenario digest: {digests}"
+        )
+    scale = (
+        f"scenario={scenario.name},servers={scenario.topology.n_servers},"
+        f"duration={scenario.traffic.duration_seconds:g},"
+        f"seed={scenario.seed}"
+    )
+    best_wall = min(walls.values())
+    record(
+        out_path,
+        f"scenario_{scenario.name}",
+        best_wall,
+        meta={
+            "scale": scale,
+            "n_servers": scenario.topology.n_servers,
+            "n_jobs": result.fleet.n_arrivals,
+            "digest": result.fleet.event_log_hash,
+            "digest_identical_across_shards": True,
+            "walls_by_shards": {str(k): v for k, v in walls.items()},
+        },
+    )
+    return {
+        "scenario": scenario.name,
+        "n_servers": scenario.topology.n_servers,
+        "n_jobs": result.fleet.n_arrivals,
+        "digest": result.fleet.event_log_hash,
+        "wall_seconds": dict(walls),
+        "best_wall_seconds": best_wall,
+    }
 
 
 def bench_fig13_sweep(

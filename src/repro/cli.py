@@ -22,6 +22,9 @@ Subcommands
     Run one fleet scenario twice — fault-free, then under a seeded
     fault plan — and print the degradation report (see
     ``docs/RESILIENCE.md``).
+``scenario``
+    Run, list, validate or golden-check declarative scenario files
+    (see ``docs/SCENARIOS.md`` and the catalog under ``scenarios/``).
 
 Every subcommand accepts the shared options ``--workers``,
 ``--cache-dir``, ``--timings``, ``--seed``, ``--debug``,
@@ -57,6 +60,7 @@ from .errors import (
     ConvergenceError,
     FaultError,
     ReproError,
+    ScenarioError,
     SchedulingError,
     SensorError,
     SweepError,
@@ -74,8 +78,11 @@ FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17")
 
 #: Exit code per simulator error family, checked subclass-before-base
-#: (``SweepError`` and ``FaultError`` must precede ``ReproError``).
-#: Codes 0-2 are reserved: success, generic failure, argparse usage.
+#: (``SweepError``, ``FaultError`` and ``ScenarioError`` must precede
+#: ``ReproError``).  Codes 0-2 are reserved: success, generic failure,
+#: argparse usage.  Codes 3-11 were assigned before ``ScenarioError``
+#: existed; the base-class catch-all keeps 11, so new families append
+#: past it.
 ERROR_EXIT_CODES = (
     (WorkloadError, 3),
     (ConfigError, 4),
@@ -85,6 +92,7 @@ ERROR_EXIT_CODES = (
     (SensorError, 8),
     (SweepError, 9),
     (FaultError, 10),
+    (ScenarioError, 12),
     (ReproError, 11),
 )
 
@@ -461,10 +469,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "suite",
-        choices=("fleet", "sweep", "gate"),
+        choices=("fleet", "sweep", "scenario", "gate"),
         help="fleet: time the fleet day (scalar baseline vs sharded); "
-        "sweep: time the Fig. 13 borrowing build; gate: fail if the "
-        "newest entry regressed past the threshold",
+        "sweep: time the Fig. 13 borrowing build; scenario: time a "
+        "catalog scenario end to end; gate: fail if the newest entry "
+        "regressed past the threshold",
     )
     bench.add_argument(
         "paths",
@@ -513,17 +522,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the scalar monolithic baseline (no speedup recorded)",
     )
     bench.add_argument(
+        "--scenario-name",
+        metavar="NAME",
+        default=None,
+        help="catalog scenario the 'scenario' suite times (default: "
+        "heterogeneous_aging)",
+    )
+    bench.add_argument(
         "--bench-out",
         metavar="PATH",
         default=None,
-        help="trend file to append to (defaults to BENCH_fleet.json or "
-        "BENCH_sweep.json per suite)",
+        help="trend file to append to (defaults to BENCH_fleet.json, "
+        "BENCH_sweep.json or BENCH_scenario.json per suite)",
     )
     bench.add_argument(
         "--threshold",
         type=float,
         default=None,
         help="allowed fractional slowdown for 'gate' (default 0.20)",
+    )
+
+    scenario = commands.add_parser(
+        "scenario",
+        parents=common,
+        help="run, list, validate or golden-check declarative scenarios",
+    )
+    scenario.add_argument(
+        "action",
+        choices=("run", "list", "validate", "check"),
+        help="run: execute scenario files and print summaries; list: show "
+        "the catalog; validate: parse and validate files without running; "
+        "check: run under each scenario's pinned seed and adjudicate its "
+        "golden assertions",
+    )
+    scenario.add_argument(
+        "files",
+        nargs="*",
+        metavar="FILE",
+        help="scenario TOML file(s); for 'check' and 'list' the shipped "
+        "catalog is the default",
+    )
+    scenario.add_argument(
+        "--dir",
+        dest="catalog_dir",
+        metavar="DIR",
+        default=None,
+        help="catalog directory for 'list'/'check' (default: the repo's "
+        "scenarios/ directory)",
+    )
+    scenario.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes for sharded execution (default 1); any "
+        "value produces the identical event log and hash",
+    )
+    scenario.add_argument(
+        "--skip-slow",
+        action="store_true",
+        help="skip scenarios tagged 'slow' (the fast regression loop)",
+    )
+    scenario.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's structured event log as JSONL to PATH "
+        "('run' with a single file only)",
     )
 
     metrics = commands.add_parser(
@@ -564,6 +628,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": _cmd_metrics,
         "chaos": _cmd_chaos,
         "bench": _cmd_bench,
+        "scenario": _cmd_scenario,
     }[args.command]
     try:
         validate_numeric_args(args)
@@ -897,11 +962,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
+        DEFAULT_BENCH_SCENARIO,
         FLEET_BENCH_FILE,
         REGRESSION_THRESHOLD,
+        SCENARIO_BENCH_FILE,
         SWEEP_BENCH_FILE,
         bench_fig13_sweep,
         bench_fleet_day,
+        bench_scenario,
         gate_trend,
     )
 
@@ -944,11 +1012,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         print(f"recorded in {out}")
         return 0
+    if args.suite == "scenario":
+        out = args.bench_out or SCENARIO_BENCH_FILE
+        shard_counts = (1,) if args.shards <= 1 else (1, args.shards)
+        report = bench_scenario(
+            name=args.scenario_name or DEFAULT_BENCH_SCENARIO,
+            shard_counts=shard_counts,
+            out_path=out,
+        )
+        print(
+            f"scenario {report['scenario']}: {report['n_servers']} "
+            f"server(s), {report['n_jobs']} job(s)"
+        )
+        for shards, wall in sorted(report["wall_seconds"].items()):
+            print(f"  {shards} shard(s): {wall:.3f}s")
+        print(f"  digest: {report['digest'][:16]}... "
+              "(identical across shard counts)")
+        print(f"recorded in {out}")
+        return 0
 
     # suite == "gate"
     paths = args.paths or [
         path
-        for path in (FLEET_BENCH_FILE, SWEEP_BENCH_FILE)
+        for path in (FLEET_BENCH_FILE, SWEEP_BENCH_FILE, SCENARIO_BENCH_FILE)
         if os.path.exists(path)
     ]
     if not paths:
@@ -966,6 +1052,151 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"{path}: {verdict.name}: {status} ({verdict.message})")
             failed = failed or not verdict.passed
     return 1 if failed else 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .scenarios import (
+        catalog_paths,
+        check_result,
+        codec,
+        load_catalog,
+        run_scenario,
+    )
+    from .sim.cache import canonical_json
+
+    if args.action == "list":
+        scenarios = (
+            tuple(codec.load(path) for path in args.files)
+            if args.files
+            else load_catalog(args.catalog_dir)
+        )
+        print(f"{'name':>28} {'servers':>8} {'hours':>6} {'golden':>7}  description")
+        for s in scenarios:
+            hours = s.traffic.duration_seconds / 3600.0
+            tags = f" [{', '.join(s.tags)}]" if s.tags else ""
+            print(
+                f"{s.name:>28} {s.topology.n_servers:>8} {hours:>6g} "
+                f"{'yes' if not s.golden.is_empty else 'no':>7}  "
+                f"{s.description}{tags}"
+            )
+        return 0
+
+    if args.action == "validate":
+        if not args.files:
+            raise ScenarioError("scenario validate needs at least one FILE")
+        for path in args.files:
+            scenario = codec.load(path)
+            print(
+                f"{path}: ok ({scenario.name}: "
+                f"{scenario.topology.n_servers} server(s) in "
+                f"{len(scenario.topology.groups)} group(s), "
+                f"{len(scenario.faults.windows)} fault window(s))"
+            )
+        return 0
+
+    if args.action == "run":
+        if not args.files:
+            raise ScenarioError("scenario run needs at least one FILE")
+        if args.trace_out and len(args.files) > 1:
+            raise ScenarioError("--trace-out needs exactly one FILE")
+        for path in args.files:
+            scenario = codec.load(path)
+            result = run_scenario(
+                scenario,
+                seed=args.seed,
+                n_shards=args.shards,
+                workers=args.workers,
+            )
+            _print_scenario_result(result, seed=args.seed)
+            if args.trace_out:
+                with open(args.trace_out, "w", encoding="utf-8") as handle:
+                    for entry in result.fleet.events:
+                        handle.write(canonical_json(entry) + "\n")
+                print(
+                    f"wrote {len(result.fleet.events)} events to "
+                    f"{args.trace_out}"
+                )
+        return 0
+
+    # action == "check": pinned seeds, golden adjudication.
+    if args.files:
+        scenarios = tuple(codec.load(path) for path in args.files)
+    else:
+        scenarios = load_catalog(args.catalog_dir)
+    checkable = [s for s in scenarios if not s.golden.is_empty]
+    skipped_golden = len(scenarios) - len(checkable)
+    if args.skip_slow:
+        skipped_slow = sum(1 for s in checkable if s.is_slow)
+        checkable = [s for s in checkable if not s.is_slow]
+    else:
+        skipped_slow = 0
+    if not checkable:
+        raise ScenarioError("no scenarios with golden blocks to check")
+    failed = False
+    for scenario in checkable:
+        result = run_scenario(
+            scenario, n_shards=args.shards, workers=args.workers
+        )
+        verdict = check_result(result)
+        status = "ok" if verdict.passed else "FAILED"
+        print(f"{scenario.name}: {status}")
+        for failure in verdict.failures:
+            print(f"  {failure}")
+        failed = failed or not verdict.passed
+    notes = []
+    if skipped_slow:
+        notes.append(f"{skipped_slow} slow scenario(s) skipped")
+    if skipped_golden:
+        notes.append(f"{skipped_golden} without goldens skipped")
+    summary = f"checked {len(checkable)} scenario(s)"
+    if notes:
+        summary += " (" + ", ".join(notes) + ")"
+    print(summary)
+    return 1 if failed else 0
+
+
+def _print_scenario_result(result, seed: int) -> None:
+    scenario = result.scenario
+    fleet = result.fleet
+    hours = scenario.traffic.duration_seconds / 3600.0
+    print(
+        f"scenario {scenario.name}: {scenario.topology.n_servers} server(s) "
+        f"in {len(scenario.topology.groups)} group(s), {hours:g} h, "
+        f"policy {scenario.policy.policy}, seed {seed}"
+    )
+    if scenario.description:
+        print(f"  {scenario.description}")
+    print(
+        f"jobs: {fleet.n_arrivals} arrived, {fleet.n_completions} completed, "
+        f"{fleet.n_running} running, {fleet.n_queued} queued "
+        f"({'conserved' if fleet.conserved else 'NOT CONSERVED'})"
+    )
+    print(
+        f"energy: adaptive {fleet.adaptive_energy_kwh:.3f} kWh vs static "
+        f"{fleet.static_energy_kwh:.3f} kWh "
+        f"(saving {fleet.saving_fraction:.1%})"
+    )
+    print(
+        f"qos: {fleet.qos_violations} violation(s); faults: "
+        f"{fleet.n_server_crashes} crash(es), {fleet.n_job_kills} kill(s), "
+        f"{fleet.n_requeues} requeue(s), "
+        f"{fleet.total_fallback_seconds:.0f} fallback socket-second(s)"
+    )
+    if scenario.policy.server_power_cap_w is not None:
+        print(
+            f"power cap: {result.cap_exceeded_epochs} epoch(s) above "
+            f"{scenario.policy.server_power_cap_w:g} W per server "
+            "(adjudicated, not enforced)"
+        )
+    for group in result.groups:
+        print(
+            f"  group {group.name}: {group.servers} server(s), "
+            f"age {group.age_years:g} y, {group.n_arrivals} arrival(s), "
+            f"{group.adaptive_energy_kwh:.3f} kWh, "
+            f"{group.qos_violations} violation(s), "
+            f"{group.fallback_seconds:.0f} fallback s"
+        )
+    print(f"event log: {fleet.event_log_hash} ({len(fleet.events)} entries)")
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:

@@ -62,6 +62,16 @@ class FaultError(ReproError):
     """
 
 
+class ScenarioError(ReproError):
+    """A scenario file or :class:`~repro.scenarios.Scenario` is invalid.
+
+    Raised eagerly when a scenario TOML document fails to parse, carries
+    unknown keys, or fails cross-field validation (for example a fault
+    window opening beyond the traffic horizon) — so ``repro scenario``
+    commands fail with a distinct exit code instead of a traceback.
+    """
+
+
 class SweepError(ReproError):
     """One or more tasks of a sweep batch failed to execute.
 

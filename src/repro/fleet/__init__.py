@@ -30,8 +30,11 @@ from .metrics import (
 )
 from .shard import (
     CellLayout,
+    CellSpec,
+    ShardedOutcome,
     default_shards,
     merge_cell_results,
+    run_cell_specs,
     run_sharded,
     run_sharded_comparison,
 )
@@ -60,6 +63,7 @@ __all__ = [
     "ArrivalEvent",
     "BATCH",
     "CellLayout",
+    "CellSpec",
     "CompletionEvent",
     "CONSOLIDATION_POLICY",
     "constant_trace",
@@ -83,11 +87,13 @@ __all__ = [
     "PlacementPlan",
     "POLICIES",
     "RebalanceEvent",
+    "run_cell_specs",
     "run_comparison",
     "run_sharded",
     "run_sharded_comparison",
     "seconds_to_ns",
     "ServerState",
+    "ShardedOutcome",
     "socket_min_active_frequency",
     "summarize_by_class",
     "TrafficConfig",

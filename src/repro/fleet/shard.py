@@ -149,42 +149,64 @@ def _split_fault_plan(
 # ----------------------------------------------------------------------
 # Per-cell execution (runs in worker processes)
 # ----------------------------------------------------------------------
-def _run_cell(
-    config: FleetConfig,
+@dataclass(frozen=True)
+class CellSpec:
+    """One independently simulated cell of a (possibly mixed) fleet.
+
+    The homogeneous sharded fleet derives its cells from a
+    :class:`CellLayout`; the scenario runner builds them directly, which
+    is what lets server *groups* carry different configurations (aged
+    silicon, distinct die seeds, different sizes) inside one merged run.
+    Jobs route to the cell whose ``index`` equals ``job_id % n_cells`` —
+    the same modular routing the layout uses, so a layout-derived spec
+    list reproduces the layout semantics exactly.
+    """
+
+    #: Global cell index — the routing key.
+    index: int
+
+    #: Global server id of the cell's first server.
+    offset: int
+
+    #: Cell-local fleet configuration: ``n_servers`` is the cell size and
+    #: ``seed`` the cell's die seed; ``traffic`` must be shared by every
+    #: cell of one run (it defines the horizon and the global trace).
+    config: FleetConfig
+
+    #: Cell-local fault plan (server ids already rebased to the cell).
+    fault_plan: Optional[FaultPlan] = None
+
+    #: Human-facing tag (scenario server-group name); never hashed.
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise SchedulingError(f"cell index must be >= 0, got {self.index}")
+        if self.offset < 0:
+            raise SchedulingError(
+                f"cell offset must be >= 0, got {self.offset}"
+            )
+
+
+def _simulate_cell(
+    cell: CellSpec,
     policy: FleetPolicy,
-    layout: CellLayout,
-    cell_id: int,
-    fault_plan: Optional[FaultPlan],
+    trace: Tuple,
     workers: int,
-    trace: Optional[Tuple] = None,
 ) -> Tuple[FleetResult, List[Tuple[int, str]]]:
     """Simulate one cell; returns its result and canonical log lines.
 
-    The trace is regenerated from the config's seed (never shipped
-    across process boundaries) and filtered to this cell's jobs —
-    batch callers pass the pre-filtered slice instead, so a
-    625-cell fleet does not regenerate a million-job trace 625
-    times.  Log entries are remapped to global server ids and
-    rendered to canonical JSON here, so the parent only merges
-    strings.
+    Log entries are remapped to global server ids and rendered to
+    canonical JSON here, so the parent only merges strings.
     """
-    offset = layout.offset(cell_id)
-    if trace is None:
-        trace = tuple(
-            job
-            for job in generate_trace(config.traffic, config.seed)
-            if layout.cell_of_job(job.job_id) == cell_id
-        )
-    cell_config = dataclasses.replace(
-        config, n_servers=layout.size(cell_id)
-    )
-    runner = SweepRunner(max_workers=workers, seed_root=config.seed)
+    offset = cell.offset
+    runner = SweepRunner(max_workers=workers, seed_root=cell.config.seed)
     sim = FleetSimulation(
-        cell_config,
+        cell.config,
         policy,
         runner=runner,
         trace=trace,
-        fault_plan=fault_plan,
+        fault_plan=cell.fault_plan,
     )
     result = sim.run()
     lines: List[Tuple[int, str]] = []
@@ -212,31 +234,28 @@ def _run_cell(
     return result, lines
 
 
-def _run_cells(payload: tuple) -> List[Tuple[int, FleetResult, list]]:
-    """Worker entry point: run a batch of cells sequentially.
+def _run_spec_batch(payload: tuple) -> List[Tuple[int, FleetResult, list]]:
+    """Worker entry point: run a batch of cell specs sequentially.
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it; also the
     in-process path, which guarantees shard counts cannot change results.
+    The trace is regenerated from ``(traffic, trace_seed)`` rather than
+    shipped across the process boundary, then bucketed by modular
+    routing — a 625-cell fleet regenerates its million-job trace once
+    per *shard*, not once per cell.
     """
-    config, policy, layout, cell_ids, plans, workers = payload
-    wanted = set(cell_ids)
-    by_cell: Dict[int, List] = {cell_id: [] for cell_id in cell_ids}
-    for job in generate_trace(config.traffic, config.seed):
-        cell_id = layout.cell_of_job(job.job_id)
-        if cell_id in wanted:
-            by_cell[cell_id].append(job)
+    traffic, trace_seed, policy, cells, workers, n_cells = payload
+    by_index: Dict[int, List] = {cell.index: [] for cell in cells}
+    for job in generate_trace(traffic, trace_seed):
+        index = job.job_id % n_cells
+        if index in by_index:
+            by_index[index].append(job)
     out = []
-    for cell_id in cell_ids:
-        result, lines = _run_cell(
-            config,
-            policy,
-            layout,
-            cell_id,
-            plans.get(cell_id),
-            workers,
-            trace=tuple(by_cell.pop(cell_id)),
+    for cell in cells:
+        result, lines = _simulate_cell(
+            cell, policy, tuple(by_index.pop(cell.index)), workers
         )
-        out.append((cell_id, result, lines))
+        out.append((cell.index, result, lines))
     return out
 
 
@@ -316,6 +335,94 @@ def merge_cell_results(
 # ----------------------------------------------------------------------
 # The entry points
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardedOutcome:
+    """A merged fleet result plus the per-cell results that built it.
+
+    ``by_cell`` keeps the per-cell ledgers (events stripped, ids already
+    global) so callers — notably the scenario runner's per-group
+    rollups — can attribute energy and QoS to individual cells without
+    re-running anything.
+    """
+
+    merged: FleetResult
+    by_cell: Dict[int, FleetResult]
+
+
+def run_cell_specs(
+    cells: Sequence[CellSpec],
+    policy: FleetPolicy,
+    n_shards: int = 1,
+    workers: int = 1,
+    keep_events: bool = True,
+    trace_seed: Optional[int] = None,
+) -> ShardedOutcome:
+    """Run an explicit cell list — homogeneous or mixed — and merge.
+
+    Every cell must share one traffic config (it defines the horizon and
+    the global trace); ``cells[i].index`` must cover ``0..len(cells)-1``
+    exactly, because modular job routing assumes a dense index space.
+    ``trace_seed`` seeds the shared arrival stream and defaults to cell
+    0's config seed — heterogeneous runs whose cells carry per-group die
+    seeds pass the scenario seed explicitly so the traffic stream does
+    not couple to any one group's silicon.  The merged event log (and
+    SHA-256) is invariant across ``n_shards`` by construction, exactly
+    as in the homogeneous case.
+    """
+    if n_shards < 1:
+        raise SchedulingError(f"n_shards must be >= 1, got {n_shards}")
+    if workers < 1:
+        raise SchedulingError(f"workers must be >= 1, got {workers}")
+    if not cells:
+        raise SchedulingError("run_cell_specs needs at least one cell")
+    ordered = sorted(cells, key=lambda cell: cell.index)
+    if [cell.index for cell in ordered] != list(range(len(ordered))):
+        raise SchedulingError(
+            "cell indices must be exactly 0..n_cells-1; got "
+            f"{[cell.index for cell in cells]}"
+        )
+    traffics = {id(cell.config.traffic): cell.config.traffic for cell in ordered}
+    if len({repr(t) for t in traffics.values()}) > 1:
+        raise SchedulingError(
+            "every cell of one run must share the same traffic config"
+        )
+    traffic = ordered[0].config.traffic
+    if trace_seed is None:
+        trace_seed = ordered[0].config.seed
+    n_cells = len(ordered)
+    # Contiguous round-robin assignment; any assignment yields the same
+    # merged log, this one just balances cell counts.
+    batches = [
+        ordered[shard::n_shards]
+        for shard in range(min(n_shards, n_cells))
+    ]
+    payloads = [
+        (traffic, trace_seed, policy, batch, workers, n_cells)
+        for batch in batches
+        if batch
+    ]
+    outcomes: List[Tuple[int, FleetResult, list]] = []
+    if len(payloads) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+                for batch_out in pool.map(_run_spec_batch, payloads):
+                    outcomes.extend(batch_out)
+        except (OSError, PermissionError, NotImplementedError):
+            # Sandboxes may refuse process pools; the in-process path is
+            # bit-identical by construction.
+            outcomes = []
+    if not outcomes:
+        for payload in payloads:
+            outcomes.extend(_run_spec_batch(payload))
+    cell_results = {cell_id: result for cell_id, result, _ in outcomes}
+    cell_lines = {cell_id: lines for cell_id, _, lines in outcomes}
+    merged = merge_cell_results(
+        ordered[0].config, policy, cell_results, cell_lines,
+        keep_events=keep_events,
+    )
+    return ShardedOutcome(merged=merged, by_cell=cell_results)
+
+
 def run_sharded(
     config: FleetConfig,
     policy: FleetPolicy = AGS_POLICY,
@@ -325,7 +432,7 @@ def run_sharded(
     workers: int = 1,
     keep_events: bool = True,
 ) -> FleetResult:
-    """One policy's sharded run over the fleet day.
+    """One policy's sharded run over the homogeneous fleet day.
 
     Parameters
     ----------
@@ -343,10 +450,6 @@ def run_sharded(
         Retain the merged event stream on the result (see
         :func:`merge_cell_results`).
     """
-    if n_shards < 1:
-        raise SchedulingError(f"n_shards must be >= 1, got {n_shards}")
-    if workers < 1:
-        raise SchedulingError(f"workers must be >= 1, got {workers}")
     layout = CellLayout(
         n_servers=config.n_servers,
         cell_servers=(
@@ -356,36 +459,21 @@ def run_sharded(
     plans = _split_fault_plan(
         fault_plan if fault_plan is not None else FaultPlan(), layout
     )
-    cell_ids = list(range(layout.n_cells))
-    # Contiguous round-robin assignment; any assignment yields the same
-    # merged log, this one just balances cell counts.
-    batches = [
-        cell_ids[shard::n_shards]
-        for shard in range(min(n_shards, layout.n_cells))
-    ]
-    payloads = [
-        (config, policy, layout, batch, plans, workers)
-        for batch in batches
-        if batch
-    ]
-    outcomes: List[Tuple[int, FleetResult, list]] = []
-    if len(payloads) > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
-                for batch_out in pool.map(_run_cells, payloads):
-                    outcomes.extend(batch_out)
-        except (OSError, PermissionError, NotImplementedError):
-            # Sandboxes may refuse process pools; the in-process path is
-            # bit-identical by construction.
-            outcomes = []
-    if not outcomes:
-        for payload in payloads:
-            outcomes.extend(_run_cells(payload))
-    cell_results = {cell_id: result for cell_id, result, _ in outcomes}
-    cell_lines = {cell_id: lines for cell_id, _, lines in outcomes}
-    return merge_cell_results(
-        config, policy, cell_results, cell_lines, keep_events=keep_events
+    cells = tuple(
+        CellSpec(
+            index=cell_id,
+            offset=layout.offset(cell_id),
+            config=dataclasses.replace(
+                config, n_servers=layout.size(cell_id)
+            ),
+            fault_plan=plans.get(cell_id),
+        )
+        for cell_id in range(layout.n_cells)
     )
+    return run_cell_specs(
+        cells, policy, n_shards=n_shards, workers=workers,
+        keep_events=keep_events,
+    ).merged
 
 
 def run_sharded_comparison(

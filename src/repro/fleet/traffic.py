@@ -114,6 +114,14 @@ class TrafficConfig:
     #: Service-time floor (s).
     service_floor: float = 120.0
 
+    #: Rate-surge windows ``(start_seconds, duration_seconds,
+    #: multiplier)``: while a window is open the diurnal rate is scaled
+    #: by its multiplier (flash crowds above 1, brownout lulls below).
+    #: Overlapping windows compound multiplicatively.  Empty by default,
+    #: in which case the stream is bit-identical to a build without
+    #: surge support.
+    surges: Tuple[Tuple[float, float, float], ...] = ()
+
     def __post_init__(self) -> None:
         # Finiteness first: NaN slips through every ordered comparison
         # below (NaN <= 0 is False), and a NaN duration turns the trace
@@ -136,17 +144,59 @@ class TrafficConfig:
             raise SchedulingError("thread choices must be >= 1")
         if min(self.lc_service_mean, self.batch_service_mean) <= 0:
             raise SchedulingError("service means must be positive")
+        # Normalize so two configs with the same surge content hash and
+        # pickle identically whatever sequence types built them.
+        object.__setattr__(
+            self,
+            "surges",
+            tuple(tuple(float(v) for v in surge) for surge in self.surges),
+        )
+        for surge in self.surges:
+            if len(surge) != 3:
+                raise SchedulingError(
+                    "each surge must be (start_seconds, duration_seconds, "
+                    f"multiplier), got {surge!r}"
+                )
+            start, duration, multiplier = surge
+            if not all(math.isfinite(v) for v in surge):
+                raise SchedulingError("surge fields must be finite")
+            if start < 0:
+                raise SchedulingError("surge start_seconds must be >= 0")
+            if duration <= 0:
+                raise SchedulingError("surge duration_seconds must be positive")
+            if multiplier <= 0:
+                raise SchedulingError("surge multiplier must be positive")
+
+    def surge_factor(self, t_seconds: float) -> float:
+        """Compounded surge multiplier live at ``t_seconds`` (1.0 outside)."""
+        factor = 1.0
+        for start, duration, multiplier in self.surges:
+            if start <= t_seconds < start + duration:
+                factor *= multiplier
+        return factor
 
     def rate_at(self, t_seconds: float) -> float:
         """Instantaneous arrival rate (jobs/s) at ``t_seconds``."""
         mean_per_second = self.jobs_per_hour / 3600.0
         phase = 2.0 * math.pi * (t_seconds - self.peak_time_seconds) / DAY_SECONDS
-        return mean_per_second * (1.0 + self.diurnal_amplitude * math.cos(phase))
+        diurnal = mean_per_second * (
+            1.0 + self.diurnal_amplitude * math.cos(phase)
+        )
+        return diurnal * self.surge_factor(t_seconds)
 
     @property
     def peak_rate(self) -> float:
-        """The thinning envelope: the diurnal maximum rate (jobs/s)."""
-        return (self.jobs_per_hour / 3600.0) * (1.0 + self.diurnal_amplitude)
+        """The thinning envelope: the maximum possible rate (jobs/s).
+
+        The diurnal maximum scaled by the worst-case surge compounding
+        (every above-unity multiplier live at once).  A loose envelope
+        only costs thinning efficiency, never correctness.
+        """
+        envelope = 1.0
+        for _, _, multiplier in self.surges:
+            if multiplier > 1.0:
+                envelope *= multiplier
+        return (self.jobs_per_hour / 3600.0) * (1.0 + self.diurnal_amplitude) * envelope
 
 
 def generate_trace(config: TrafficConfig, seed: int) -> Tuple[JobSpec, ...]:

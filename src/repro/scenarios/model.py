@@ -1,0 +1,587 @@
+"""The frozen scenario config model: what one reproducible study *is*.
+
+A :class:`Scenario` composes five orthogonal specs — traffic shape,
+workload mix, fleet topology, policy regime, and fault plan — plus an
+optional golden block of summary assertions.  Every spec is a frozen
+dataclass that validates eagerly in ``__post_init__`` (the same contract
+as :mod:`repro.config`), and cross-field constraints that span specs
+(fault windows beyond the horizon, group targets that don't exist) are
+checked by :class:`Scenario` itself, so a scenario object that exists is
+a scenario that can run.
+
+The model deliberately mirrors SNIPPETS.md's ``zng_simulator.config``
+composition — small orthogonal configs assembled into one ``Scenario`` —
+lifted to datacenter scale: topology here is *groups of servers per
+silicon generation* (each with its own service age and die seed) rather
+than a single chip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import ScenarioError
+from ..fleet.scheduler import POLICIES
+from ..fleet.traffic import DAY_SECONDS
+from ..workloads import all_profiles
+
+#: Fault kinds a scenario fault window may name, with the spec fields
+#: each kind consumes beyond the shared window/target ones.
+FAULT_KINDS = (
+    "server_crash",
+    "job_kill",
+    "cpm_stuck",
+    "cpm_noise",
+    "cpm_drop",
+    "cpm_stale",
+    "vrm_droop",
+    "loadline_excursion",
+)
+
+#: Fault kinds that target a socket (and map to static-fallback windows
+#: or electrical degradation inside the fleet engine).
+SOCKET_FAULT_KINDS = (
+    "cpm_stuck",
+    "cpm_noise",
+    "cpm_drop",
+    "cpm_stale",
+    "vrm_droop",
+    "loadline_excursion",
+)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ScenarioError(message)
+
+
+def _finite(value: float, name: str) -> None:
+    _require(
+        isinstance(value, (int, float)) and math.isfinite(value),
+        f"{name} must be a finite number, got {value!r}",
+    )
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Arrival-stream shape: how much work arrives, and when."""
+
+    #: Trace horizon (s).
+    duration_seconds: float = DAY_SECONDS
+
+    #: Mean arrival rate (jobs per hour) over the whole horizon.
+    jobs_per_hour: float = 18.0
+
+    #: Relative diurnal swing in [0, 1).
+    diurnal_amplitude: float = 0.6
+
+    #: Phase of the diurnal peak (s into the day).
+    peak_time_seconds: float = 14.0 * 3600.0
+
+    #: Probability an arrival is latency-critical.
+    lc_fraction: float = 0.15
+
+    #: Rate-surge windows ``(start_seconds, duration_seconds,
+    #: multiplier)`` — flash crowds above 1, lulls below.
+    surges: Tuple[Tuple[float, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("duration_seconds", "jobs_per_hour",
+                     "diurnal_amplitude", "peak_time_seconds",
+                     "lc_fraction"):
+            _finite(getattr(self, name), f"traffic.{name}")
+        _require(self.duration_seconds > 0,
+                 "traffic.duration_seconds must be positive")
+        _require(self.jobs_per_hour > 0,
+                 "traffic.jobs_per_hour must be positive")
+        _require(0 <= self.diurnal_amplitude < 1,
+                 "traffic.diurnal_amplitude must be in [0, 1)")
+        _require(0 <= self.lc_fraction <= 1,
+                 "traffic.lc_fraction must be in [0, 1]")
+        _require(self.peak_time_seconds >= 0,
+                 "traffic.peak_time_seconds must be >= 0")
+        object.__setattr__(
+            self,
+            "surges",
+            tuple(tuple(float(v) for v in s) for s in self.surges),
+        )
+        for surge in self.surges:
+            _require(
+                len(surge) == 3,
+                "each traffic surge must be [start_seconds, "
+                f"duration_seconds, multiplier], got {list(surge)!r}",
+            )
+            start, duration, multiplier = surge
+            for value, name in zip(surge, ("start", "duration", "multiplier")):
+                _finite(value, f"traffic surge {name}")
+            _require(start >= 0, "traffic surge start must be >= 0")
+            _require(duration > 0, "traffic surge duration must be positive")
+            _require(multiplier > 0,
+                     "traffic surge multiplier must be positive")
+            _require(
+                start < self.duration_seconds,
+                f"traffic surge at t={start:g}s opens at or beyond the "
+                f"{self.duration_seconds:g}s horizon",
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadMixSpec:
+    """What the arriving jobs *are*: profiles, widths, service demands."""
+
+    #: Catalog profiles latency-critical jobs draw from.
+    lc_profiles: Tuple[str, ...] = ("perl", "h264ref")
+
+    #: Catalog profiles batch jobs draw from.
+    batch_profiles: Tuple[str, ...] = ("raytrace", "fft", "mcf", "bzip2")
+
+    #: Thread-count choices per class (drawn uniformly).
+    lc_threads: Tuple[int, ...] = (1, 2)
+    batch_threads: Tuple[int, ...] = (2, 4)
+
+    #: Mean nominal service demand (s) per class.
+    lc_service_mean: float = 900.0
+    batch_service_mean: float = 1800.0
+
+    #: Service-time floor (s).
+    service_floor: float = 120.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lc_profiles", tuple(self.lc_profiles))
+        object.__setattr__(self, "batch_profiles", tuple(self.batch_profiles))
+        object.__setattr__(
+            self, "lc_threads", tuple(int(v) for v in self.lc_threads)
+        )
+        object.__setattr__(
+            self, "batch_threads", tuple(int(v) for v in self.batch_threads)
+        )
+        _require(bool(self.lc_profiles), "mix.lc_profiles must be non-empty")
+        _require(bool(self.batch_profiles),
+                 "mix.batch_profiles must be non-empty")
+        known = {p.name for p in all_profiles()}
+        for name in self.lc_profiles + self.batch_profiles:
+            _require(
+                name in known,
+                f"mix names unknown workload profile {name!r} "
+                f"(known: {', '.join(sorted(known))})",
+            )
+        _require(bool(self.lc_threads) and bool(self.batch_threads),
+                 "mix thread pools must be non-empty")
+        _require(min(self.lc_threads + self.batch_threads) >= 1,
+                 "mix thread choices must be >= 1")
+        for name in ("lc_service_mean", "batch_service_mean",
+                     "service_floor"):
+            _finite(getattr(self, name), f"mix.{name}")
+        _require(self.lc_service_mean > 0 and self.batch_service_mean > 0,
+                 "mix service means must be positive")
+        _require(self.service_floor > 0,
+                 "mix.service_floor must be positive")
+
+
+@dataclass(frozen=True)
+class ServerGroupSpec:
+    """One generation of servers: a named slice of the fleet.
+
+    Groups model heterogeneous procurement: each carries its own service
+    age (aging consumes static guardband via
+    :func:`repro.chip.aging.aged_server_config`) and its own die-seed
+    stream (process variation differs per batch of silicon).  A group
+    lowers onto one or more independent scheduling *cells*.
+    """
+
+    #: Group name — targets faults, labels rollups, salts the die seed.
+    name: str = "fleet"
+
+    #: Servers in this group.
+    servers: int = 4
+
+    #: Years in service; > 0 shrinks the group's remaining guardband.
+    age_years: float = 0.0
+
+    #: Cell width in servers (``None``: the whole group is one cell).
+    #: Job share is proportional to a group's *cell count*, so splitting
+    #: a large group keeps its load share in line with its size.
+    cell_servers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _require(
+            bool(self.name) and isinstance(self.name, str),
+            "group name must be a non-empty string",
+        )
+        _require(
+            isinstance(self.servers, int) and self.servers >= 1,
+            f"group {self.name!r}: servers must be an integer >= 1",
+        )
+        _finite(self.age_years, f"group {self.name!r} age_years")
+        _require(self.age_years >= 0,
+                 f"group {self.name!r}: age_years must be >= 0")
+        if self.cell_servers is not None:
+            _require(
+                isinstance(self.cell_servers, int) and self.cell_servers >= 1,
+                f"group {self.name!r}: cell_servers must be an integer >= 1",
+            )
+
+    @property
+    def n_cells(self) -> int:
+        """Cells this group lowers onto."""
+        width = self.cell_servers or self.servers
+        return -(-self.servers // width)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """The fleet's composition: ordered server groups."""
+
+    groups: Tuple[ServerGroupSpec, ...] = (ServerGroupSpec(),)
+
+    #: End-of-life Vmin shift the static design provisioned (V) and the
+    #: lifetime it assumed — the aging model shared by every group.
+    aging_end_of_life_shift: float = 0.025
+    aging_lifetime_years: float = 10.0
+    aging_exponent: float = 0.25
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "groups", tuple(self.groups))
+        _require(bool(self.groups),
+                 "topology needs at least one server group")
+        names = [group.name for group in self.groups]
+        _require(
+            len(set(names)) == len(names),
+            f"group names must be unique, got {names}",
+        )
+        for name in ("aging_end_of_life_shift", "aging_lifetime_years",
+                     "aging_exponent"):
+            _finite(getattr(self, name), f"topology.{name}")
+        _require(self.aging_end_of_life_shift >= 0,
+                 "topology.aging_end_of_life_shift must be >= 0")
+        _require(self.aging_lifetime_years > 0,
+                 "topology.aging_lifetime_years must be positive")
+        _require(0 < self.aging_exponent <= 1,
+                 "topology.aging_exponent must be in (0, 1]")
+
+    @property
+    def n_servers(self) -> int:
+        """Total fleet size."""
+        return sum(group.servers for group in self.groups)
+
+    @property
+    def n_cells(self) -> int:
+        """Total scheduling cells the topology lowers onto."""
+        return sum(group.n_cells for group in self.groups)
+
+    def group(self, name: str) -> ServerGroupSpec:
+        """The group called ``name``."""
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise ScenarioError(
+            f"no server group named {name!r} "
+            f"(groups: {', '.join(g.name for g in self.groups)})"
+        )
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Scheduling-and-guardbanding regime plus fleet-level knobs."""
+
+    #: Policy name from :data:`repro.fleet.scheduler.POLICIES`.
+    policy: str = "ags"
+
+    #: Frequency SLA for latency-critical jobs (fraction of nominal).
+    qos_frequency_fraction: float = 1.08
+
+    #: How long an emptied server idles before powering off (s).
+    power_off_hysteresis_seconds: float = 300.0
+
+    #: Borrowing/packing regime switch point (fraction of threads).
+    utilization_threshold: float = 0.5
+
+    #: Per-server power cap (W) the run is *adjudicated* against: epochs
+    #: whose settled adaptive server power exceeds the cap are counted in
+    #: the scenario summary (``cap_exceeded_epochs``).  Enforcement —
+    #: actually down-clocking to stay under the cap — is ROADMAP open
+    #: item 3, not this knob.
+    server_power_cap_w: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require(
+            self.policy in POLICIES,
+            f"unknown policy {self.policy!r} "
+            f"(known: {', '.join(sorted(POLICIES))})",
+        )
+        for name in ("qos_frequency_fraction",
+                     "power_off_hysteresis_seconds",
+                     "utilization_threshold"):
+            _finite(getattr(self, name), f"policy.{name}")
+        _require(self.qos_frequency_fraction > 0,
+                 "policy.qos_frequency_fraction must be positive")
+        _require(self.power_off_hysteresis_seconds >= 0,
+                 "policy.power_off_hysteresis_seconds must be >= 0")
+        _require(0 < self.utilization_threshold <= 1,
+                 "policy.utilization_threshold must be in (0, 1]")
+        if self.server_power_cap_w is not None:
+            _finite(self.server_power_cap_w, "policy.server_power_cap_w")
+            _require(self.server_power_cap_w > 0,
+                     "policy.server_power_cap_w must be positive")
+
+
+@dataclass(frozen=True)
+class FaultWindowSpec:
+    """One declarative fault: a kind, a window, and a target.
+
+    Targets are *group-relative*: ``group`` names a topology group and
+    ``server`` indexes into it (``all_servers`` fans the fault out over
+    the whole group — how a regional failover is written).  The runner
+    lowers each window onto concrete
+    :class:`~repro.faults.spec.FaultSpec` objects with cell-local ids.
+    """
+
+    kind: str = "server_crash"
+    start_seconds: float = 0.0
+    duration_seconds: Optional[float] = None
+
+    #: Topology group the fault targets (default: the first group).
+    group: Optional[str] = None
+
+    #: Group-relative server index; ``None`` with ``all_servers`` False
+    #: targets the group's server 0.
+    server: Optional[int] = None
+
+    #: Fan the fault out over every server of the group.
+    all_servers: bool = False
+
+    #: Socket within each targeted server (socket-scoped kinds).
+    socket: int = 0
+
+    # Kind-specific fields (validated per kind below).
+    repair_seconds: Optional[float] = None     # server_crash
+    job_id: Optional[int] = None               # job_kill
+    code: int = 0                              # cpm_stuck
+    amplitude_bits: int = 4                    # cpm_noise
+    depth_volts: float = 0.030                 # vrm_droop
+    factor: float = 2.0                        # loadline_excursion
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in FAULT_KINDS,
+            f"unknown fault kind {self.kind!r} "
+            f"(known: {', '.join(FAULT_KINDS)})",
+        )
+        _finite(self.start_seconds, f"fault {self.kind} start_seconds")
+        _require(self.start_seconds >= 0,
+                 f"fault {self.kind}: start_seconds must be >= 0")
+        if self.duration_seconds is not None:
+            _finite(self.duration_seconds,
+                    f"fault {self.kind} duration_seconds")
+            _require(self.duration_seconds > 0,
+                     f"fault {self.kind}: duration_seconds must be positive")
+        if self.server is not None:
+            _require(
+                isinstance(self.server, int) and self.server >= 0,
+                f"fault {self.kind}: server must be an integer >= 0",
+            )
+            _require(
+                not self.all_servers,
+                f"fault {self.kind}: server and all_servers are exclusive",
+            )
+        _require(isinstance(self.socket, int) and self.socket >= 0,
+                 f"fault {self.kind}: socket must be an integer >= 0")
+        if self.kind == "job_kill":
+            _require(
+                self.job_id is not None
+                and isinstance(self.job_id, int)
+                and self.job_id >= 0,
+                "fault job_kill needs an integer job_id >= 0",
+            )
+            _require(
+                self.group is None and self.server is None
+                and not self.all_servers,
+                "fault job_kill targets a job, not a group or server",
+            )
+        else:
+            _require(self.job_id is None,
+                     f"fault {self.kind} does not take job_id")
+        if self.kind == "server_crash" and self.repair_seconds is not None:
+            _finite(self.repair_seconds, "fault server_crash repair_seconds")
+            _require(self.repair_seconds > 0,
+                     "fault server_crash: repair_seconds must be positive")
+        if self.kind != "server_crash":
+            _require(self.repair_seconds is None,
+                     f"fault {self.kind} does not take repair_seconds")
+        if self.kind == "cpm_stuck":
+            _require(isinstance(self.code, int) and self.code >= 0,
+                     "fault cpm_stuck: code must be an integer >= 0")
+        if self.kind == "cpm_noise":
+            _require(
+                isinstance(self.amplitude_bits, int)
+                and self.amplitude_bits >= 1,
+                "fault cpm_noise: amplitude_bits must be an integer >= 1",
+            )
+        if self.kind == "vrm_droop":
+            _finite(self.depth_volts, "fault vrm_droop depth_volts")
+            _require(self.depth_volts > 0,
+                     "fault vrm_droop: depth_volts must be positive")
+        if self.kind == "loadline_excursion":
+            _finite(self.factor, "fault loadline_excursion factor")
+            _require(self.factor > 0,
+                     "fault loadline_excursion: factor must be positive")
+
+
+@dataclass(frozen=True)
+class FaultPlanSpec:
+    """The scenario's declarative fault plan."""
+
+    windows: Tuple[FaultWindowSpec, ...] = ()
+
+    #: Seed of the injector's jitter stream.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "windows", tuple(self.windows))
+        _require(isinstance(self.seed, int), "faults.seed must be an integer")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.windows
+
+
+@dataclass(frozen=True)
+class GoldenSpec:
+    """Summary assertions a scenario is checked against.
+
+    Exact fields pin values that are deterministic by construction (the
+    event-log SHA-256, job counts); ``*_min``/``*_max`` fields bracket
+    continuous metrics so goldens survive harmless float refactors while
+    still catching regressions.  ``None`` means "not asserted".
+    """
+
+    event_log_hash: Optional[str] = None
+    n_arrivals: Optional[int] = None
+    n_completions: Optional[int] = None
+    qos_violations_max: Optional[int] = None
+    n_server_crashes: Optional[int] = None
+    n_job_kills: Optional[int] = None
+    n_requeues_min: Optional[int] = None
+    saving_fraction_min: Optional[float] = None
+    saving_fraction_max: Optional[float] = None
+    total_fallback_seconds_min: Optional[float] = None
+    total_fallback_seconds_max: Optional[float] = None
+    adaptive_energy_kwh_min: Optional[float] = None
+    adaptive_energy_kwh_max: Optional[float] = None
+    cap_exceeded_epochs_max: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.event_log_hash is not None:
+            _require(
+                isinstance(self.event_log_hash, str)
+                and len(self.event_log_hash) == 64
+                and all(c in "0123456789abcdef"
+                        for c in self.event_log_hash),
+                "golden.event_log_hash must be a lowercase hex SHA-256",
+            )
+        for name in ("n_arrivals", "n_completions", "qos_violations_max",
+                     "n_server_crashes", "n_job_kills", "n_requeues_min",
+                     "cap_exceeded_epochs_max"):
+            value = getattr(self, name)
+            if value is not None:
+                _require(
+                    isinstance(value, int) and value >= 0,
+                    f"golden.{name} must be an integer >= 0",
+                )
+        for name in ("saving_fraction_min", "saving_fraction_max",
+                     "total_fallback_seconds_min",
+                     "total_fallback_seconds_max",
+                     "adaptive_energy_kwh_min", "adaptive_energy_kwh_max"):
+            value = getattr(self, name)
+            if value is not None:
+                _finite(value, f"golden.{name}")
+        for low, high in (
+            ("saving_fraction_min", "saving_fraction_max"),
+            ("total_fallback_seconds_min", "total_fallback_seconds_max"),
+            ("adaptive_energy_kwh_min", "adaptive_energy_kwh_max"),
+        ):
+            lo, hi = getattr(self, low), getattr(self, high)
+            if lo is not None and hi is not None:
+                _require(lo <= hi, f"golden.{low} exceeds golden.{high}")
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the golden block asserts nothing at all."""
+        return all(
+            getattr(self, f.name) is None
+            for f in self.__dataclass_fields__.values()  # type: ignore[attr-defined]
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified, reproducible fleet study."""
+
+    #: Scenario name (catalog identity; bare-key safe).
+    name: str = "scenario"
+
+    #: One-line human description (shown by ``repro scenario list``).
+    description: str = ""
+
+    #: Master seed: traffic stream + per-group die seed derivation.
+    seed: int = 7
+
+    #: Free-form tags; ``"slow"`` marks scenarios the fast loops skip.
+    tags: Tuple[str, ...] = ()
+
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    mix: WorkloadMixSpec = field(default_factory=WorkloadMixSpec)
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    faults: FaultPlanSpec = field(default_factory=FaultPlanSpec)
+    golden: GoldenSpec = field(default_factory=GoldenSpec)
+
+    def __post_init__(self) -> None:
+        _require(
+            bool(self.name) and isinstance(self.name, str),
+            "scenario name must be a non-empty string",
+        )
+        _require(
+            all(c.isalnum() or c in "_-" for c in self.name),
+            f"scenario name {self.name!r} must use only letters, digits, "
+            "'_' and '-'",
+        )
+        _require(isinstance(self.seed, int), "scenario seed must be an integer")
+        object.__setattr__(self, "tags", tuple(self.tags))
+        for tag in self.tags:
+            _require(
+                isinstance(tag, str) and bool(tag),
+                "scenario tags must be non-empty strings",
+            )
+        self._validate_cross_fields()
+
+    # -- cross-spec constraints -----------------------------------------
+    def _validate_cross_fields(self) -> None:
+        horizon = self.traffic.duration_seconds
+        for window in self.faults.windows:
+            _require(
+                window.start_seconds < horizon,
+                f"fault {window.kind} at t={window.start_seconds:g}s opens "
+                f"at or beyond the {horizon:g}s scenario horizon",
+            )
+            if window.kind == "job_kill":
+                continue
+            group = (
+                self.topology.group(window.group)
+                if window.group is not None
+                else self.topology.groups[0]
+            )
+            if window.server is not None:
+                _require(
+                    window.server < group.servers,
+                    f"fault {window.kind} targets server {window.server} of "
+                    f"group {group.name!r}, which has only "
+                    f"{group.servers} server(s)",
+                )
+
+    @property
+    def is_slow(self) -> bool:
+        """Whether the catalog marks this scenario as slow."""
+        return "slow" in self.tags

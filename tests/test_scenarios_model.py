@@ -1,0 +1,209 @@
+"""The frozen scenario config model: eager and cross-field validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ReproError, ScenarioError
+from repro.scenarios import (
+    FaultPlanSpec,
+    FaultWindowSpec,
+    GoldenSpec,
+    PolicySpec,
+    Scenario,
+    ServerGroupSpec,
+    TopologySpec,
+    TrafficSpec,
+    WorkloadMixSpec,
+)
+
+
+class TestScenarioError:
+    def test_is_a_repro_error(self):
+        assert issubclass(ScenarioError, ReproError)
+
+
+class TestTrafficSpec:
+    def test_defaults_validate(self):
+        spec = TrafficSpec()
+        assert spec.duration_seconds == 86_400.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_seconds": 0.0},
+            {"duration_seconds": -1.0},
+            {"duration_seconds": float("nan")},
+            {"jobs_per_hour": 0.0},
+            {"diurnal_amplitude": 1.0},
+            {"diurnal_amplitude": -0.1},
+            {"lc_fraction": 1.5},
+            {"peak_time_seconds": -1.0},
+        ],
+    )
+    def test_bad_scalars_rejected(self, kwargs):
+        with pytest.raises(ScenarioError):
+            TrafficSpec(**kwargs)
+
+    def test_surge_normalized_to_tuples(self):
+        spec = TrafficSpec(surges=[[100, 50, 2]])
+        assert spec.surges == ((100.0, 50.0, 2.0),)
+
+    @pytest.mark.parametrize(
+        "surge",
+        [
+            (100.0, 50.0),               # wrong arity
+            (-1.0, 50.0, 2.0),           # negative start
+            (100.0, 0.0, 2.0),           # zero duration
+            (100.0, 50.0, 0.0),          # zero multiplier
+            (90_000.0, 50.0, 2.0),       # opens beyond the horizon
+        ],
+    )
+    def test_bad_surges_rejected(self, surge):
+        with pytest.raises(ScenarioError):
+            TrafficSpec(duration_seconds=86_400.0, surges=(surge,))
+
+
+class TestWorkloadMixSpec:
+    def test_unknown_profile_rejected_with_known_list(self):
+        with pytest.raises(ScenarioError, match="unknown workload profile"):
+            WorkloadMixSpec(lc_profiles=("no_such_profile",))
+
+    def test_empty_pools_rejected(self):
+        with pytest.raises(ScenarioError):
+            WorkloadMixSpec(batch_profiles=())
+        with pytest.raises(ScenarioError):
+            WorkloadMixSpec(lc_threads=())
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ScenarioError):
+            WorkloadMixSpec(batch_threads=(0, 2))
+
+
+class TestTopologySpec:
+    def test_cells_follow_cell_servers(self):
+        group = ServerGroupSpec(name="g", servers=5, cell_servers=2)
+        assert group.n_cells == 3  # 2 + 2 + 1
+        assert ServerGroupSpec(name="g", servers=4).n_cells == 1
+
+    def test_duplicate_group_names_rejected(self):
+        with pytest.raises(ScenarioError, match="unique"):
+            TopologySpec(
+                groups=(ServerGroupSpec(name="a"), ServerGroupSpec(name="a"))
+            )
+
+    def test_group_lookup(self):
+        topo = TopologySpec(
+            groups=(
+                ServerGroupSpec(name="east", servers=2),
+                ServerGroupSpec(name="west", servers=3),
+            )
+        )
+        assert topo.n_servers == 5
+        assert topo.group("west").servers == 3
+        with pytest.raises(ScenarioError, match="no server group"):
+            topo.group("north")
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ScenarioError):
+            ServerGroupSpec(name="g", age_years=-1.0)
+
+
+class TestPolicySpec:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ScenarioError, match="policy"):
+            PolicySpec(policy="nonsense")
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ScenarioError):
+            PolicySpec(server_power_cap_w=-10.0)
+
+
+class TestFaultWindowSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown fault kind"):
+            FaultWindowSpec(kind="meteor_strike")
+
+    def test_job_kill_needs_job_id(self):
+        with pytest.raises(ScenarioError, match="job_id"):
+            FaultWindowSpec(kind="job_kill")
+
+    def test_job_kill_rejects_server_targets(self):
+        with pytest.raises(ScenarioError, match="not a group or server"):
+            FaultWindowSpec(kind="job_kill", job_id=3, group="east")
+
+    def test_server_and_all_servers_exclusive(self):
+        with pytest.raises(ScenarioError, match="exclusive"):
+            FaultWindowSpec(kind="server_crash", server=0, all_servers=True)
+
+    def test_kind_foreign_field_rejected(self):
+        with pytest.raises(ScenarioError, match="repair_seconds"):
+            FaultWindowSpec(kind="vrm_droop", repair_seconds=60.0)
+
+
+class TestGoldenSpec:
+    def test_malformed_hash_rejected(self):
+        with pytest.raises(ScenarioError, match="hex"):
+            GoldenSpec(event_log_hash="abc")
+        with pytest.raises(ScenarioError, match="hex"):
+            GoldenSpec(event_log_hash="Z" * 64)
+
+    def test_inverted_bracket_rejected(self):
+        with pytest.raises(ScenarioError, match="exceeds"):
+            GoldenSpec(saving_fraction_min=0.5, saving_fraction_max=0.1)
+
+    def test_is_empty(self):
+        assert GoldenSpec().is_empty
+        assert not GoldenSpec(n_arrivals=3).is_empty
+
+
+class TestScenarioCrossFields:
+    def test_fault_window_beyond_horizon_rejected(self):
+        with pytest.raises(ScenarioError, match="beyond"):
+            Scenario(
+                traffic=TrafficSpec(duration_seconds=3600.0),
+                faults=FaultPlanSpec(
+                    windows=(
+                        FaultWindowSpec(
+                            kind="server_crash", start_seconds=7200.0
+                        ),
+                    )
+                ),
+            )
+
+    def test_fault_server_beyond_group_rejected(self):
+        with pytest.raises(ScenarioError, match="only"):
+            Scenario(
+                topology=TopologySpec(
+                    groups=(ServerGroupSpec(name="g", servers=2),)
+                ),
+                faults=FaultPlanSpec(
+                    windows=(
+                        FaultWindowSpec(kind="server_crash", server=2),
+                    )
+                ),
+            )
+
+    def test_fault_unknown_group_rejected(self):
+        with pytest.raises(ScenarioError, match="no server group"):
+            Scenario(
+                faults=FaultPlanSpec(
+                    windows=(
+                        FaultWindowSpec(kind="server_crash", group="ghost"),
+                    )
+                ),
+            )
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ScenarioError, match="letters"):
+            Scenario(name="has spaces")
+        with pytest.raises(ScenarioError):
+            Scenario(name="")
+
+    def test_is_slow_reads_tags(self):
+        assert Scenario(tags=("slow",)).is_slow
+        assert not Scenario().is_slow
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            Scenario().seed = 9

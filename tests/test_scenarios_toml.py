@@ -1,0 +1,143 @@
+"""The in-repo TOML subset reader/writer behind scenario files.
+
+The parser only has to carry the scenario schema (strings, numbers,
+booleans, arrays, ``[table]`` and ``[[array-of-tables]]`` headers), but
+within that subset it must agree with a real TOML implementation — when
+:mod:`tomllib` is importable it is used as the oracle.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.scenarios import tomlio
+from repro.scenarios.tomlio import TomlError
+
+try:  # Python >= 3.11; the CI floor is 3.9.
+    import tomllib
+except ImportError:  # pragma: no cover - exercised on 3.9/3.10
+    tomllib = None
+
+
+SAMPLE = """\
+# A comment.
+[scenario]
+name = "sample"  # trailing comment
+seed = 7
+tags = ["slow", "x"]
+
+[traffic]
+duration_seconds = 14400.0
+jobs_per_hour = 1_800.5
+surges = [
+    [3600.0, 600.0, 4.0],
+    [7200.0, 600.0, 0.5],
+]
+
+[policy]
+enabled = true
+gated = false
+
+[[faults.windows]]
+kind = "server_crash"
+start_seconds = 3600.0
+
+[[faults.windows]]
+kind = "job_kill"
+job_id = 12
+"""
+
+
+class TestParse:
+    def test_tables_and_scalars(self):
+        doc = tomlio.loads(SAMPLE)
+        assert doc["scenario"]["name"] == "sample"
+        assert doc["scenario"]["seed"] == 7
+        assert isinstance(doc["scenario"]["seed"], int)
+        assert doc["scenario"]["tags"] == ["slow", "x"]
+        assert doc["traffic"]["duration_seconds"] == 14400.0
+        assert doc["traffic"]["jobs_per_hour"] == 1800.5
+        assert doc["policy"]["enabled"] is True
+        assert doc["policy"]["gated"] is False
+
+    def test_multiline_array_and_array_of_tables(self):
+        doc = tomlio.loads(SAMPLE)
+        assert doc["traffic"]["surges"] == [
+            [3600.0, 600.0, 4.0],
+            [7200.0, 600.0, 0.5],
+        ]
+        kinds = [w["kind"] for w in doc["faults"]["windows"]]
+        assert kinds == ["server_crash", "job_kill"]
+
+    def test_empty_document(self):
+        assert tomlio.loads("") == {}
+        assert tomlio.loads("# only a comment\n") == {}
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a = 1\na = 2\n",              # duplicate key
+            "[t]\n[t]\n",                  # duplicate table
+            "a = nan\n",                   # non-finite number
+            "a = inf\n",                   # non-finite number
+            "a = \n",                      # missing value
+            "a = 'single'\n",              # unsupported literal string
+            "= 3\n",                       # missing key
+            "[unclosed\n",                 # bad header
+            'a = "unterminated\n',         # unterminated string
+            "a = 1__0\n",                  # bad underscore grouping
+        ],
+    )
+    def test_malformed_input_raises_toml_error(self, text):
+        with pytest.raises(TomlError):
+            tomlio.loads(text)
+
+    def test_toml_error_is_a_repro_error(self):
+        assert issubclass(TomlError, ReproError)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(TomlError, match="line 3"):
+            tomlio.loads("a = 1\nb = 2\nc = oops\n")
+
+
+class TestRoundTrip:
+    def test_dump_parse_dump_is_stable(self):
+        doc = tomlio.loads(SAMPLE)
+        once = tomlio.dumps(doc)
+        twice = tomlio.dumps(tomlio.loads(once))
+        assert once == twice
+
+    def test_round_trip_preserves_values(self):
+        doc = tomlio.loads(SAMPLE)
+        assert tomlio.loads(tomlio.dumps(doc)) == doc
+
+    def test_string_escapes_survive(self):
+        doc = {"t": {"s": 'quote " backslash \\ tab \t'}}
+        assert tomlio.loads(tomlio.dumps(doc)) == doc
+
+    def test_floats_keep_identity(self):
+        doc = {"t": {"x": 0.1, "y": 1e-9, "z": 12345.678901234}}
+        out = tomlio.loads(tomlio.dumps(doc))
+        for key, value in doc["t"].items():
+            assert math.isclose(out["t"][key], value, rel_tol=0, abs_tol=0)
+
+
+@pytest.mark.skipif(tomllib is None, reason="tomllib needs Python >= 3.11")
+class TestAgainstTomllib:
+    def test_sample_matches_tomllib(self):
+        ours = tomlio.loads(SAMPLE)
+        theirs = tomllib.loads(SAMPLE)
+        assert ours == theirs
+
+    def test_catalog_matches_tomllib(self):
+        from repro.scenarios import catalog_paths
+
+        for path in catalog_paths():
+            with open(path, "rb") as handle:
+                theirs = tomllib.load(handle)
+            assert tomlio.load(path) == theirs, path
+
+    def test_dumps_output_is_valid_toml(self):
+        doc = tomlio.loads(SAMPLE)
+        assert tomllib.loads(tomlio.dumps(doc)) == doc
