@@ -11,9 +11,10 @@ import dataclasses
 
 from conftest import run_once
 
+from repro.api import measure
 from repro.config import DidtConfig, PdnConfig, ServerConfig
 from repro.guardband import GuardbandMode
-from repro.sim.run import build_server, measure_consolidated
+from repro.sim.run import build_server
 from repro.workloads import get_profile
 
 
@@ -25,7 +26,9 @@ def _undervolt_drop_1_to_8(alignment_gain: float) -> float:
     profile = get_profile("raytrace")
     uv = {}
     for n in (1, 8):
-        result = measure_consolidated(server, profile, n, GuardbandMode.UNDERVOLT)
+        result = measure(
+            profile, mode=GuardbandMode.UNDERVOLT, n_threads=n, server=server
+        )
         uv[n] = result.adaptive.point.socket_point(0).undervolt * 1000
     return uv[1] - uv[8]
 

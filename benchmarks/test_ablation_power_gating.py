@@ -8,8 +8,8 @@ must cost a visible share of the light-load benefit.
 
 from conftest import run_once
 
+from repro.api import measure
 from repro.core import LoadlineBorrowingScheduler
-from repro.core.evaluate import measure_scheduled
 from repro.core.placement import Placement
 from repro.guardband import GuardbandMode
 from repro.sim.run import build_server
@@ -26,7 +26,9 @@ def _measure(gated: bool) -> float:
             keep_on=None,
             threads_per_core=placement.threads_per_core,
         )
-    result = measure_scheduled(server, placement, profile, GuardbandMode.UNDERVOLT)
+    result = measure(
+        profile, mode=GuardbandMode.UNDERVOLT, schedule=placement, server=server
+    )
     return result.adaptive.chip_power
 
 

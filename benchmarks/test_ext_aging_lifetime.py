@@ -9,10 +9,11 @@ zero: the droop/loadline slices of the guardband stay harvestable).
 
 from conftest import run_once
 
+from repro.api import measure
 from repro.chip.aging import AgingModel, aged_server_config
 from repro.config import ServerConfig
 from repro.guardband import GuardbandMode
-from repro.sim.run import build_server, measure_consolidated
+from repro.sim.run import build_server
 from repro.workloads import get_profile
 
 YEARS = (0.0, 1.0, 3.0, 10.0)
@@ -25,8 +26,11 @@ def test_ext_aging_lifetime(benchmark, report):
         for years in YEARS:
             config = aged_server_config(ServerConfig(), model, years)
             server = build_server(config)
-            result = measure_consolidated(
-                server, get_profile("raytrace"), 2, GuardbandMode.UNDERVOLT
+            result = measure(
+                get_profile("raytrace"),
+                mode=GuardbandMode.UNDERVOLT,
+                n_threads=2,
+                server=server,
             )
             s0s = result.static.point.socket_point(0)
             s0a = result.adaptive.point.socket_point(0)

@@ -16,8 +16,9 @@ import numpy as np
 from conftest import run_once
 
 from repro.analysis.figures import fig6_cpm_voltage_mapping
+from repro.api import measure
 from repro.guardband import GuardbandMode
-from repro.sim.run import build_server, measure_consolidated
+from repro.sim.run import build_server
 from repro.workloads import get_profile
 
 SEEDS = tuple(range(1, 9))
@@ -29,8 +30,11 @@ def test_ext_process_variation(benchmark, report):
         sensitivities = []
         for seed in SEEDS:
             server = build_server(seed=seed)
-            result = measure_consolidated(
-                server, get_profile("raytrace"), 8, GuardbandMode.UNDERVOLT
+            result = measure(
+                get_profile("raytrace"),
+                mode=GuardbandMode.UNDERVOLT,
+                n_threads=8,
+                server=server,
             )
             s0s = result.static.point.socket_point(0)
             s0a = result.adaptive.point.socket_point(0)

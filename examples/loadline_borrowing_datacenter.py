@@ -13,9 +13,8 @@ and energy outcomes per workload, plus the AGS facade's policy decisions.
 Run:  python examples/loadline_borrowing_datacenter.py
 """
 
-from repro import GuardbandMode, build_server, get_profile
+from repro import GuardbandMode, build_server, get_profile, measure
 from repro.core import AdaptiveGuardbandScheduler, ConsolidationScheduler
-from repro.core.evaluate import measure_scheduled
 
 #: A plausible batch queue: compute-bound, balanced, and bandwidth-bound.
 BATCH_QUEUE = [
@@ -41,17 +40,17 @@ def main() -> None:
     for name, n_threads in BATCH_QUEUE:
         profile = get_profile(name)
         policy = ags.classify(n_threads)
-        cons = measure_scheduled(
-            server,
-            consolidation.schedule(profile, n_threads, total_cores_on=8),
+        cons = measure(
             profile,
-            GuardbandMode.UNDERVOLT,
+            mode=GuardbandMode.UNDERVOLT,
+            schedule=consolidation.schedule(profile, n_threads, total_cores_on=8),
+            server=server,
         )
-        borrowed = measure_scheduled(
-            server,
-            ags.schedule_batch(profile, n_threads, total_cores_on=8),
+        borrowed = measure(
             profile,
-            GuardbandMode.UNDERVOLT,
+            mode=GuardbandMode.UNDERVOLT,
+            schedule=ags.schedule_batch(profile, n_threads, total_cores_on=8),
+            server=server,
         )
         p_cons = cons.adaptive.chip_power
         p_ags = borrowed.adaptive.chip_power

@@ -9,7 +9,7 @@ typical-case and worst-case di/dt.
 Run:  python examples/voltage_drop_anatomy.py
 """
 
-from repro import GuardbandMode, build_server, get_profile, measure_consolidated
+from repro import GuardbandMode, build_server, get_profile, measure
 from repro.pdn import DropDecomposer
 from repro.telemetry import Amester, CpmReadMode
 
@@ -25,7 +25,9 @@ def main() -> None:
         f"{'typ di/dt %':>11} {'worst di/dt %':>13}"
     )
     for n_cores in (1, 2, 4, 8):
-        result = measure_consolidated(server, profile, n_cores, GuardbandMode.UNDERVOLT)
+        result = measure(
+            profile, mode=GuardbandMode.UNDERVOLT, n_threads=n_cores, server=server
+        )
         solution = result.static.point.socket_point(0).solution
 
         # Read the platform the measured way: AMESTER sticky/sample CPMs.

@@ -28,8 +28,10 @@ the package root, which re-exports both names).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Optional, Sequence, Tuple, Union
 
+from .chip.dvfs import DvfsTable
 from .config import ServerConfig
 from .core.evaluate import apply_with_contention
 from .core.placement import Placement
@@ -73,6 +75,32 @@ def _resolve_server(
     return Power720Server(config=config, seed=seed)
 
 
+def _resolve_backend_config(
+    config: Optional[ServerConfig],
+    pdn_backend: Optional[str],
+    server: Optional[Power720Server] = None,
+) -> Optional[ServerConfig]:
+    """Fold a ``pdn_backend=`` selection into the server config."""
+    if pdn_backend is None:
+        return config
+    if server is not None:
+        raise SchedulingError(
+            "pass pdn_backend= or a prebuilt server=, not both — the "
+            "server was already built against a backend"
+        )
+    base = config or ServerConfig()
+    if base.pdn_backend == pdn_backend:
+        return base
+    return dataclasses.replace(base, pdn_backend=pdn_backend)
+
+
+def _cap_frequencies(config: Optional[ServerConfig]) -> Tuple[float, ...]:
+    """DVFS table frequencies, fastest first — the cap-walk candidates."""
+    cfg = config or ServerConfig()
+    table = DvfsTable(cfg.chip, cfg.guardband)
+    return tuple(p.frequency for p in reversed(table.points))
+
+
 def measure(
     workload: Union[str, WorkloadProfile],
     *,
@@ -88,6 +116,8 @@ def measure(
     runtime_model: Optional[RuntimeModel] = None,
     f_target: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
+    power_cap: Optional[float] = None,
+    pdn_backend: Optional[str] = None,
 ) -> RunResult:
     """Measure one workload under one guardband mode, any way it can run.
 
@@ -113,6 +143,14 @@ def measure(
     :class:`~repro.faults.injector.FaultInjector` seeded from the plan;
     with the default ``None`` the fault layer is never touched and the
     result is bit-identical to a build without it.
+
+    ``pdn_backend`` selects a registered power-delivery backend by name
+    (see :mod:`repro.pdn.backends`); the server is built against it.
+    ``power_cap`` enforces a whole-server power budget (W): the DVFS
+    table is walked down from the uncapped point until the measured
+    ``adaptive`` server power fits, raising
+    :class:`~repro.errors.SchedulingError` when even the lowest point
+    exceeds the budget.
     """
     if fault_plan is not None:
         with injected(fault_plan):
@@ -129,7 +167,51 @@ def measure(
                 seed=seed,
                 runtime_model=runtime_model,
                 f_target=f_target,
+                power_cap=power_cap,
+                pdn_backend=pdn_backend,
             )
+    config = _resolve_backend_config(config, pdn_backend, server)
+    if power_cap is not None:
+        if f_target is not None:
+            raise SchedulingError(
+                "pass power_cap= or f_target=, not both — the cap walk "
+                "chooses the frequency"
+            )
+        if power_cap <= 0:
+            raise SchedulingError(
+                f"power_cap must be positive, got {power_cap}"
+            )
+
+        def _attempt(target: Optional[float]) -> RunResult:
+            return measure(
+                workload,
+                mode=mode,
+                n_threads=n_threads,
+                placement=placement,
+                schedule=schedule,
+                keep_on=keep_on,
+                threads_per_core=threads_per_core,
+                server=server,
+                config=config,
+                seed=seed,
+                runtime_model=runtime_model,
+                f_target=target,
+            )
+
+        result = _attempt(None)
+        if result.adaptive.point.server_power <= power_cap:
+            return result
+        for frequency in _cap_frequencies(config):
+            if frequency >= result.adaptive.point.min_frequency:
+                continue  # no slower than the uncapped settle
+            result = _attempt(frequency)
+            if result.adaptive.point.server_power <= power_cap:
+                return result
+        raise SchedulingError(
+            f"power cap of {power_cap:.1f} W is below the floor: even the "
+            f"lowest DVFS point draws "
+            f"{result.adaptive.point.server_power:.1f} W here"
+        )
     profile = _resolve_profile(workload)
     guardband_mode = _resolve_mode(mode)
     if placement is not None and schedule is not None:
@@ -296,6 +378,8 @@ def sweep(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
+    power_cap: Optional[float] = None,
+    pdn_backend: Optional[str] = None,
 ) -> List[RunResult]:
     """The 1→``n`` active-core scaling sweep, batched and cached.
 
@@ -312,6 +396,11 @@ def sweep(
     ``runner`` is passed explicitly, a faulted sweep gets a private
     runner so corrupted operating points never land in the shared
     process-wide cache.
+
+    ``pdn_backend`` selects a registered power-delivery backend for
+    every point of the sweep; ``power_cap`` enforces a whole-server
+    budget (W) per point by walking that point down the DVFS table
+    until the measured adaptive server power fits (see ``measure``).
     """
     if fault_plan is not None:
         if runner is None and workers is None and cache_dir is None:
@@ -328,7 +417,17 @@ def sweep(
                 runner=runner,
                 workers=workers,
                 cache_dir=cache_dir,
+                power_cap=power_cap,
+                pdn_backend=pdn_backend,
             )
+    config = _resolve_backend_config(config, pdn_backend)
+    if power_cap is not None and f_target is not None:
+        raise SchedulingError(
+            "pass power_cap= or f_target=, not both — the cap walk "
+            "chooses the frequency"
+        )
+    if power_cap is not None and power_cap <= 0:
+        raise SchedulingError(f"power_cap must be positive, got {power_cap}")
     profile = _resolve_profile(workload)
     guardband_mode = _resolve_mode(mode)
     if runner is None:
@@ -351,4 +450,28 @@ def sweep(
         f_target=f_target,
         runtime_params=runtime_params,
     )
-    return runner.run_results(tasks, config)
+    results = runner.run_results(tasks, config)
+    if power_cap is None:
+        return results
+    capped: List[RunResult] = []
+    candidates = _cap_frequencies(config)
+    for task, result in zip(tasks, results):
+        if result.adaptive.point.server_power <= power_cap:
+            capped.append(result)
+            continue
+        for frequency in candidates:
+            if frequency >= result.adaptive.point.min_frequency:
+                continue
+            retry = dataclasses.replace(task, f_target=frequency)
+            result = runner.run_results([retry], config)[0]
+            if result.adaptive.point.server_power <= power_cap:
+                break
+        else:
+            raise SchedulingError(
+                f"power cap of {power_cap:.1f} W is below the floor for "
+                f"{profile.name} on {task.n_threads} threads: the lowest "
+                f"DVFS point draws "
+                f"{result.adaptive.point.server_power:.1f} W"
+            )
+        capped.append(result)
+    return capped

@@ -11,10 +11,13 @@ instead of failing.
 """
 
 from .suites import (
+    CAP_BENCH_FILE,
     DEFAULT_BENCH_SCENARIO,
+    DEFAULT_CAP_BENCH_SCENARIO,
     FLEET_BENCH_FILE,
     SCENARIO_BENCH_FILE,
     SWEEP_BENCH_FILE,
+    bench_cap,
     bench_fig13_sweep,
     bench_fleet_day,
     bench_scenario,
@@ -30,12 +33,15 @@ from .trend import (
 )
 
 __all__ = [
+    "bench_cap",
     "bench_fig13_sweep",
     "bench_fleet_day",
     "bench_scenario",
     "BenchEntry",
     "BenchTrend",
+    "CAP_BENCH_FILE",
     "DEFAULT_BENCH_SCENARIO",
+    "DEFAULT_CAP_BENCH_SCENARIO",
     "FLEET_BENCH_FILE",
     "gate_trend",
     "GateReport",

@@ -13,6 +13,11 @@ cold sweep runner and appends it to ``BENCH_sweep.json``.
 lowering, sharded execution — verifies shard-count digest identity, and
 appends to ``BENCH_scenario.json``, which puts the scenario path on the
 same perf-trajectory gate as the raw engine.
+
+``bench_cap`` does the same for the power-capped path: it times the
+``rack_power_budget`` scenario (coordinator ticks, per-server cap
+walks, budget decomposition across cells) into ``BENCH_cap.json``, so
+a regression in the capping hot path fails the gate like any other.
 """
 
 import time
@@ -30,11 +35,16 @@ from .trend import record
 FLEET_BENCH_FILE = "BENCH_fleet.json"
 SWEEP_BENCH_FILE = "BENCH_sweep.json"
 SCENARIO_BENCH_FILE = "BENCH_scenario.json"
+CAP_BENCH_FILE = "BENCH_cap.json"
 
 #: Catalog scenario the scenario suite times by default — the
 #: heterogeneous-generations study, because it exercises the widest
 #: slice of the lowering path (aging, per-group die seeds, mixed cells).
 DEFAULT_BENCH_SCENARIO = "heterogeneous_aging"
+
+#: Catalog scenario the cap suite times — the rack budget study, which
+#: keeps the coordinator ticking and the cap walk throttling all day.
+DEFAULT_CAP_BENCH_SCENARIO = "rack_power_budget"
 
 
 def _timed(fn) -> "tuple":
@@ -213,6 +223,87 @@ def bench_scenario(
         "scenario": scenario.name,
         "n_servers": scenario.topology.n_servers,
         "n_jobs": result.fleet.n_arrivals,
+        "digest": result.fleet.event_log_hash,
+        "wall_seconds": dict(walls),
+        "best_wall_seconds": best_wall,
+    }
+
+
+def bench_cap(
+    name: str = DEFAULT_CAP_BENCH_SCENARIO,
+    shard_counts: Sequence[int] = (1, 2),
+    out_path: str = CAP_BENCH_FILE,
+    catalog_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Time the power-capped scenario path, record its trend entry.
+
+    Identical harness to :func:`bench_scenario`, pointed at the
+    rack-budget scenario so the timed loop includes every capping hot
+    path: coordinator ticks, cap redistribution, the per-server DVFS
+    walk, and budget decomposition across cells.  Also asserts the
+    coordinator actually engaged (a cap bench that never throttles is
+    timing the wrong thing) and that the digest is shard-invariant.
+    """
+    from ..scenarios import find_scenario, run_scenario
+
+    scenario = find_scenario(name, directory=catalog_dir)
+    if scenario.policy.fleet_power_budget_w is None:
+        raise SchedulingError(
+            f"scenario {scenario.name!r} has no fleet_power_budget_w; "
+            "the cap bench must time a budgeted run"
+        )
+    walls: Dict[int, float] = {}
+    digests: Dict[int, str] = {}
+    result = None
+    for n_shards in shard_counts:
+        clear_fleet_memos()
+        result, wall = _timed(
+            lambda shards=n_shards: run_scenario(
+                scenario, n_shards=shards, keep_events=False
+            )
+        )
+        walls[n_shards] = wall
+        digests[n_shards] = result.fleet.event_log_hash
+    if len(set(digests.values())) != 1:
+        raise SchedulingError(
+            f"shard counts disagree on the cap-bench digest: {digests}"
+        )
+    if result.fleet.cap_throttle_epochs == 0:
+        raise SchedulingError(
+            f"cap bench scenario {scenario.name!r} never throttled — "
+            "the budget is not binding and the bench is meaningless"
+        )
+    scale = (
+        f"scenario={scenario.name},servers={scenario.topology.n_servers},"
+        f"budget={scenario.policy.fleet_power_budget_w:g},"
+        f"duration={scenario.traffic.duration_seconds:g},"
+        f"seed={scenario.seed}"
+    )
+    best_wall = min(walls.values())
+    record(
+        out_path,
+        f"cap_{scenario.name}",
+        best_wall,
+        meta={
+            "scale": scale,
+            "n_servers": scenario.topology.n_servers,
+            "n_jobs": result.fleet.n_arrivals,
+            "budget_w": scenario.policy.fleet_power_budget_w,
+            "throttle_epochs": result.fleet.cap_throttle_epochs,
+            "powercap_ticks": result.fleet.powercap_ticks,
+            "tracking_error": result.fleet.cap_tracking_error,
+            "digest": result.fleet.event_log_hash,
+            "digest_identical_across_shards": True,
+            "walls_by_shards": {str(k): v for k, v in walls.items()},
+        },
+    )
+    return {
+        "scenario": scenario.name,
+        "n_servers": scenario.topology.n_servers,
+        "n_jobs": result.fleet.n_arrivals,
+        "budget_w": scenario.policy.fleet_power_budget_w,
+        "throttle_epochs": result.fleet.cap_throttle_epochs,
+        "tracking_error": result.fleet.cap_tracking_error,
         "digest": result.fleet.event_log_hash,
         "wall_seconds": dict(walls),
         "best_wall_seconds": best_wall,

@@ -116,7 +116,10 @@ _POSITIVE_INT_OPTIONS = (
     "workers", "servers", "threads", "smt", "shards", "cell_servers",
 )
 _NONNEGATIVE_INT_OPTIONS = ("crash_server", "corrupt_server", "corrupt_socket")
-_POSITIVE_FLOAT_OPTIONS = ("duration", "rate", "threshold")
+_POSITIVE_FLOAT_OPTIONS = (
+    "duration", "rate", "threshold", "power_cap", "power_budget",
+    "cap_interval", "cap_gain",
+)
 _FRACTION_OPTIONS = ("lc_fraction",)
 _NONNEGATIVE_FLOAT_OPTIONS = (
     "crash_at", "repair_after", "corrupt_at", "corrupt_for",
@@ -340,6 +343,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the colocation-advisor QoS gate (ablation)",
     )
     fleet.add_argument(
+        "--power-cap",
+        type=float,
+        default=None,
+        metavar="WATTS",
+        help="enforce a per-server power cap: throttled epochs walk down "
+        "the DVFS table until the settled server power fits",
+    )
+    fleet.add_argument(
+        "--power-budget",
+        type=float,
+        default=None,
+        metavar="WATTS",
+        help="track a fleet-wide power budget with the integral power-cap "
+        "coordinator (decomposed per cell when --cell-servers is set)",
+    )
+    fleet.add_argument(
+        "--cap-interval",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="seconds between coordinator ticks (default 60)",
+    )
+    fleet.add_argument(
+        "--cap-gain",
+        type=float,
+        default=0.5,
+        help="coordinator integral gain in (0, 2] (default 0.5)",
+    )
+    fleet.add_argument(
         "--trace-out",
         metavar="PATH",
         default=None,
@@ -469,10 +501,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "suite",
-        choices=("fleet", "sweep", "scenario", "gate"),
+        choices=("fleet", "sweep", "scenario", "cap", "gate"),
         help="fleet: time the fleet day (scalar baseline vs sharded); "
         "sweep: time the Fig. 13 borrowing build; scenario: time a "
-        "catalog scenario end to end; gate: fail if the newest entry "
+        "catalog scenario end to end; cap: time the power-capped "
+        "rack-budget scenario; gate: fail if the newest entry "
         "regressed past the threshold",
     )
     bench.add_argument(
@@ -533,7 +566,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="trend file to append to (defaults to BENCH_fleet.json, "
-        "BENCH_sweep.json or BENCH_scenario.json per suite)",
+        "BENCH_sweep.json, BENCH_scenario.json or BENCH_cap.json per "
+        "suite)",
     )
     bench.add_argument(
         "--threshold",
@@ -581,6 +615,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-slow",
         action="store_true",
         help="skip scenarios tagged 'slow' (the fast regression loop)",
+    )
+    scenario.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="override a scenario document key for 'run', e.g. "
+        "--set policy.pdn_backend=flexwatts or "
+        "--set policy.fleet_power_budget_w=1100 (repeatable; golden "
+        "blocks are dropped when any override is applied)",
     )
     scenario.add_argument(
         "--trace-out",
@@ -811,7 +856,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         lc_fraction=args.lc_fraction,
     )
     config = FleetConfig(
-        n_servers=args.servers, traffic=traffic, seed=args.seed
+        n_servers=args.servers,
+        traffic=traffic,
+        seed=args.seed,
+        power_cap_w=args.power_cap,
+        fleet_power_budget_w=args.power_budget,
+        cap_interval_seconds=args.cap_interval,
+        cap_gain=args.cap_gain,
     )
     runner = _runner_from_args(args)
     gate = not args.no_advisor_gate
@@ -879,6 +930,19 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             f"{stats['p95_latency_s']:.0f}/{stats['p99_latency_s']:.0f} s, "
             f"slowdown p50/p95/p99: {stats['p50_slowdown']:.2f}/"
             f"{stats['p95_slowdown']:.2f}/{stats['p99_slowdown']:.2f}"
+        )
+    if args.power_cap is not None:
+        print(
+            f"power cap: {args.power_cap:g} W/server enforced, "
+            f"{ags.cap_throttle_epochs} throttled epoch(s)"
+        )
+    if args.power_budget is not None:
+        print(
+            f"power budget: {ags.cap_budget_w:g} W fleet-wide, "
+            f"steady measured {ags.cap_measured_steady_w:.1f} W "
+            f"(tracking error {ags.cap_tracking_error:.1%}), "
+            f"{ags.powercap_ticks} coordinator tick(s), "
+            f"{ags.cap_throttle_epochs} throttled epoch(s)"
         )
     print(
         f"epochs: {ags.n_epochs} (AGS) + {consolidation.n_epochs} "
@@ -962,11 +1026,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
+        CAP_BENCH_FILE,
         DEFAULT_BENCH_SCENARIO,
+        DEFAULT_CAP_BENCH_SCENARIO,
         FLEET_BENCH_FILE,
         REGRESSION_THRESHOLD,
         SCENARIO_BENCH_FILE,
         SWEEP_BENCH_FILE,
+        bench_cap,
         bench_fig13_sweep,
         bench_fleet_day,
         bench_scenario,
@@ -1031,10 +1098,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"recorded in {out}")
         return 0
 
+    if args.suite == "cap":
+        out = args.bench_out or CAP_BENCH_FILE
+        shard_counts = (1,) if args.shards <= 1 else (1, args.shards)
+        report = bench_cap(
+            name=args.scenario_name or DEFAULT_CAP_BENCH_SCENARIO,
+            shard_counts=shard_counts,
+            out_path=out,
+        )
+        print(
+            f"cap scenario {report['scenario']}: {report['n_servers']} "
+            f"server(s), {report['n_jobs']} job(s), "
+            f"budget {report['budget_w']:g} W"
+        )
+        print(
+            f"  {report['throttle_epochs']} throttled epoch(s), tracking "
+            f"error {report['tracking_error']:.1%}"
+        )
+        for shards, wall in sorted(report["wall_seconds"].items()):
+            print(f"  {shards} shard(s): {wall:.3f}s")
+        print(f"  digest: {report['digest'][:16]}... "
+              "(identical across shard counts)")
+        print(f"recorded in {out}")
+        return 0
+
     # suite == "gate"
     paths = args.paths or [
         path
-        for path in (FLEET_BENCH_FILE, SWEEP_BENCH_FILE, SCENARIO_BENCH_FILE)
+        for path in (FLEET_BENCH_FILE, SWEEP_BENCH_FILE,
+                     SCENARIO_BENCH_FILE, CAP_BENCH_FILE)
         if os.path.exists(path)
     ]
     if not paths:
@@ -1064,6 +1156,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     )
     from .sim.cache import canonical_json
 
+    if args.overrides and args.action != "run":
+        raise ScenarioError("--set only applies to 'scenario run'")
     if args.action == "list":
         scenarios = (
             tuple(codec.load(path) for path in args.files)
@@ -1101,6 +1195,10 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             raise ScenarioError("--trace-out needs exactly one FILE")
         for path in args.files:
             scenario = codec.load(path)
+            if args.overrides:
+                scenario = _apply_scenario_overrides(
+                    scenario, args.overrides
+                )
             result = run_scenario(
                 scenario,
                 seed=args.seed,
@@ -1155,6 +1253,53 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _parse_override_value(raw: str):
+    """KEY=VALUE values: int, then float, then bool words, then string."""
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    return raw
+
+
+def _apply_scenario_overrides(scenario, overrides):
+    """Rebuild a scenario with dotted-key document overrides applied.
+
+    Overrides go through the document round trip (dump, patch, reload),
+    so every patched value passes the same strict codec validation a
+    hand-edited TOML file would.  Any override invalidates the golden
+    block — the pinned assertions describe the unpatched scenario — so
+    goldens are dropped.
+    """
+    from .scenarios import codec
+
+    document = codec.scenario_to_document(scenario)
+    document.pop("golden", None)
+    for item in overrides:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise ScenarioError(
+                f"--set needs KEY=VALUE, got {item!r}"
+            )
+        parts = key.split(".")
+        table = document
+        for part in parts[:-1]:
+            node = table.setdefault(part, {})
+            if not isinstance(node, dict):
+                raise ScenarioError(
+                    f"--set {key}: {part!r} is not a table"
+                )
+            table = node
+        table[parts[-1]] = _parse_override_value(raw)
+    return codec.scenario_from_document(document)
+
+
 def _print_scenario_result(result, seed: int) -> None:
     scenario = result.scenario
     fleet = result.fleet
@@ -1184,9 +1329,17 @@ def _print_scenario_result(result, seed: int) -> None:
     )
     if scenario.policy.server_power_cap_w is not None:
         print(
-            f"power cap: {result.cap_exceeded_epochs} epoch(s) above "
-            f"{scenario.policy.server_power_cap_w:g} W per server "
-            "(adjudicated, not enforced)"
+            f"power cap: {scenario.policy.server_power_cap_w:g} W per "
+            f"server enforced; {fleet.cap_throttle_epochs} throttled "
+            f"epoch(s), {result.cap_exceeded_epochs} epoch(s) still over "
+            "(best-effort floor)"
+        )
+    if scenario.policy.fleet_power_budget_w is not None:
+        print(
+            f"power budget: {fleet.cap_budget_w:g} W fleet-wide, steady "
+            f"measured {fleet.cap_measured_steady_w:.1f} W (tracking "
+            f"error {fleet.cap_tracking_error:.1%}), "
+            f"{fleet.powercap_ticks} coordinator tick(s)"
         )
     for group in result.groups:
         print(

@@ -340,11 +340,18 @@ class ServerConfig:
     #: Constant peripheral power for the whole server (W).
     peripheral_power: float = 120.0
 
+    #: Named power-delivery backend (see :mod:`repro.pdn.backends`).
+    #: Resolved against the registry when a server is built; unknown
+    #: names fail there with the registered names listed.
+    pdn_backend: str = "power7"
+
     def __post_init__(self) -> None:
         if self.n_sockets < 1:
             raise ConfigError(f"n_sockets must be >= 1, got {self.n_sockets}")
         if self.peripheral_power < 0:
             raise ConfigError("peripheral_power must be >= 0")
+        if not self.pdn_backend or not isinstance(self.pdn_backend, str):
+            raise ConfigError("pdn_backend must be a non-empty string")
 
     @property
     def total_cores(self) -> int:

@@ -28,6 +28,7 @@ from .metrics import (
     JobRecord,
     summarize_by_class,
 )
+from .powercap import CapUpdate, PowerCapCoordinator, decompose_budget
 from .shard import (
     CellLayout,
     CellSpec,
@@ -62,11 +63,13 @@ __all__ = [
     "AGS_POLICY",
     "ArrivalEvent",
     "BATCH",
+    "CapUpdate",
     "CellLayout",
     "CellSpec",
     "CompletionEvent",
     "CONSOLIDATION_POLICY",
     "constant_trace",
+    "decompose_budget",
     "default_shards",
     "EnergyAccount",
     "EventLog",
@@ -86,6 +89,7 @@ __all__ = [
     "OnlineFleetScheduler",
     "PlacementPlan",
     "POLICIES",
+    "PowerCapCoordinator",
     "RebalanceEvent",
     "run_cell_specs",
     "run_comparison",

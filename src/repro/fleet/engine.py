@@ -39,6 +39,7 @@ from ..faults.injector import _record_injection, fault_injector
 from ..faults.plan import FaultPlan
 from ..faults.spec import JobKillFault, ServerCrashFault
 from ..guardband import GuardbandMode
+from ..guardband.capping import CapResult, PowerCapPolicy
 from ..obs import DEFAULT_LATENCY_BUCKETS, observability
 from ..sim.batch import (
     SweepRunner,
@@ -57,6 +58,7 @@ from .events import (
     FallbackEvent,
     JobKillEvent,
     JobRetryEvent,
+    PowerCapTickEvent,
     RebalanceEvent,
     ServerFaultEvent,
     ns_to_seconds,
@@ -69,6 +71,7 @@ from .metrics import (
     FleetResult,
     JobRecord,
 )
+from .powercap import PowerCapCoordinator
 from .scheduler import (
     AGS_POLICY,
     CONSOLIDATION_POLICY,
@@ -127,6 +130,23 @@ class FleetConfig:
     #: Cap on the exponential retry backoff.
     retry_backoff_cap_seconds: float = 960.0
 
+    #: Enforced per-server power cap (W); ``None`` = uncapped.  Every
+    #: placement settles no faster than the highest DVFS point whose
+    #: measured server power fits the cap (best-effort floor: the
+    #: lowest table point is used even when it still exceeds the cap).
+    power_cap_w: Optional[float] = None
+
+    #: Total fleet power budget (W) tracked by the periodic coordinator
+    #: (:mod:`repro.fleet.powercap`); ``None`` disables the coordinator
+    #: entirely — no tick events, byte-identical event logs.
+    fleet_power_budget_w: Optional[float] = None
+
+    #: Coordinator tick period (s).
+    cap_interval_seconds: float = 60.0
+
+    #: Integral gain of the coordinator's budget-tracking controller.
+    cap_gain: float = 0.5
+
     def __post_init__(self) -> None:
         if self.n_servers < 1:
             raise SchedulingError(
@@ -144,6 +164,17 @@ class FleetConfig:
             raise SchedulingError(
                 "retry_backoff_cap_seconds must be >= retry_backoff_seconds"
             )
+        if self.power_cap_w is not None and self.power_cap_w <= 0:
+            raise SchedulingError("power_cap_w must be positive")
+        if (
+            self.fleet_power_budget_w is not None
+            and self.fleet_power_budget_w <= 0
+        ):
+            raise SchedulingError("fleet_power_budget_w must be positive")
+        if self.cap_interval_seconds <= 0:
+            raise SchedulingError("cap_interval_seconds must be positive")
+        if not 0 < self.cap_gain <= 2:
+            raise SchedulingError("cap_gain must be in (0, 2]")
 
     @property
     def required_frequency(self) -> float:
@@ -249,11 +280,12 @@ class FleetSimulation:
             config.server_config,
             policy,
             required_frequency=config.required_frequency,
-            settle=self._settle,
+            settle=self._scheduler_settle,
             utilization_threshold=config.utilization_threshold,
         )
         self.servers = [
-            ServerState(server_id=i) for i in range(config.n_servers)
+            ServerState(server_id=i, power_cap_w=config.power_cap_w)
+            for i in range(config.n_servers)
         ]
         self.accounts = [
             EnergyAccount(server_id=i) for i in range(config.n_servers)
@@ -282,7 +314,30 @@ class FleetSimulation:
             JobKillEvent: self._handle_job_kill,
             JobRetryEvent: self._handle_job_retry,
             FallbackEvent: self._handle_fallback,
+            PowerCapTickEvent: self._handle_powercap_tick,
         }
+        # --- power-cap coordination state (inert without a budget) ---
+        #: The periodic budget coordinator (``None`` = no fleet budget).
+        self.coordinator: Optional[PowerCapCoordinator] = (
+            PowerCapCoordinator(
+                budget_w=config.fleet_power_budget_w,
+                n_servers=config.n_servers,
+                gain=config.cap_gain,
+            )
+            if config.fleet_power_budget_w is not None
+            else None
+        )
+        #: Coordinator-assigned caps by server id (quantized W).
+        self._server_caps: Dict[int, float] = {}
+        #: Latest per-server CapResult for throttled servers — the
+        #: actuator's receipt (see :mod:`repro.guardband.capping`).
+        self.cap_results: Dict[int, "CapResult"] = {}
+        #: (time_ns, measured fleet W) per coordinator tick.
+        self._tick_samples: List[Tuple[int, float]] = []
+        #: Descending DVFS frequencies the cap walk may pin (lazy).
+        self._cap_frequencies: Optional[Tuple[float, ...]] = None
+        self.cap_throttle_epochs = 0
+        self.powercap_ticks = 0
         self._specs = {job.job_id: job for job in self.trace}
         # --- graceful-degradation state (inert with an empty plan) ---
         #: Jobs waiting out a retry backoff (neither running nor queued —
@@ -315,10 +370,21 @@ class FleetSimulation:
     # ------------------------------------------------------------------
     # Measurement plumbing
     # ------------------------------------------------------------------
-    def _settle(self, placement, mode: GuardbandMode) -> RunResult:
-        """Settle one placement through the shared runner (cached)."""
+    def _settle(
+        self,
+        placement,
+        mode: GuardbandMode,
+        f_target: Optional[float] = None,
+    ) -> RunResult:
+        """Settle one placement through the shared runner (cached).
+
+        ``f_target`` pins the settle's frequency ceiling — the power
+        cap's actuation knob.  ``None`` (every uncapped call) settles
+        exactly as before; ``f_target`` is already part of the sweep
+        task's coordinates, so cache identity is correct either way.
+        """
         memoizable = not fault_injector().enabled
-        key = (self._cfg_fp, self.config.seed, placement, mode)
+        key = (self._cfg_fp, self.config.seed, placement, mode, f_target)
         if memoizable:
             hit = _settle_memo.get(key)
             if hit is not None:
@@ -332,7 +398,7 @@ class FleetSimulation:
                 break
         if profile is None:
             raise SchedulingError("cannot settle an empty placement")
-        task = SweepTask.scheduled(placement, profile, mode)
+        task = SweepTask.scheduled(placement, profile, mode, f_target=f_target)
         report = self.runner.run(
             [task], self.config.server_config, seed_root=self.config.seed
         )
@@ -341,6 +407,70 @@ class FleetSimulation:
         if memoizable:
             _settle_memo[key] = result
         return result
+
+    def _cap_walk_frequencies(self) -> Tuple[float, ...]:
+        """The DVFS menu the cap walk steps down, fastest first.
+
+        Sourced from the same table :class:`PowerCapPolicy` enforces
+        per-socket caps with — the fleet actuator is that walk, executed
+        through the sweep runner so every candidate point is cached and
+        deterministic.
+        """
+        if self._cap_frequencies is None:
+            table = PowerCapPolicy(self.config.server_config).table
+            self._cap_frequencies = tuple(
+                point.frequency for point in reversed(table.points)
+            )
+        return self._cap_frequencies
+
+    def _settle_capped(
+        self, placement, mode: GuardbandMode, cap_w: Optional[float]
+    ) -> Tuple[RunResult, bool]:
+        """Settle under a server power cap: walk the DVFS table down.
+
+        Returns ``(result, throttled)``.  Uncapped (or fitting) settles
+        take exactly the pre-cap path.  When even the lowest table point
+        exceeds the cap, the floor point is used (best effort — a fleet
+        must keep running; the strict variant that refuses lives in
+        :meth:`PowerCapPolicy.enforce`).
+        """
+        result = self._settle(placement, mode)
+        if cap_w is None or result.adaptive.point.server_power <= cap_w:
+            return result, False
+        for frequency in self._cap_walk_frequencies():
+            if frequency >= result.adaptive.point.min_frequency:
+                continue  # not slower than the current settle
+            result = self._settle(placement, mode, frequency)
+            if result.adaptive.point.server_power <= cap_w:
+                break
+        return result, True
+
+    def _scheduler_settle(
+        self,
+        placement,
+        mode: GuardbandMode,
+        cap_w: Optional[float] = None,
+    ) -> RunResult:
+        """Settle callback handed to the scheduler's advisor gate.
+
+        The third argument lets the gate adjudicate the SLA against the
+        *capped* frequency ceiling of the candidate server — capping
+        shifts the borrow-vs-pack crossover, and the gate must see it.
+        """
+        result, _ = self._settle_capped(placement, mode, cap_w)
+        return result
+
+    def _effective_cap(self, server_id: int) -> Optional[float]:
+        """The binding cap of one server: static config ∧ coordinator."""
+        caps = [
+            cap
+            for cap in (
+                self.config.power_cap_w,
+                self._server_caps.get(server_id),
+            )
+            if cap is not None
+        ]
+        return min(caps) if caps else None
 
     def _idle_powers(self, mode: GuardbandMode) -> Tuple[float, float]:
         """(adaptive, static) server power of a powered-on empty server.
@@ -427,6 +557,7 @@ class FleetSimulation:
             else:
                 account.set_power(0.0, 0.0)
             return
+        cap_w = self._effective_cap(state.server_id)
         obs = observability()
         with obs.span(
             "fleet.epoch",
@@ -435,7 +566,29 @@ class FleetSimulation:
             guardband=plan.guardband_mode.value,
             n_jobs=len(state.jobs),
         ):
-            result = self._settle(plan.placement, plan.guardband_mode)
+            result, throttled = self._settle_capped(
+                plan.placement, plan.guardband_mode, cap_w
+            )
+        if throttled:
+            self.cap_throttle_epochs += 1
+            # The actuator's receipt: what the cap walk settled to.
+            self.cap_results[state.server_id] = CapResult(
+                cap=cap_w,
+                frequency=result.adaptive.point.min_frequency,
+                power=result.adaptive.point.server_power,
+                adaptive=plan.guardband_mode is not GuardbandMode.STATIC,
+                solution=result.adaptive.point.socket_point(0).solution,
+            )
+            if obs.enabled:
+                obs.count(
+                    "fleet_cap_throttle_total",
+                    help_text=(
+                        "Epochs the power cap stepped down the DVFS table."
+                    ),
+                    regime=plan.mode_name,
+                )
+        elif cap_w is not None:
+            self.cap_results.pop(state.server_id, None)
         if obs.enabled:
             obs.count(
                 "fleet_epochs_total",
@@ -463,6 +616,11 @@ class FleetSimulation:
             result.static.point.server_power,
         )
         self.n_epochs += 1
+        cap_fields = {}
+        if cap_w is not None:
+            # Only capped runs grow these fields, so an uncapped run's
+            # log (and hash) is byte-identical to the pre-cap engine.
+            cap_fields = {"cap_w": cap_w, "cap_throttled": throttled}
         self.log.append(
             "epoch",
             now_ns,
@@ -472,6 +630,7 @@ class FleetSimulation:
             adaptive_power_w=result.adaptive.point.server_power,
             static_power_w=result.static.point.server_power,
             n_jobs=len(state.jobs),
+            **cap_fields,
         )
         for job_id in sorted(state.jobs):
             runner_job = self.running[job_id]
@@ -931,6 +1090,109 @@ class FleetSimulation:
             plan = self.scheduler.build_plan(list(state.jobs.values()))
             self._commit_plan(state, plan, event.time_ns)
 
+    def _handle_powercap_tick(self, event: PowerCapTickEvent) -> None:
+        """One coordinator period: measure, integrate, redistribute.
+
+        The decision lands in the event log twice over — one aggregate
+        ``powercap`` entry per tick plus a ``cap_update`` entry per
+        server whose cap moved — and every touched server with resident
+        work re-commits its plan immediately, so the new ceiling takes
+        effect this epoch, not at the next membership change.
+        """
+        coordinator = self.coordinator
+        if coordinator is None:  # pragma: no cover - ticks imply a budget
+            raise SchedulingError("power-cap tick without a coordinator")
+        measured = [
+            (
+                self.accounts[state.server_id].adaptive_power_w
+                if state.powered and not state.failed
+                else 0.0
+            )
+            for state in self.servers
+        ]
+        update = coordinator.tick(measured)
+        self.powercap_ticks += 1
+        self._tick_samples.append((event.time_ns, update.measured_w))
+        self.log.append(
+            "powercap",
+            event.time_ns,
+            tick=update.tick,
+            budget_w=coordinator.budget_w,
+            measured_w=update.measured_w,
+            fleet_cap_w=update.fleet_cap_w,
+        )
+        obs = observability()
+        if obs.enabled:
+            obs.count(
+                "fleet_powercap_ticks_total",
+                help_text="Power-cap coordinator periods fired.",
+            )
+            obs.gauge(
+                "fleet_power_budget_w",
+                coordinator.budget_w,
+                help_text="Configured fleet power budget.",
+            )
+            obs.gauge(
+                "fleet_power_measured_w",
+                update.measured_w,
+                help_text="Fleet rail power at the last coordinator tick.",
+            )
+            obs.gauge(
+                "fleet_power_cap_w",
+                update.fleet_cap_w,
+                help_text="Total wattage the coordinator is handing out.",
+            )
+        changed = []
+        for state in self.servers:
+            server_id = state.server_id
+            cap = update.caps[server_id]
+            if self._server_caps.get(server_id) == cap:
+                continue
+            self._server_caps[server_id] = cap
+            changed.append(server_id)
+            self.log.append(
+                "cap_update",
+                event.time_ns,
+                server_id=server_id,
+                cap_w=cap,
+            )
+        for server_id in changed:
+            state = self.servers[server_id]
+            state.power_cap_w = self._effective_cap(server_id)
+            if state.failed or not state.jobs:
+                continue
+            plan = self.scheduler.build_plan(list(state.jobs.values()))
+            self._commit_plan(state, plan, event.time_ns)
+
+    def _schedule_powercap_ticks(self, horizon_ns: int) -> None:
+        """Pre-push the whole horizon's coordinator ticks (budget on)."""
+        if self.coordinator is None:
+            return
+        interval_ns = seconds_to_ns(self.config.cap_interval_seconds)
+        time_ns = interval_ns
+        index = 1
+        while time_ns <= horizon_ns:
+            self.events.push(
+                PowerCapTickEvent(time_ns=time_ns, index=index)
+            )
+            time_ns += interval_ns
+            index += 1
+
+    def _steady_measured_w(self, horizon_ns: int) -> float:
+        """Mean measured fleet power over the steady-state tick window.
+
+        The window is the last quarter of the horizon; with no tick in
+        it (short runs) every tick counts, and with no ticks at all the
+        statistic is 0.0.
+        """
+        if not self._tick_samples:
+            return 0.0
+        cutoff = 3 * horizon_ns // 4
+        window = [w for t, w in self._tick_samples if t >= cutoff]
+        if not window:
+            window = [w for _, w in self._tick_samples]
+        return sum(window) / len(window)
+
     @staticmethod
     def _record_fleet_fallback(direction: str) -> None:
         observability().count(
@@ -998,6 +1260,7 @@ class FleetSimulation:
 
     def _run_loop(self, horizon_ns: int) -> FleetResult:
         self._schedule_faults()
+        self._schedule_powercap_ticks(horizon_ns)
         for spec in self.trace:
             if spec.arrival_ns < horizon_ns:
                 self.events.push(
@@ -1059,6 +1322,10 @@ class FleetSimulation:
                     self._fallback_ns.items()
                 )
             ),
+            cap_budget_w=self.config.fleet_power_budget_w or 0.0,
+            cap_measured_steady_w=self._steady_measured_w(horizon_ns),
+            cap_throttle_epochs=self.cap_throttle_epochs,
+            powercap_ticks=self.powercap_ticks,
         )
 
 

@@ -91,6 +91,23 @@ class RebalanceEvent(FleetEvent):
 
 
 @dataclass(frozen=True)
+class PowerCapTickEvent(FleetEvent):
+    """One period of the fleet power-cap coordinator.
+
+    Fires after every capacity event at the same instant (lowest
+    priority): the coordinator measures the powers the instant actually
+    settled to, then redistributes the budget.  Scheduled up-front for
+    the whole horizon, so ticks exist iff a budget is configured — an
+    uncapped run's event stream is byte-identical to one built before
+    the coordinator existed."""
+
+    #: 1-based tick index (``time_ns = index * interval``).
+    index: int = 0
+
+    priority = 3
+
+
+@dataclass(frozen=True)
 class ServerFaultEvent(FleetEvent):
     """An injected server crash (``action="crash"``) or its repair
     (``action="repair"``).  Fires before capacity-claiming events so a

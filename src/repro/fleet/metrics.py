@@ -90,6 +90,11 @@ class EnergyAccount:
         self._adaptive_w = adaptive_w
         self._static_w = static_w
 
+    @property
+    def adaptive_power_w(self) -> float:
+        """Current adaptive rail power (W) — what a power meter reads."""
+        return self._adaptive_w
+
 
 class EventLog:
     """Append-only structured event stream with a canonical hash."""
@@ -227,6 +232,29 @@ class FleetResult:
     #: Per-socket static-fallback dwell: ``(server_id, socket_id,
     #: seconds)`` for every socket that spent time distrusting its CPMs.
     fallback_seconds: Tuple[Tuple[int, int, float], ...] = ()
+
+    #: Fleet power budget the coordinator tracked (W); 0.0 = uncapped.
+    cap_budget_w: float = 0.0
+
+    #: Mean measured fleet power over the steady-state window — the
+    #: coordinator ticks in the last quarter of the horizon (W).
+    cap_measured_steady_w: float = 0.0
+
+    #: Epochs whose settle was stepped down the DVFS table by a cap.
+    cap_throttle_epochs: int = 0
+
+    #: Coordinator ticks that fired inside the horizon.
+    powercap_ticks: int = 0
+
+    @property
+    def cap_tracking_error(self) -> float:
+        """|steady measured − budget| / budget (0.0 when uncapped)."""
+        if self.cap_budget_w <= 0:
+            return 0.0
+        return (
+            abs(self.cap_measured_steady_w - self.cap_budget_w)
+            / self.cap_budget_w
+        )
 
     @property
     def total_fallback_seconds(self) -> float:

@@ -175,6 +175,12 @@ class ServerState:
     #: every placement at the full static guardband while non-empty.
     fallback_sockets: Set[int] = field(default_factory=set)
 
+    #: The server's currently binding power cap (W); ``None`` =
+    #: uncapped.  Maintained by the engine (static config cap and/or
+    #: the fleet coordinator); the admission gate adjudicates the SLA
+    #: against this ceiling.
+    power_cap_w: Optional[float] = None
+
     @property
     def total_threads(self) -> int:
         """Threads resident on the server."""
@@ -194,9 +200,13 @@ class OnlineFleetScheduler:
         config: ServerConfig,
         policy: FleetPolicy,
         required_frequency: float,
-        settle: Callable[[Placement, GuardbandMode], RunResult],
+        settle: Callable[..., RunResult],
         utilization_threshold: float = 0.5,
     ) -> None:
+        # ``settle(placement, mode)`` settles a hypothetical placement;
+        # engines that enforce power caps accept an optional third
+        # ``cap_w`` argument (the gate only passes it when a cap binds,
+        # so plain two-argument callables keep working).
         if required_frequency <= 0:
             raise SchedulingError("required_frequency must be positive")
         if not 0 < utilization_threshold <= 1:
@@ -247,7 +257,7 @@ class OnlineFleetScheduler:
             if not self.fits(candidate):
                 continue
             plan = self.build_plan(candidate)
-            if not self._gate_ok(plan, candidate):
+            if not self._gate_ok(plan, candidate, cap_w=state.power_cap_w):
                 continue
             return state.server_id, plan
         return None
@@ -413,7 +423,10 @@ class OnlineFleetScheduler:
     # The advisor gate
     # ------------------------------------------------------------------
     def _gate_ok(
-        self, plan: PlacementPlan, jobs: Sequence[JobSpec]
+        self,
+        plan: PlacementPlan,
+        jobs: Sequence[JobSpec],
+        cap_w: Optional[float] = None,
     ) -> bool:
         """Admission verdict for a candidate plan.
 
@@ -422,29 +435,38 @@ class OnlineFleetScheduler:
         discipline: the MIPS predictor rejects candidates whose mix with
         the critical workload cannot hold the SLA, then the surviving
         plan is settled and the socket-0 clock measured against it.
+
+        ``cap_w`` is the candidate server's binding power cap: the gate
+        then adjudicates against the *capped* frequency ceiling (the
+        predictor fast path is skipped — it models contention, not DVFS
+        throttling, so its "safe" would be optimistic under a cap).
         """
         if not (self.policy.advisor_gate and plan.has_lc):
             return True
-        by_id = {job.job_id: job for job in jobs}
-        critical_names = sorted(
-            {job.profile_name for job in jobs if job.latency_critical}
-        )
-        corunner_names = sorted(
-            {
-                by_id[job_id].profile_name
-                for job_id, share in plan.job_shares.items()
-                if share[0] > 0 and not by_id[job_id].latency_critical
-            }
-        )
-        for critical in critical_names:
-            for candidate in corunner_names:
-                if not self._advisor_safe(critical, candidate):
-                    self._record_gate("rejected", "predictor")
-                    return False
+        if cap_w is None:
+            by_id = {job.job_id: job for job in jobs}
+            critical_names = sorted(
+                {job.profile_name for job in jobs if job.latency_critical}
+            )
+            corunner_names = sorted(
+                {
+                    by_id[job_id].profile_name
+                    for job_id, share in plan.job_shares.items()
+                    if share[0] > 0 and not by_id[job_id].latency_critical
+                }
+            )
+            for critical in critical_names:
+                for candidate in corunner_names:
+                    if not self._advisor_safe(critical, candidate):
+                        self._record_gate("rejected", "predictor")
+                        return False
         # Exact path: settle the hypothetical placement (memoized by the
         # operating-point cache; if admitted, the energy accounting
         # replays this very point for free).
-        result = self._settle(plan.placement, plan.guardband_mode)
+        if cap_w is None:
+            result = self._settle(plan.placement, plan.guardband_mode)
+        else:
+            result = self._settle(plan.placement, plan.guardband_mode, cap_w)
         measured = socket_min_active_frequency(result.adaptive.point, 0)
         if measured < self.required_frequency:
             self._record_gate("rejected", "measured")

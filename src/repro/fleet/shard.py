@@ -46,6 +46,7 @@ from ..sim.batch import SweepRunner
 from ..sim.cache import canonical_json
 from .engine import FleetConfig, FleetSimulation
 from .metrics import FleetComparison, FleetResult, JobRecord
+from .powercap import decompose_budget
 from .scheduler import (
     AGS_POLICY,
     CONSOLIDATION_POLICY,
@@ -329,6 +330,15 @@ def merge_cell_results(
         n_server_crashes=sum(r.n_server_crashes for r in results),
         n_job_kills=sum(r.n_job_kills for r in results),
         fallback_seconds=tuple(sorted(fallback)),
+        # Budgets decompose across cells, so sums roll the fleet totals
+        # back up; each cell's steady-state window is the same trailing
+        # quarter, so the measured sums are comparable.
+        cap_budget_w=sum(r.cap_budget_w for r in results),
+        cap_measured_steady_w=sum(
+            r.cap_measured_steady_w for r in results
+        ),
+        cap_throttle_epochs=sum(r.cap_throttle_epochs for r in results),
+        powercap_ticks=sum(r.powercap_ticks for r in results),
     )
 
 
@@ -459,12 +469,21 @@ def run_sharded(
     plans = _split_fault_plan(
         fault_plan if fault_plan is not None else FaultPlan(), layout
     )
+    # Any fleet power budget is decomposed proportionally to cell size;
+    # each cell's coordinator then tracks its share independently, so
+    # the merged log is invariant across shard/worker counts.
+    budget_shares = decompose_budget(
+        config.fleet_power_budget_w,
+        [layout.size(cell_id) for cell_id in range(layout.n_cells)],
+    )
     cells = tuple(
         CellSpec(
             index=cell_id,
             offset=layout.offset(cell_id),
             config=dataclasses.replace(
-                config, n_servers=layout.size(cell_id)
+                config,
+                n_servers=layout.size(cell_id),
+                fleet_power_budget_w=budget_shares[cell_id],
             ),
             fault_plan=plans.get(cell_id),
         )

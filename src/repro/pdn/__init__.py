@@ -9,6 +9,13 @@ grid, and di/dt noise split into a typical-case ripple and rare worst-case
 droop events.
 """
 
+from .backends import (
+    DEFAULT_BACKEND,
+    PdnBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from .decomposition import DecomposedDrop, DropDecomposer
 from .delivery import DropBreakdown, PowerDeliveryPath
 from .didt import DidtNoiseModel, DroopEvent
@@ -16,12 +23,17 @@ from .irdrop import IrDropNetwork
 from .vrm import VoltageRegulatorModule
 
 __all__ = [
+    "DEFAULT_BACKEND",
     "DecomposedDrop",
     "DidtNoiseModel",
     "DroopEvent",
     "DropBreakdown",
     "DropDecomposer",
     "IrDropNetwork",
+    "PdnBackend",
     "PowerDeliveryPath",
     "VoltageRegulatorModule",
+    "backend_names",
+    "get_backend",
+    "register_backend",
 ]

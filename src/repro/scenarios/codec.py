@@ -214,6 +214,20 @@ def _policy_from(table: Optional[_Table]) -> PolicySpec:
         server_power_cap_w=table.take_scalar(
             "server_power_cap_w", (int, float), None
         ),
+        fleet_power_budget_w=table.take_scalar(
+            "fleet_power_budget_w", (int, float), None
+        ),
+        power_cap_interval_seconds=table.take_scalar(
+            "power_cap_interval_seconds",
+            (int, float),
+            defaults.power_cap_interval_seconds,
+        ),
+        power_cap_gain=table.take_scalar(
+            "power_cap_gain", (int, float), defaults.power_cap_gain
+        ),
+        pdn_backend=table.take_scalar(
+            "pdn_backend", (str,), defaults.pdn_backend
+        ),
     )
     table.finish()
     return spec
@@ -283,6 +297,7 @@ def _golden_from(table: Optional[_Table]) -> GoldenSpec:
         ("adaptive_energy_kwh_min", (int, float)),
         ("adaptive_energy_kwh_max", (int, float)),
         ("cap_exceeded_epochs_max", (int,)),
+        ("cap_tracking_error_max", (int, float)),
     ):
         kwargs[name] = table.take_scalar(name, kinds, None)
     table.finish()
@@ -412,6 +427,30 @@ def scenario_to_document(scenario: Scenario) -> Dict[str, Any]:
                     scenario.policy.utilization_threshold
                 ),
                 "server_power_cap_w": scenario.policy.server_power_cap_w,
+                "fleet_power_budget_w": (
+                    scenario.policy.fleet_power_budget_w
+                ),
+                # Coordinator knobs and the PDN backend are emitted only
+                # when they differ from the defaults, so documents that
+                # never mention them round-trip byte-identically.
+                "power_cap_interval_seconds": (
+                    scenario.policy.power_cap_interval_seconds
+                    if scenario.policy.power_cap_interval_seconds
+                    != PolicySpec.power_cap_interval_seconds
+                    else None
+                ),
+                "power_cap_gain": (
+                    scenario.policy.power_cap_gain
+                    if scenario.policy.power_cap_gain
+                    != PolicySpec.power_cap_gain
+                    else None
+                ),
+                "pdn_backend": (
+                    scenario.policy.pdn_backend
+                    if scenario.policy.pdn_backend
+                    != PolicySpec.pdn_backend
+                    else None
+                ),
             }
         ),
     }

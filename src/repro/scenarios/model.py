@@ -298,12 +298,29 @@ class PolicySpec:
     #: Borrowing/packing regime switch point (fraction of threads).
     utilization_threshold: float = 0.5
 
-    #: Per-server power cap (W) the run is *adjudicated* against: epochs
-    #: whose settled adaptive server power exceeds the cap are counted in
-    #: the scenario summary (``cap_exceeded_epochs``).  Enforcement —
-    #: actually down-clocking to stay under the cap — is ROADMAP open
-    #: item 3, not this knob.
+    #: Per-server power cap (W), *enforced*: the engine walks each
+    #: server's epoch down the DVFS table until the settled adaptive
+    #: power fits under the cap (best-effort at the table floor).
+    #: Epochs that still exceed the cap are counted in the scenario
+    #: summary (``cap_exceeded_epochs``).
     server_power_cap_w: Optional[float] = None
+
+    #: Fleet-wide power budget (W) tracked by the integral power-cap
+    #: coordinator (:mod:`repro.fleet.powercap`); decomposed across
+    #: cells proportionally to their size.  ``None`` disables the
+    #: coordinator entirely (zero perturbation).
+    fleet_power_budget_w: Optional[float] = None
+
+    #: Seconds between coordinator ticks.
+    power_cap_interval_seconds: float = 60.0
+
+    #: Coordinator integral gain (watts of correction per watt of
+    #: budget error per tick).
+    power_cap_gain: float = 0.5
+
+    #: PDN backend name from :func:`repro.pdn.backend_names` — selects
+    #: the power-delivery model every server in the fleet is built with.
+    pdn_backend: str = "power7"
 
     def __post_init__(self) -> None:
         _require(
@@ -313,7 +330,9 @@ class PolicySpec:
         )
         for name in ("qos_frequency_fraction",
                      "power_off_hysteresis_seconds",
-                     "utilization_threshold"):
+                     "utilization_threshold",
+                     "power_cap_interval_seconds",
+                     "power_cap_gain"):
             _finite(getattr(self, name), f"policy.{name}")
         _require(self.qos_frequency_fraction > 0,
                  "policy.qos_frequency_fraction must be positive")
@@ -325,6 +344,27 @@ class PolicySpec:
             _finite(self.server_power_cap_w, "policy.server_power_cap_w")
             _require(self.server_power_cap_w > 0,
                      "policy.server_power_cap_w must be positive")
+        if self.fleet_power_budget_w is not None:
+            _finite(self.fleet_power_budget_w,
+                    "policy.fleet_power_budget_w")
+            _require(self.fleet_power_budget_w > 0,
+                     "policy.fleet_power_budget_w must be positive")
+        _require(self.power_cap_interval_seconds > 0,
+                 "policy.power_cap_interval_seconds must be positive")
+        _require(0 < self.power_cap_gain <= 2,
+                 "policy.power_cap_gain must be in (0, 2]")
+        _require(
+            bool(self.pdn_backend) and isinstance(self.pdn_backend, str),
+            "policy.pdn_backend must be a non-empty string",
+        )
+        # Resolve eagerly so an unknown backend fails at model build
+        # time with the registry's name list, not mid-run.
+        from ..pdn.backends import get_backend
+
+        try:
+            get_backend(self.pdn_backend)
+        except Exception as exc:
+            raise ScenarioError(str(exc)) from exc
 
 
 @dataclass(frozen=True)
@@ -472,6 +512,10 @@ class GoldenSpec:
     adaptive_energy_kwh_max: Optional[float] = None
     cap_exceeded_epochs_max: Optional[int] = None
 
+    #: Max relative error between the steady-state measured fleet power
+    #: and the configured ``policy.fleet_power_budget_w``.
+    cap_tracking_error_max: Optional[float] = None
+
     def __post_init__(self) -> None:
         if self.event_log_hash is not None:
             _require(
@@ -493,7 +537,8 @@ class GoldenSpec:
         for name in ("saving_fraction_min", "saving_fraction_max",
                      "total_fallback_seconds_min",
                      "total_fallback_seconds_max",
-                     "adaptive_energy_kwh_min", "adaptive_energy_kwh_max"):
+                     "adaptive_energy_kwh_min", "adaptive_energy_kwh_max",
+                     "cap_tracking_error_max"):
             value = getattr(self, name)
             if value is not None:
                 _finite(value, f"golden.{name}")

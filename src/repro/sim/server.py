@@ -17,7 +17,8 @@ from ..config import ServerConfig
 from ..errors import SchedulingError
 from ..guardband import GuardbandController, GuardbandMode
 from ..guardband.controller import OperatingPoint
-from ..pdn import DidtNoiseModel, PowerDeliveryPath, VoltageRegulatorModule
+from ..pdn import DidtNoiseModel
+from ..pdn.backends import get_backend
 from ..workloads.profile import WorkloadProfile
 from .socket import ProcessorSocket
 
@@ -77,13 +78,16 @@ class Power720Server:
         #: layers (e.g. the batch sweep runner) can rebuild an electrically
         #: identical server and return bit-identical operating points.
         self.seed = seed
-        self.vrm = VoltageRegulatorModule(self.config.pdn, n_rails=self.config.n_sockets)
+        backend = get_backend(self.config.pdn_backend)
+        self.vrm = backend.build_vrm(
+            self.config.pdn, n_rails=self.config.n_sockets
+        )
         self.sockets: List[ProcessorSocket] = []
         self.controllers: List[GuardbandController] = []
         self._thread_profiles: Dict[int, List[WorkloadProfile]] = {}
         for sid in range(self.config.n_sockets):
             chip = Power7Chip(self.config.chip, seed=seed + sid)
-            path = PowerDeliveryPath(
+            path = backend.build_path(
                 self.config.pdn, chip.floorplan, self.vrm, rail=sid
             )
             socket = ProcessorSocket(chip, path, self.config, socket_id=sid)

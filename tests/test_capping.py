@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import measure
 from repro.errors import SchedulingError
 from repro.guardband.capping import PowerCapPolicy
 from repro.workloads import get_profile
@@ -51,6 +52,68 @@ class TestEnforce:
     def test_rejects_nonpositive_cap(self, policy, busy_socket):
         with pytest.raises(SchedulingError):
             policy.enforce(busy_socket, cap=0.0)
+
+
+class TestEdgeCases:
+    def test_cap_below_lowest_table_point_raises(self, policy, busy_socket):
+        """The floor: even pmin's settled draw exceeds the cap.
+
+        Walk the feasible caps down point by point; one cent below the
+        lowest feasible point's power must be infeasible.
+        """
+        low = policy.enforce(busy_socket, cap=1e9, adaptive=False)
+        while True:
+            try:
+                low = policy.enforce(
+                    busy_socket, cap=low.power - 0.01, adaptive=False
+                )
+            except SchedulingError:
+                break
+        with pytest.raises(SchedulingError):
+            policy.enforce(busy_socket, cap=low.power - 0.01, adaptive=False)
+
+    def test_cap_exactly_at_table_point_power_is_feasible(
+        self, policy, busy_socket
+    ):
+        """A cap equal to a settled point's power selects that point —
+        the walk's comparison must be <=, not <."""
+        tight = policy.enforce(busy_socket, cap=110.0)
+        exact = policy.enforce(busy_socket, cap=tight.power)
+        assert exact.frequency == pytest.approx(tight.frequency)
+        assert exact.power == pytest.approx(tight.power)
+
+    def test_cap_epsilon_below_boundary_steps_down(
+        self, policy, busy_socket
+    ):
+        """One epsilon under a point's power forces the next point down
+        (or infeasibility if it was the floor)."""
+        tight = policy.enforce(busy_socket, cap=110.0)
+        try:
+            below = policy.enforce(busy_socket, cap=tight.power - 1e-6)
+        except SchedulingError:
+            return  # tight was already the lowest point: also correct
+        assert below.frequency < tight.frequency
+
+
+class TestMeasureFacadeCap:
+    def test_power_cap_below_floor_raises_with_floor_in_message(self):
+        profile = get_profile("raytrace")
+        with pytest.raises(SchedulingError, match="below the floor"):
+            measure(profile, mode="undervolt", n_threads=8, power_cap=1.0)
+
+    def test_power_cap_throttles_frequency(self):
+        profile = get_profile("raytrace")
+        free = measure(profile, mode="undervolt", n_threads=8)
+        free_power = free.adaptive.point.server_power
+        capped = measure(
+            profile, mode="undervolt", n_threads=8,
+            power_cap=free_power - 20.0,
+        )
+        assert capped.adaptive.point.server_power <= free_power - 20.0
+        assert (
+            capped.adaptive.point.min_frequency
+            < free.adaptive.point.min_frequency
+        )
 
 
 class TestAdaptiveAdvantage:

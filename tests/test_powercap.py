@@ -1,0 +1,277 @@
+"""The fleet power-cap coordinator and the pluggable PDN backends.
+
+Three layers under test:
+
+* the :class:`~repro.fleet.powercap.PowerCapCoordinator` control law in
+  isolation (integral tracking, proportional redistribution,
+  quantization, anti-windup, budget decomposition);
+* the PDN backend registry (`repro.pdn.backends`) and its facade
+  plumbing through ``measure``/``sweep``;
+* the budgeted fleet end to end — the coordinator ticking inside the
+  event loop, caps enforced through the DVFS walk, and the event-log
+  digest invariant across shard and worker counts.
+"""
+
+import pytest
+
+from repro.api import measure, sweep
+from repro.errors import ConfigError, SchedulingError
+from repro.fleet import FleetConfig, TrafficConfig
+from repro.fleet.engine import FleetSimulation
+from repro.fleet.powercap import (
+    CapUpdate,
+    PowerCapCoordinator,
+    decompose_budget,
+)
+from repro.fleet.shard import run_sharded
+from repro.pdn.backends import (
+    DEFAULT_BACKEND,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.workloads import get_profile
+
+#: Short but binding fleet day for the integration tests: two servers,
+#: an hour of load heavy enough that a 380 W budget throttles.
+TRAFFIC = TrafficConfig(
+    duration_seconds=3600.0, jobs_per_hour=60.0, lc_fraction=0.15
+)
+
+
+@pytest.fixture(scope="module")
+def budgeted_result():
+    config = FleetConfig(
+        n_servers=2, traffic=TRAFFIC, seed=7, fleet_power_budget_w=380.0
+    )
+    return FleetSimulation(config).run()
+
+
+class TestCoordinatorValidation:
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(SchedulingError):
+            PowerCapCoordinator(budget_w=0.0, n_servers=2)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(SchedulingError):
+            PowerCapCoordinator(budget_w=100.0, n_servers=0)
+
+    def test_rejects_out_of_range_gain(self):
+        for gain in (0.0, 2.5, -1.0):
+            with pytest.raises(SchedulingError):
+                PowerCapCoordinator(budget_w=100.0, n_servers=1, gain=gain)
+
+    def test_rejects_measurement_length_mismatch(self):
+        coordinator = PowerCapCoordinator(budget_w=100.0, n_servers=2)
+        with pytest.raises(SchedulingError):
+            coordinator.tick([50.0])
+
+
+class TestCoordinatorControlLaw:
+    def test_tracks_a_proportional_plant(self):
+        """Against a plant that draws exactly its cap, the integral
+        loop settles the measured total onto the budget."""
+        coordinator = PowerCapCoordinator(
+            budget_w=400.0, n_servers=2, floor_w=50.0
+        )
+        measured = [300.0, 300.0]  # demand above budget
+        update = None
+        for _ in range(30):
+            update = coordinator.tick(measured)
+            # The plant follows its cap but never draws above demand.
+            measured = [min(300.0, cap) for cap in update.caps]
+        assert update is not None
+        assert sum(measured) == pytest.approx(400.0, rel=0.02)
+
+    def test_distribution_is_proportional_to_demand(self):
+        coordinator = PowerCapCoordinator(budget_w=300.0, n_servers=2)
+        update = coordinator.tick([200.0, 100.0])
+        assert update.caps[0] > update.caps[1]
+        assert update.caps[0] == pytest.approx(
+            2 * update.caps[1], abs=2 * coordinator.quantum_w
+        )
+
+    def test_zero_draw_servers_get_uniform_share(self):
+        coordinator = PowerCapCoordinator(budget_w=300.0, n_servers=3)
+        update = coordinator.tick([150.0, 0.0, 0.0])
+        assert update.caps[1] == update.caps[2]
+        assert update.caps[1] == pytest.approx(
+            coordinator.fleet_cap_w / 3, abs=coordinator.quantum_w
+        )
+
+    def test_caps_are_quantized_and_floored(self):
+        coordinator = PowerCapCoordinator(
+            budget_w=120.0, n_servers=2, quantum_w=1.0, floor_w=50.0
+        )
+        update = coordinator.tick([1000.0, 1.0])
+        for cap in update.caps:
+            assert cap >= 50.0
+            assert cap == pytest.approx(round(cap))
+
+    def test_ceiling_bounds_windup(self):
+        coordinator = PowerCapCoordinator(
+            budget_w=100.0, n_servers=1, ceiling_factor=2.0
+        )
+        for _ in range(100):  # demand far below budget: error always +
+            update = coordinator.tick([10.0])
+        assert coordinator.fleet_cap_w <= 200.0
+        assert update.fleet_cap_w <= 200.0
+
+    def test_update_totals(self):
+        coordinator = PowerCapCoordinator(budget_w=200.0, n_servers=2)
+        update = coordinator.tick([80.0, 120.0])
+        assert isinstance(update, CapUpdate)
+        assert update.measured_w == pytest.approx(200.0)
+        assert update.total_cap_w == pytest.approx(sum(update.caps))
+
+
+class TestDecomposeBudget:
+    def test_none_passes_through(self):
+        assert decompose_budget(None, [2, 2]) == (None, None)
+
+    def test_shares_sum_exactly(self):
+        shares = decompose_budget(1000.0, [3, 2, 2])
+        assert sum(shares) == 1000.0
+        assert shares[0] > shares[1] == shares[2]
+
+    def test_rounding_remainder_lands_on_largest_cell(self):
+        shares = decompose_budget(100.0, [1, 1, 1])
+        assert sum(shares) == 100.0
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(SchedulingError):
+            decompose_budget(100.0, [])
+
+
+class TestBackendRegistry:
+    def test_default_backend_registered(self):
+        assert DEFAULT_BACKEND in backend_names()
+        assert "flexwatts" in backend_names()
+
+    def test_unknown_backend_names_the_registry(self):
+        with pytest.raises(ConfigError, match="flexwatts"):
+            get_backend("no-such-backend")
+
+    def test_register_rejects_empty_name(self):
+        from repro.pdn.backends import PdnBackend
+
+        with pytest.raises(ConfigError):
+            register_backend(
+                PdnBackend(name="", description="d", transform=lambda c: c)
+            )
+
+    def test_power7_transform_is_identity(self):
+        from repro.config import ServerConfig
+
+        pdn = ServerConfig().pdn
+        assert get_backend("power7").effective_config(pdn) == pdn
+
+    def test_flexwatts_transform_differs(self):
+        from repro.config import ServerConfig
+
+        pdn = ServerConfig().pdn
+        effective = get_backend("flexwatts").effective_config(pdn)
+        assert effective.r_loadline < pdn.r_loadline
+        assert effective.r_ir_shared > pdn.r_ir_shared
+
+
+class TestFacadeKwargs:
+    def test_pdn_backend_changes_the_operating_point(self):
+        profile = get_profile("raytrace")
+        base = measure(profile, mode="undervolt", n_threads=8)
+        flex = measure(
+            profile, mode="undervolt", n_threads=8, pdn_backend="flexwatts"
+        )
+        assert (
+            flex.adaptive.point.server_power
+            != base.adaptive.point.server_power
+        )
+
+    def test_explicit_default_backend_matches_no_backend(self):
+        profile = get_profile("raytrace")
+        base = measure(profile, mode="undervolt", n_threads=4)
+        explicit = measure(
+            profile, mode="undervolt", n_threads=4, pdn_backend="power7"
+        )
+        assert (
+            explicit.adaptive.point.server_power
+            == base.adaptive.point.server_power
+        )
+
+    def test_server_and_backend_kwargs_conflict(self):
+        from repro.sim.run import build_server
+
+        profile = get_profile("raytrace")
+        server = build_server()
+        with pytest.raises(SchedulingError):
+            measure(
+                profile,
+                mode="undervolt",
+                server=server,
+                pdn_backend="flexwatts",
+            )
+
+    def test_sweep_power_cap_holds_every_point(self):
+        profile = get_profile("raytrace")
+        free = sweep(profile, mode="undervolt", core_counts=(4, 8))
+        cap = max(
+            r.adaptive.point.server_power for r in free
+        ) - 10.0
+        capped = sweep(
+            profile, mode="undervolt", core_counts=(4, 8), power_cap=cap
+        )
+        for result in capped:
+            assert result.adaptive.point.server_power <= cap
+
+
+class TestBudgetedFleet:
+    def test_coordinator_ticks_and_throttles(self, budgeted_result):
+        assert budgeted_result.powercap_ticks == 60
+        assert budgeted_result.cap_throttle_epochs > 0
+        assert budgeted_result.cap_budget_w == 380.0
+        assert budgeted_result.cap_measured_steady_w > 0
+
+    def test_budget_events_in_log(self, budgeted_result):
+        kinds = {entry["kind"] for entry in budgeted_result.events}
+        assert "powercap" in kinds
+        assert "cap_update" in kinds
+
+    def test_uncapped_run_has_no_cap_artifacts(self):
+        config = FleetConfig(n_servers=2, traffic=TRAFFIC, seed=7)
+        result = FleetSimulation(config).run()
+        for entry in result.events:
+            assert entry["kind"] not in ("powercap", "cap_update")
+            assert "cap_w" not in entry
+        assert result.powercap_ticks == 0
+        assert result.cap_budget_w == 0.0
+
+    def test_budget_changes_the_run(self, budgeted_result):
+        config = FleetConfig(n_servers=2, traffic=TRAFFIC, seed=7)
+        uncapped = FleetSimulation(config).run()
+        assert (
+            uncapped.event_log_hash != budgeted_result.event_log_hash
+        )
+
+    def test_budgeted_digest_invariant_across_shards_and_workers(self):
+        config = FleetConfig(
+            n_servers=4,
+            traffic=TRAFFIC,
+            seed=7,
+            fleet_power_budget_w=760.0,
+        )
+        digests = {
+            run_sharded(
+                config,
+                cell_servers=2,
+                n_shards=n_shards,
+                workers=workers,
+            ).event_log_hash
+            for n_shards, workers in ((1, 1), (2, 1), (2, 2))
+        }
+        assert len(digests) == 1
+
+    def test_tracking_error_property(self, budgeted_result):
+        error = budgeted_result.cap_tracking_error
+        assert error == pytest.approx(
+            abs(budgeted_result.cap_measured_steady_w - 380.0) / 380.0
+        )
