@@ -8,24 +8,36 @@ accepted arrival draws a job class (latency-critical vs. batch), a
 workload profile from the class's slice of the calibrated catalog, a
 thread count, and a nominal service demand.
 
-Everything is derived from one :class:`random.Random` stream seeded with
-:func:`repro.sim.batch.derive_seed`, and the **whole trace is materialized
-before the simulation starts** — generation order is fixed, so the trace
-is bit-identical no matter how the simulator is parallelized.
+Everything is derived from one ``numpy.random.RandomState`` stream seeded
+with :func:`repro.sim.batch.derive_seed`, and the **whole trace is
+materialized before the simulation starts** — generation order is fixed,
+so the trace is bit-identical no matter how the simulator is parallelized.
+
+Generation is *batched*: candidate gaps, thinning uniforms, class draws,
+pool indices and service demands are each drawn as whole numpy arrays
+(one RNG call per distribution instead of several Python-level calls per
+job), which is what makes materializing a million-job region day cheap
+relative to simulating it.  The batched draw order is a different random
+stream from the original per-job ``random.Random`` loop — the scalar
+loop's word consumption was data-dependent (rejection sampling inside
+``choice``), so no vectorization could reproduce it faster than the loop
+itself.  The catalog ``[golden]`` hashes were repinned once when this
+generator landed.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from random import Random
 from typing import Tuple
+
+import numpy as np
 
 from ..errors import SchedulingError
 from ..sim.batch import derive_seed
 from ..workloads import get_profile
 from ..workloads.profile import WorkloadProfile
-from .events import NS_PER_SECOND, seconds_to_ns
+from .events import NS_PER_SECOND
 
 #: Job-class tags.
 LATENCY_CRITICAL = "latency_critical"
@@ -199,47 +211,99 @@ class TrafficConfig:
         return (self.jobs_per_hour / 3600.0) * (1.0 + self.diurnal_amplitude) * envelope
 
 
+def _rate_at_array(config: TrafficConfig, t: "np.ndarray") -> "np.ndarray":
+    """Vectorized :meth:`TrafficConfig.rate_at` over an array of times."""
+    mean_per_second = config.jobs_per_hour / 3600.0
+    phase = 2.0 * np.pi * (t - config.peak_time_seconds) / DAY_SECONDS
+    rates = mean_per_second * (1.0 + config.diurnal_amplitude * np.cos(phase))
+    for start, duration, multiplier in config.surges:
+        rates[(t >= start) & (t < start + duration)] *= multiplier
+    return rates
+
+
+def _candidate_times(
+    rng: "np.random.RandomState", peak: float, duration: float
+) -> "np.ndarray":
+    """Cumulative exponential-gap candidate times covering ``duration``.
+
+    Gaps are drawn in whole blocks sized from the Poisson expectation
+    (plus a six-sigma margin, so one block almost always suffices); the
+    block schedule is a pure function of the drawn data, which keeps the
+    stream deterministic however many extensions a tail-heavy draw needs.
+    """
+    expected = peak * duration
+    block = int(expected + 6.0 * math.sqrt(expected + 1.0)) + 16
+    chunks = []
+    total = 0.0
+    while True:
+        gaps = rng.exponential(scale=1.0 / peak, size=block)
+        times = total + np.cumsum(gaps)
+        chunks.append(times)
+        total = float(times[-1])
+        if total >= duration:
+            break
+        block = max(256, block // 4)
+    candidates = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+    return candidates[candidates < duration]
+
+
 def generate_trace(config: TrafficConfig, seed: int) -> Tuple[JobSpec, ...]:
     """Materialize the whole arrival stream for one seeded day.
 
     The stream derives its own seed from ``(seed, "fleet-traffic")`` via
     the same scheme the batch runner uses, so traffic randomness never
     couples to any other consumer of ``seed``.
+
+    Draw order (each one whole-array RNG call): candidate gaps, thinning
+    uniforms, class uniforms, then — for every accepted job regardless
+    of class, so the consumption pattern never depends on the class
+    outcomes — LC pool/thread indices and service demands, batch
+    pool/thread indices and service demands.
     """
-    rng = Random(derive_seed(seed, {"stream": "fleet-traffic"}))
-    jobs = []
-    t = 0.0
+    rng = np.random.RandomState(
+        derive_seed(seed, {"stream": "fleet-traffic"}) % (2 ** 32)
+    )
     peak = config.peak_rate
-    while True:
-        # Thinned Poisson: exponential gaps at the envelope rate, accepted
-        # with probability rate(t)/peak.  Both draws always consume the
-        # stream, so acceptance never reshuffles later randomness.
-        t += rng.expovariate(peak)
-        accept = rng.random()
-        if t >= config.duration_seconds:
-            break
-        if accept * peak > config.rate_at(t):
-            continue
-        is_lc = rng.random() < config.lc_fraction
-        if is_lc:
-            profile_name = rng.choice(config.lc_profiles)
-            n_threads = rng.choice(config.lc_threads)
-            service = rng.expovariate(1.0 / config.lc_service_mean)
-        else:
-            profile_name = rng.choice(config.batch_profiles)
-            n_threads = rng.choice(config.batch_threads)
-            service = rng.expovariate(1.0 / config.batch_service_mean)
-        jobs.append(
-            JobSpec(
-                job_id=len(jobs),
-                arrival_ns=seconds_to_ns(t),
-                job_class=LATENCY_CRITICAL if is_lc else BATCH,
-                profile_name=profile_name,
-                n_threads=n_threads,
-                service_seconds=max(service, config.service_floor),
+    candidates = _candidate_times(rng, peak, config.duration_seconds)
+    accept = rng.random_sample(candidates.size)
+    kept = candidates[accept * peak <= _rate_at_array(config, candidates)]
+    n = kept.size
+    if n == 0:
+        return ()
+    is_lc = rng.random_sample(n) < config.lc_fraction
+    lc_profile = rng.randint(0, len(config.lc_profiles), size=n)
+    lc_threads = rng.randint(0, len(config.lc_threads), size=n)
+    lc_service = rng.exponential(scale=config.lc_service_mean, size=n)
+    batch_profile = rng.randint(0, len(config.batch_profiles), size=n)
+    batch_threads = rng.randint(0, len(config.batch_threads), size=n)
+    batch_service = rng.exponential(scale=config.batch_service_mean, size=n)
+    service = np.maximum(
+        np.where(is_lc, lc_service, batch_service), config.service_floor
+    )
+    arrival_ns = np.rint(kept * float(NS_PER_SECOND)).astype(np.int64)
+    profile_idx = np.where(is_lc, lc_profile, batch_profile)
+    threads_idx = np.where(is_lc, lc_threads, batch_threads)
+    lc_profiles, batch_profiles = config.lc_profiles, config.batch_profiles
+    lc_thread_pool, batch_thread_pool = config.lc_threads, config.batch_threads
+    return tuple(
+        JobSpec(
+            job_id=job_id,
+            arrival_ns=t_ns,
+            job_class=LATENCY_CRITICAL if lc else BATCH,
+            profile_name=(lc_profiles if lc else batch_profiles)[pool_i],
+            n_threads=(lc_thread_pool if lc else batch_thread_pool)[thr_i],
+            service_seconds=demand,
+        )
+        for job_id, (t_ns, lc, pool_i, thr_i, demand) in enumerate(
+            zip(
+                arrival_ns.tolist(),
+                is_lc.tolist(),
+                profile_idx.tolist(),
+                threads_idx.tolist(),
+                service.tolist(),
             )
         )
-    return tuple(jobs)
+    )
 
 
 def constant_trace(
