@@ -20,7 +20,10 @@ from .suites import (
     bench_cap,
     bench_fig13_sweep,
     bench_fleet_day,
+    bench_fleet_region,
     bench_scenario,
+    profile_fleet_day,
+    profile_path_for,
 )
 from .trend import (
     REGRESSION_THRESHOLD,
@@ -36,7 +39,10 @@ __all__ = [
     "bench_cap",
     "bench_fig13_sweep",
     "bench_fleet_day",
+    "bench_fleet_region",
     "bench_scenario",
+    "profile_fleet_day",
+    "profile_path_for",
     "BenchEntry",
     "BenchTrend",
     "CAP_BENCH_FILE",

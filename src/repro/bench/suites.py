@@ -6,6 +6,15 @@ cells with the vectorized backend free to engage — checks that every
 shard count yields the *same* event-log SHA-256, and appends both wall
 times (plus the speedup ratio) to ``BENCH_fleet.json``.
 
+``bench_fleet_region`` is the region-scale variant: ≥1k servers and
+≥100k jobs sharded over fixed cells with the shared settle-cache disk
+layer engaged — one cold run, a shard-count digest-identity sweep, and
+a warm rerun against the now-hot cache, all folded into a single
+``fleet_day_region`` entry whose metadata carries the cache's hit/miss
+counters.  ``profile_fleet_day`` (the ``--profile`` flag) runs one
+cold, in-process day under cProfile and writes the top-N cumulative
+report next to the trend file.
+
 ``bench_fig13_sweep`` times the Fig. 13 borrowing figure build from a
 cold sweep runner and appends it to ``BENCH_sweep.json``.
 
@@ -20,12 +29,18 @@ walks, budget decomposition across cells) into ``BENCH_cap.json``, so
 a regression in the capping hot path fails the gate like any other.
 """
 
+import cProfile
+import io
+import os
+import pstats
+import tempfile
 import time
 from typing import Any, Dict, Optional, Sequence
 
 from ..chip.power import set_power_backend
 from ..errors import SchedulingError
 from ..fleet.engine import FleetConfig, FleetSimulation, clear_fleet_memos
+from ..fleet.settle_cache import configure_fleet_settle_cache, fleet_settle_cache
 from ..fleet.shard import CellLayout, run_sharded
 from ..fleet.traffic import TrafficConfig
 from .trend import record
@@ -165,6 +180,200 @@ def bench_fleet_day(
         },
     )
     return report
+
+
+def bench_fleet_region(
+    n_servers: int = 1024,
+    duration_seconds: float = 24 * 3600.0,
+    jobs_per_hour: float = 4400.0,
+    lc_fraction: float = 0.2,
+    cell_servers: int = 16,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    seed: int = 7,
+    out_path: str = FLEET_BENCH_FILE,
+    settle_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Time a region-scale fleet day with the shared settle cache.
+
+    Three measurements, one trend entry (``fleet_day_region``):
+
+    1. **cold** — a fresh (empty) shared settle-cache directory, every
+       fleet memo cleared, sharded at ``shard_counts[0]``;
+    2. **shard invariance** — the remaining shard counts re-run the same
+       day (warm disk is irrelevant to identity) and every count must
+       produce the same event-log SHA-256;
+    3. **warm** — the memory layer and every other fleet memo are
+       dropped but the settle-cache *disk* directory is kept, and the
+       day re-runs at ``shard_counts[0]``: the speedup of a region
+       rerun against a warm shared cache, with the cache's hit/miss
+       counters recorded alongside.
+
+    The recorded ``wall_seconds`` is the cold wall (the stable
+    definition the >20% gate compares); the warm wall, per-shard walls
+    and settle-cache stats ride in the entry's metadata.
+    """
+    config = FleetConfig(
+        n_servers=n_servers,
+        traffic=TrafficConfig(
+            duration_seconds=duration_seconds,
+            jobs_per_hour=jobs_per_hour,
+            lc_fraction=lc_fraction,
+        ),
+        seed=seed,
+    )
+    layout = CellLayout(n_servers=n_servers, cell_servers=cell_servers)
+    scale = (
+        f"servers={n_servers},rate={jobs_per_hour:g},"
+        f"duration={duration_seconds:g},cell={layout.cell_servers},"
+        f"seed={seed}"
+    )
+    owned_dir = None
+    if settle_dir is None:
+        owned_dir = tempfile.TemporaryDirectory(prefix="repro-settle-")
+        settle_dir = owned_dir.name
+    try:
+        configure_fleet_settle_cache(disk_dir=settle_dir)
+        clear_fleet_memos()
+        first = shard_counts[0]
+        cold_result, cold_wall = _timed(
+            lambda: run_sharded(
+                config,
+                n_shards=first,
+                cell_servers=cell_servers,
+                keep_events=False,
+            )
+        )
+        digests = {first: cold_result.event_log_hash}
+        walls = {first: cold_wall}
+        for n_shards in shard_counts[1:]:
+            result, wall = _timed(
+                lambda shards=n_shards: run_sharded(
+                    config,
+                    n_shards=shards,
+                    cell_servers=cell_servers,
+                    keep_events=False,
+                )
+            )
+            digests[n_shards] = result.event_log_hash
+            walls[n_shards] = wall
+        if len(set(digests.values())) != 1:
+            raise SchedulingError(
+                f"shard counts disagree on the event-log digest: {digests}"
+            )
+        # Warm rerun: fresh stats, cold memory, warm shared disk.
+        configure_fleet_settle_cache(disk_dir=settle_dir)
+        clear_fleet_memos()
+        warm_result, warm_wall = _timed(
+            lambda: run_sharded(
+                config,
+                n_shards=first,
+                cell_servers=cell_servers,
+                keep_events=False,
+            )
+        )
+        if warm_result.event_log_hash != cold_result.event_log_hash:
+            raise SchedulingError(
+                "warm settle-cache rerun changed the event-log digest: "
+                f"{cold_result.event_log_hash} != {warm_result.event_log_hash}"
+            )
+        stats = fleet_settle_cache().stats
+        meta = {
+            "scale": scale,
+            "n_servers": n_servers,
+            "n_jobs": cold_result.n_arrivals,
+            "cell_servers": cell_servers,
+            "digest": cold_result.event_log_hash,
+            "digest_identical_across_shards": True,
+            "shard_counts": list(shard_counts),
+            "walls_by_shards": {str(k): v for k, v in walls.items()},
+            "cold_wall_seconds": cold_wall,
+            "warm_wall_seconds": warm_wall,
+            "warm_speedup": (cold_wall / warm_wall) if warm_wall > 0 else None,
+            "settle_cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "disk_hits": stats.disk_hits,
+                "evictions": stats.evictions,
+                "hit_rate": stats.hit_rate,
+                "summary": stats.summary(),
+            },
+        }
+        record(out_path, "fleet_day_region", cold_wall, meta=meta)
+        return {
+            "n_servers": n_servers,
+            "n_jobs": cold_result.n_arrivals,
+            "digest": cold_result.event_log_hash,
+            "wall_seconds": dict(walls),
+            "cold_wall_seconds": cold_wall,
+            "warm_wall_seconds": warm_wall,
+            "settle_cache_summary": stats.summary(),
+            "scale": scale,
+        }
+    finally:
+        configure_fleet_settle_cache()
+        if owned_dir is not None:
+            owned_dir.cleanup()
+
+
+def profile_path_for(out_path: str) -> str:
+    """Where ``--profile`` writes, next to the trend file."""
+    return os.path.splitext(out_path)[0] + ".profile.txt"
+
+
+def profile_fleet_day(
+    n_servers: int = 8,
+    duration_seconds: float = 2 * 3600.0,
+    jobs_per_hour: float = 200.0,
+    lc_fraction: float = 0.2,
+    cell_servers: Optional[int] = None,
+    seed: int = 7,
+    out_path: str = FLEET_BENCH_FILE,
+    top_n: int = 40,
+) -> Dict[str, Any]:
+    """Profile one cold fleet day, write cProfile top-N next to the trend.
+
+    The profiled run is single-shard and in-process (a process pool
+    would hide every worker from the parent's profiler) and is *not*
+    recorded in the trend file — profiling overhead must never gate.
+    """
+    config = FleetConfig(
+        n_servers=n_servers,
+        traffic=TrafficConfig(
+            duration_seconds=duration_seconds,
+            jobs_per_hour=jobs_per_hour,
+            lc_fraction=lc_fraction,
+        ),
+        seed=seed,
+    )
+    clear_fleet_memos()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run_sharded(
+            config,
+            n_shards=1,
+            cell_servers=cell_servers,
+            keep_events=False,
+        )
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top_n)
+    path = profile_path_for(out_path)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(
+            f"# cProfile (top {top_n} by cumulative time) — fleet day "
+            f"servers={n_servers} rate={jobs_per_hour:g} "
+            f"duration={duration_seconds:g} seed={seed}\n"
+        )
+        fh.write(stream.getvalue())
+    return {
+        "profile_path": path,
+        "digest": result.event_log_hash,
+        "n_jobs": result.n_arrivals,
+        "top_n": top_n,
+    }
 
 
 def bench_scenario(

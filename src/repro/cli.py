@@ -501,8 +501,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "suite",
-        choices=("fleet", "sweep", "scenario", "cap", "gate"),
+        choices=("fleet", "region", "sweep", "scenario", "cap", "gate"),
         help="fleet: time the fleet day (scalar baseline vs sharded); "
+        "region: time a region-scale day against the shared settle "
+        "cache (cold vs warm, digest checked across shard counts); "
         "sweep: time the Fig. 13 borrowing build; scenario: time a "
         "catalog scenario end to end; cap: time the power-capped "
         "rack-budget scenario; gate: fail if the newest entry "
@@ -553,6 +555,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-baseline",
         action="store_true",
         help="skip the scalar monolithic baseline (no speedup recorded)",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="after timing (fleet/region suites), run one cold in-process "
+        "day under cProfile and write the top-N cumulative report next "
+        "to the trend file (never recorded in the trend)",
     )
     bench.add_argument(
         "--scenario-name",
@@ -1036,9 +1045,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         bench_cap,
         bench_fig13_sweep,
         bench_fleet_day,
+        bench_fleet_region,
         bench_scenario,
+        profile_fleet_day,
         gate_trend,
     )
+
+    def _maybe_profile(out: str) -> None:
+        if not getattr(args, "profile", False):
+            return
+        report = profile_fleet_day(
+            n_servers=args.servers,
+            duration_seconds=args.duration,
+            jobs_per_hour=args.rate,
+            lc_fraction=args.lc_fraction,
+            cell_servers=args.cell_servers,
+            seed=args.seed,
+            out_path=out,
+        )
+        print(f"profile (top {report['top_n']} by cumulative time): "
+              f"{report['profile_path']}")
 
     if args.suite == "fleet":
         out = args.bench_out or FLEET_BENCH_FILE
@@ -1068,6 +1094,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"  scalar baseline: {report['baseline_wall_seconds']:.3f}s"
                 f"  -> speedup x{report['speedup']:.2f}"
             )
+        _maybe_profile(out)
+        print(f"recorded in {out}")
+        return 0
+    if args.suite == "region":
+        out = args.bench_out or FLEET_BENCH_FILE
+        if args.shards <= 1:
+            shard_counts = (1,)
+        elif args.shards < 4:
+            shard_counts = (1, args.shards)
+        else:
+            shard_counts = (1, 2, args.shards)
+        report = bench_fleet_region(
+            n_servers=args.servers,
+            duration_seconds=args.duration,
+            jobs_per_hour=args.rate,
+            lc_fraction=args.lc_fraction,
+            cell_servers=args.cell_servers or 16,
+            shard_counts=shard_counts,
+            seed=args.seed,
+            out_path=out,
+        )
+        print(
+            f"region day: {report['n_servers']} server(s), "
+            f"{report['n_jobs']} job(s)"
+        )
+        for shards, wall in sorted(report["wall_seconds"].items()):
+            print(f"  {shards} shard(s): {wall:.3f}s")
+        print(f"  digest: {report['digest'][:16]}... "
+              "(identical across shard counts)")
+        print(
+            f"  warm settle-cache rerun: {report['warm_wall_seconds']:.3f}s "
+            f"(cold {report['cold_wall_seconds']:.3f}s)"
+        )
+        print(f"  settle cache: {report['settle_cache_summary']}")
+        _maybe_profile(out)
         print(f"recorded in {out}")
         return 0
     if args.suite == "sweep":
@@ -1137,11 +1198,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     threshold = (
         args.threshold if args.threshold is not None else REGRESSION_THRESHOLD
     )
+    from .bench import BenchTrend
+
     failed = False
     for path in paths:
+        trend = BenchTrend.load(path)
         for verdict in gate_trend(path, threshold=threshold):
             status = "ok" if verdict.passed else "REGRESSED"
-            print(f"{path}: {verdict.name}: {status} ({verdict.message})")
+            line = f"{path}: {verdict.name}: {status} ({verdict.message})"
+            latest = trend.latest(verdict.name)
+            cache_meta = (latest.meta.get("settle_cache") if latest else None)
+            if isinstance(cache_meta, dict) and "hit_rate" in cache_meta:
+                line += (
+                    f"; settle-cache hit rate "
+                    f"{float(cache_meta['hit_rate']):.0%}"
+                )
+            print(line)
             failed = failed or not verdict.passed
     return 1 if failed else 0
 

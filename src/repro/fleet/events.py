@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..errors import SchedulingError
 
@@ -188,6 +188,28 @@ class EventQueue:
             (event.time_ns, event.priority, self._sequence, event),
         )
         self._sequence += 1
+
+    def bulk_load(self, events: Iterable[FleetEvent]) -> int:
+        """Schedule many events with one heapify; returns the count added.
+
+        Equivalent to pushing each event in iteration order — sequence
+        numbers are assigned identically, and because every heap key is
+        unique (the sequence breaks all ties), pop order is the fully
+        sorted key order either way.  What changes is cost: extending
+        the backing list and heapifying once is O(n + m) instead of
+        O(m log(n + m)) for m pushes, which is what makes loading a
+        million-job arrival trace cheap.
+        """
+        added = 0
+        for event in events:
+            self._heap.append(
+                (event.time_ns, event.priority, self._sequence, event)
+            )
+            self._sequence += 1
+            added += 1
+        if added:
+            heapq.heapify(self._heap)
+        return added
 
     def pop(self) -> FleetEvent:
         """Remove and return the earliest event."""

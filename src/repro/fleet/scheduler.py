@@ -35,16 +35,17 @@ from ..guardband import GuardbandMode
 from ..obs import observability
 from ..sim.results import RunResult
 from ..sim.run import build_server
+from .settle_cache import BoundedMemo
 from .traffic import JobSpec
 
 #: Process-wide fitted-predictor memo, keyed by config fingerprint
 #: (see :meth:`OnlineFleetScheduler._fitted_predictor`).
-_predictor_memo: Dict[str, object] = {}
+_predictor_memo: BoundedMemo = BoundedMemo(256)
 
 #: Process-wide placement-plan memo: (config fingerprint, policy,
 #: utilization threshold, canonical job shape) → (plan template,
 #: positional shares).  See :meth:`OnlineFleetScheduler.build_plan`.
-_plan_memo: Dict[tuple, Tuple["PlacementPlan", tuple]] = {}
+_plan_memo: BoundedMemo = BoundedMemo(16384)
 
 #: Within-server placement regimes.
 MODE_BORROWING = "borrowing"
@@ -56,7 +57,7 @@ MODE_QOS = "qos_mapping"
 #: same point object over and over, so id() is the cheapest possible
 #: key.  The value pins the point (keeping its id from being recycled)
 #: and the ``is`` check makes even a recycled id harmless.
-_freq_memo: Dict[Tuple[int, int], Tuple[object, float]] = {}
+_freq_memo: BoundedMemo = BoundedMemo(65536)
 
 
 def socket_min_active_frequency(point, socket_id: int) -> float:

@@ -47,6 +47,7 @@ from ..sim.cache import canonical_json
 from .engine import FleetConfig, FleetSimulation
 from .metrics import FleetComparison, FleetResult, JobRecord
 from .powercap import decompose_budget
+from .settle_cache import ensure_settle_cache_dir, fleet_settle_cache
 from .scheduler import (
     AGS_POLICY,
     CONSOLIDATION_POLICY,
@@ -245,7 +246,11 @@ def _run_spec_batch(payload: tuple) -> List[Tuple[int, FleetResult, list]]:
     routing — a 625-cell fleet regenerates its million-job trace once
     per *shard*, not once per cell.
     """
-    traffic, trace_seed, policy, cells, workers, n_cells = payload
+    traffic, trace_seed, policy, cells, workers, n_cells, settle_dir = payload
+    # Point this process's settle cache at the parent's shared directory:
+    # a pool worker starts cold and rebuilds against it; the in-process
+    # path already matches and keeps its warm memory layer.
+    ensure_settle_cache_dir(settle_dir)
     by_index: Dict[int, List] = {cell.index: [] for cell in cells}
     for job in generate_trace(traffic, trace_seed):
         index = job.job_id % n_cells
@@ -406,8 +411,9 @@ def run_cell_specs(
         ordered[shard::n_shards]
         for shard in range(min(n_shards, n_cells))
     ]
+    settle_dir = fleet_settle_cache().disk_dir
     payloads = [
-        (traffic, trace_seed, policy, batch, workers, n_cells)
+        (traffic, trace_seed, policy, batch, workers, n_cells, settle_dir)
         for batch in batches
         if batch
     ]

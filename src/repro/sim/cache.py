@@ -39,7 +39,7 @@ from ..guardband.controller import OperatingPoint
 from ..obs import observability
 from ..pdn.delivery import DropBreakdown
 from ..workloads.profile import WorkloadProfile
-from .results import SteadyState
+from .results import RunResult, SteadyState
 from .server import ServerOperatingPoint
 from .socket import SocketSolution
 
@@ -95,6 +95,7 @@ def _plain(value: Any) -> Any:
 _CODEC_TYPES = {
     cls.__name__: cls
     for cls in (
+        RunResult,
         SteadyState,
         ServerOperatingPoint,
         OperatingPoint,

@@ -8,8 +8,11 @@ from repro.bench import (
     BenchEntry,
     BenchTrend,
     bench_fleet_day,
+    bench_fleet_region,
     gate_trend,
     host_fingerprint,
+    profile_fleet_day,
+    profile_path_for,
     record,
 )
 from repro.errors import ConfigError
@@ -213,3 +216,53 @@ class TestFleetSuite:
         assert "speedup" not in report
         trend = BenchTrend.load(path)
         assert trend.names() == ("fleet_day_sharded",)
+
+
+class TestRegionSuite:
+    def test_tiny_region_records_cold_warm_and_cache_stats(self, tmp_path):
+        path = str(tmp_path / "BENCH_fleet.json")
+        report = bench_fleet_region(
+            n_servers=4,
+            duration_seconds=1800.0,
+            jobs_per_hour=120.0,
+            cell_servers=2,
+            shard_counts=(1, 2),
+            seed=7,
+            out_path=path,
+            settle_dir=str(tmp_path / "settle"),
+        )
+        assert report["digest"]
+        assert set(report["wall_seconds"]) == {1, 2}
+        assert report["n_jobs"] > 0
+        trend = BenchTrend.load(path)
+        assert trend.names() == ("fleet_day_region",)
+        entry = trend.latest("fleet_day_region")
+        assert entry.wall_seconds == entry.meta["cold_wall_seconds"]
+        assert entry.meta["digest_identical_across_shards"] is True
+        assert entry.meta["digest"] == report["digest"]
+        assert entry.meta["warm_wall_seconds"] > 0
+        cache_meta = entry.meta["settle_cache"]
+        # The warm rerun replays every settle from the shared disk dir.
+        assert cache_meta["disk_hits"] > 0
+        assert 0.0 <= cache_meta["hit_rate"] <= 1.0
+        assert "hits" in cache_meta["summary"]
+
+    def test_profile_writes_top_n_next_to_the_trend(self, tmp_path):
+        path = str(tmp_path / "BENCH_fleet.json")
+        report = profile_fleet_day(
+            n_servers=2,
+            duration_seconds=900.0,
+            jobs_per_hour=100.0,
+            seed=7,
+            out_path=path,
+            top_n=10,
+        )
+        assert report["profile_path"] == profile_path_for(path)
+        assert report["profile_path"].endswith(".profile.txt")
+        with open(report["profile_path"], encoding="utf-8") as fh:
+            text = fh.read()
+        assert "cumulative" in text
+        assert "top 10" in text
+        assert report["digest"]
+        # Profiling never records a trend entry: overhead must not gate.
+        assert BenchTrend.load(path).names() == ()

@@ -74,6 +74,72 @@ class TestEventQueue:
             EventQueue().pop()
 
 
+class TestBulkLoad:
+    """bulk_load: one heapify, same observable order as N pushes."""
+
+    @staticmethod
+    def _mixed_events(n=200):
+        """Events with colliding timestamps and priorities (worst case)."""
+        events = []
+        for i in range(n):
+            time_ns = (i * 7919) % 50  # many ties
+            kind = i % 3
+            if kind == 0:
+                events.append(
+                    CompletionEvent(time_ns=time_ns, job_id=i, generation=0)
+                )
+            elif kind == 1:
+                events.append(ArrivalEvent(time_ns=time_ns, job_id=i))
+            else:
+                events.append(
+                    RebalanceEvent(time_ns=time_ns, server_id=i, generation=0)
+                )
+        return events
+
+    @staticmethod
+    def _drain(queue):
+        popped = []
+        while len(queue):
+            popped.append(queue.pop())
+        return popped
+
+    def test_same_pop_order_as_sequential_pushes(self):
+        events = self._mixed_events()
+        pushed, bulk = EventQueue(), EventQueue()
+        for event in events:
+            pushed.push(event)
+        assert bulk.bulk_load(events) == len(events)
+        assert self._drain(bulk) == self._drain(pushed)
+
+    def test_sequence_continues_across_push_and_bulk(self):
+        """Ties between pre-pushed and bulk-loaded events stay FIFO."""
+        pushed, mixed = EventQueue(), EventQueue()
+        early = [ArrivalEvent(time_ns=10, job_id=i) for i in range(5)]
+        late = [ArrivalEvent(time_ns=10, job_id=i) for i in range(5, 10)]
+        for event in early + late:
+            pushed.push(event)
+        for event in early:
+            mixed.push(event)
+        mixed.bulk_load(late)
+        assert self._drain(mixed) == self._drain(pushed)
+
+    def test_empty_bulk_load(self):
+        queue = EventQueue()
+        assert queue.bulk_load([]) == 0
+        assert len(queue) == 0
+        queue.push(ArrivalEvent(time_ns=1, job_id=0))
+        assert queue.bulk_load(iter(())) == 0
+        assert queue.pop().job_id == 0
+
+    def test_accepts_a_generator(self):
+        queue = EventQueue()
+        count = queue.bulk_load(
+            ArrivalEvent(time_ns=t, job_id=t) for t in range(10)
+        )
+        assert count == 10
+        assert [queue.pop().job_id for _ in range(10)] == list(range(10))
+
+
 class TestCompaction:
     """Stale-entry compaction: bounded heaps, unchanged pop order."""
 

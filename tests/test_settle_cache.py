@@ -1,0 +1,224 @@
+"""The shared fleet settle cache: bounds, disk sharing, digest identity."""
+
+import json
+import os
+
+import pytest
+
+from repro.api import measure
+from repro.fleet import FleetConfig, TrafficConfig
+from repro.fleet.engine import FleetSimulation, clear_fleet_memos
+from repro.fleet.settle_cache import (
+    BoundedMemo,
+    FleetSettleCache,
+    configure_fleet_settle_cache,
+    ensure_settle_cache_dir,
+    fleet_settle_cache,
+)
+from repro.sim.results import RunResult
+
+#: Small but non-trivial fleet day for the identity tests.
+TRAFFIC = TrafficConfig(
+    duration_seconds=3600.0, jobs_per_hour=60.0, lc_fraction=0.15
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_cache():
+    """Every test leaves the process-global cache in its default state."""
+    yield
+    configure_fleet_settle_cache()
+    clear_fleet_memos()
+
+
+@pytest.fixture(scope="module")
+def settled() -> RunResult:
+    """One real settled measurement to cache (module-scoped: settle once)."""
+    return measure("lu_cb", mode="undervolt", n_threads=4)
+
+
+class TestBoundedMemo:
+    def test_bound_holds_under_churn(self):
+        memo = BoundedMemo(8)
+        for i in range(1000):
+            memo[("key", i)] = i
+            assert len(memo) <= 8
+        # The survivors are exactly the most recent eight.
+        assert all(("key", i) in memo for i in range(992, 1000))
+
+    def test_lru_eviction_order(self):
+        memo = BoundedMemo(2)
+        memo["a"] = 1
+        memo["b"] = 2
+        assert memo.get("a") == 1  # touch: "b" is now least recent
+        memo["c"] = 3
+        assert "a" in memo
+        assert "b" not in memo
+
+    def test_dict_idioms(self):
+        memo = BoundedMemo(4)
+        memo["k"] = "v"
+        assert memo["k"] == "v"
+        assert memo.get("missing") is None
+        assert memo.get("missing", "d") == "d"
+        memo.clear()
+        assert len(memo) == 0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            BoundedMemo(0)
+
+
+class TestFleetSettleCache:
+    def test_memory_hit_returns_same_object(self, settled):
+        cache = FleetSettleCache(max_entries=4)
+        cache.put(("k",), settled)
+        assert cache.get(("k",)) is settled
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 0
+
+    def test_miss_counts(self):
+        cache = FleetSettleCache(max_entries=4)
+        assert cache.get(("nope",)) is None
+        assert cache.stats.misses == 1
+
+    def test_lru_bound_holds_under_churn(self, settled):
+        cache = FleetSettleCache(max_entries=4)
+        for i in range(64):
+            cache.put(("k", i), settled)
+            assert len(cache) <= 4
+        assert cache.stats.evictions == 60
+
+    def test_disk_round_trip_is_bit_identical(self, settled, tmp_path):
+        writer = FleetSettleCache(max_entries=4, disk_dir=str(tmp_path))
+        key = ("cfg", 7, "placement-stand-in", "undervolt", None)
+        writer.put(key, settled)
+        reader = FleetSettleCache(max_entries=4, disk_dir=str(tmp_path))
+        loaded = reader.get(key)
+        assert loaded is not None
+        assert loaded is not settled
+        assert loaded == settled  # frozen dataclasses: exact field equality
+        assert (
+            loaded.adaptive.point.server_power
+            == settled.adaptive.point.server_power
+        )
+        assert reader.stats.disk_hits == 1
+        # Second read is a memory hit — the decode happened once.
+        assert reader.get(key) is loaded
+
+    def test_corrupt_disk_file_counts_as_miss(self, settled, tmp_path):
+        writer = FleetSettleCache(max_entries=4, disk_dir=str(tmp_path))
+        key = ("corrupt",)
+        writer.put(key, settled)
+        (path,) = list(tmp_path.iterdir())
+        path.write_text("{ not json")
+        reader = FleetSettleCache(max_entries=4, disk_dir=str(tmp_path))
+        assert reader.get(key) is None
+        assert reader.stats.disk_errors == 1
+        assert reader.stats.misses == 1
+
+    def test_wrong_payload_type_counts_as_miss(self, settled, tmp_path):
+        writer = FleetSettleCache(max_entries=4, disk_dir=str(tmp_path))
+        key = ("wrong-type",)
+        writer.put(key, settled)
+        (path,) = list(tmp_path.iterdir())
+        path.write_text(json.dumps({"result": 42}))
+        reader = FleetSettleCache(max_entries=4, disk_dir=str(tmp_path))
+        assert reader.get(key) is None
+        assert reader.stats.disk_errors == 1
+
+    def test_disabled_cache_never_stores_or_hits(self, settled, tmp_path):
+        cache = FleetSettleCache(
+            max_entries=4, disk_dir=str(tmp_path), enabled=False
+        )
+        cache.put(("k",), settled)
+        assert len(cache) == 0
+        assert cache.get(("k",)) is None
+        assert cache.stats.lookups == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_no_tmp_orphans_on_disk(self, settled, tmp_path):
+        cache = FleetSettleCache(max_entries=4, disk_dir=str(tmp_path))
+        for i in range(8):
+            cache.put(("k", i), settled)
+        names = [p.name for p in tmp_path.iterdir()]
+        assert names
+        assert all(name.endswith(".json") for name in names)
+
+
+class TestGlobalConfiguration:
+    def test_configure_replaces_the_global(self, tmp_path):
+        cache = configure_fleet_settle_cache(
+            max_entries=2, disk_dir=str(tmp_path)
+        )
+        assert fleet_settle_cache() is cache
+        assert fleet_settle_cache().disk_dir == str(tmp_path)
+
+    def test_ensure_dir_is_idempotent(self, tmp_path):
+        configure_fleet_settle_cache(disk_dir=str(tmp_path))
+        before = fleet_settle_cache()
+        assert ensure_settle_cache_dir(str(tmp_path)) is before
+        after = ensure_settle_cache_dir(None)
+        assert after is not before
+        assert after.disk_dir is None
+
+    def test_clear_fleet_memos_drops_the_memory_layer(self, tmp_path):
+        from repro.fleet.engine import _idle_power_memo, _job_rate_memo
+        from repro.fleet.scheduler import (
+            _freq_memo,
+            _plan_memo,
+            _predictor_memo,
+        )
+
+        cache = configure_fleet_settle_cache(disk_dir=str(tmp_path))
+        settled = measure("lu_cb", mode="undervolt", n_threads=2)
+        cache.put(("k",), settled)
+        _idle_power_memo[("a",)] = 1
+        _job_rate_memo[("b",)] = 2
+        _freq_memo[("c",)] = 3
+        _plan_memo[("d",)] = 4
+        _predictor_memo["e"] = 5
+        clear_fleet_memos()
+        assert len(cache) == 0
+        for memo in (
+            _idle_power_memo,
+            _job_rate_memo,
+            _freq_memo,
+            _plan_memo,
+            _predictor_memo,
+        ):
+            assert len(memo) == 0
+        # Disk files survive a memo clear — that is the shared layer.
+        assert list(os.listdir(tmp_path))
+
+
+class TestDigestInvariance:
+    """The event-log SHA-256 must not depend on cache state."""
+
+    CONFIG = dict(n_servers=2, traffic=TRAFFIC, seed=7)
+
+    def _run_digest(self) -> str:
+        return FleetSimulation(FleetConfig(**self.CONFIG)).run().event_log_hash
+
+    def test_hash_identical_cold_hot_and_disabled(self):
+        configure_fleet_settle_cache()
+        clear_fleet_memos()
+        cold = self._run_digest()
+        hot = self._run_digest()  # warm memory layer
+        assert fleet_settle_cache().stats.hits > 0
+        configure_fleet_settle_cache(enabled=False)
+        clear_fleet_memos()
+        disabled = self._run_digest()
+        assert cold == hot == disabled
+
+    def test_hash_identical_through_the_disk_layer(self, tmp_path):
+        configure_fleet_settle_cache(disk_dir=str(tmp_path))
+        clear_fleet_memos()
+        cold = self._run_digest()
+        assert list(os.listdir(tmp_path))  # settles were persisted
+        # Fresh cache, cold memory, warm disk: every settle replays.
+        configure_fleet_settle_cache(disk_dir=str(tmp_path))
+        clear_fleet_memos()
+        warm = self._run_digest()
+        assert warm == cold
+        assert fleet_settle_cache().stats.disk_hits > 0
