@@ -30,6 +30,7 @@ from .trend import (
     BenchEntry,
     BenchTrend,
     GateReport,
+    describe_host,
     gate_trend,
     host_fingerprint,
     record,
@@ -49,6 +50,7 @@ __all__ = [
     "DEFAULT_BENCH_SCENARIO",
     "DEFAULT_CAP_BENCH_SCENARIO",
     "FLEET_BENCH_FILE",
+    "describe_host",
     "gate_trend",
     "GateReport",
     "host_fingerprint",

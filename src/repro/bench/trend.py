@@ -195,6 +195,14 @@ class GateReport:
         return self.latest_wall / self.reference_wall
 
 
+def describe_host(host: Dict[str, Any]) -> str:
+    """One-line human rendering of a host fingerprint."""
+    return (
+        f"{host.get('platform', '?')}/{host.get('machine', '?')} "
+        f"py{host.get('python', '?')} {host.get('cpus', '?')} cpu(s)"
+    )
+
+
 def gate_trend(
     path: str, threshold: float = REGRESSION_THRESHOLD
 ) -> List[GateReport]:
@@ -203,12 +211,33 @@ def gate_trend(
     For each name, the newest entry is compared against the fastest
     prior entry from the same host class.  ``threshold`` is the allowed
     fractional slowdown (0.20 → fail beyond 20% slower).
+
+    Ungateable states fail with a :class:`ConfigError` that says what
+    to do next (a one-line CLI error, never a traceback): a missing
+    trend file, a file with no entries at all, and a file whose entries
+    were all recorded on other host classes.
     """
     if threshold <= 0:
         raise ConfigError(f"threshold must be > 0, got {threshold!r}")
+    if not os.path.exists(path):
+        raise ConfigError(
+            f"trend file {path} does not exist; run 'repro bench fleet' "
+            "(or another suite with --bench-out) to record timings first"
+        )
     trend = BenchTrend.load(path)
     if not trend.entries:
-        raise ConfigError(f"trend file {path} has no entries to gate")
+        raise ConfigError(
+            f"trend file {path} has no entries to gate; run a bench "
+            "suite to record a first timing"
+        )
+    host = host_fingerprint()
+    if not any(entry.host == host for entry in trend.entries):
+        raise ConfigError(
+            f"trend file {path} has no entries for this host class "
+            f"({describe_host(host)}); all {len(trend.entries)} entry(ies) "
+            "were recorded on other hosts — run the bench suites here to "
+            "establish a comparable baseline"
+        )
     reports: List[GateReport] = []
     for name in trend.names():
         latest = trend.latest(name)

@@ -21,7 +21,9 @@ Subcommands
 ``chaos``
     Run one fleet scenario twice — fault-free, then under a seeded
     fault plan — and print the degradation report (see
-    ``docs/RESILIENCE.md``).
+    ``docs/RESILIENCE.md``).  ``chaos campaign`` instead drives every
+    catalog scenario under a seeded randomized plan with the strict
+    invariant watchdog armed and prints the degradation matrix.
 ``scenario``
     Run, list, validate or golden-check declarative scenario files
     (see ``docs/SCENARIOS.md`` and the catalog under ``scenarios/``).
@@ -64,6 +66,7 @@ from .errors import (
     SchedulingError,
     SensorError,
     SweepError,
+    WatchdogError,
     WorkloadError,
 )
 from .guardband import GuardbandMode, audit_operating_point
@@ -78,11 +81,14 @@ FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17")
 
 #: Exit code per simulator error family, checked subclass-before-base
-#: (``SweepError``, ``FaultError`` and ``ScenarioError`` must precede
-#: ``ReproError``).  Codes 0-2 are reserved: success, generic failure,
-#: argparse usage.  Codes 3-11 were assigned before ``ScenarioError``
-#: existed; the base-class catch-all keeps 11, so new families append
-#: past it.
+#: (``SweepError``, ``FaultError``, ``ScenarioError`` and
+#: ``WatchdogError`` must precede ``ReproError``).  Codes 0-2 are
+#: reserved: success, generic failure, argparse usage.  Codes 3-11 were
+#: assigned before ``ScenarioError`` existed; the base-class catch-all
+#: keeps 11, so new families append past it.  The registry test
+#: (``tests/test_error_contracts.py``) asserts every ``ReproError``
+#: subclass maps to a distinct code — extend this table when adding an
+#: error family.
 ERROR_EXIT_CODES = (
     (WorkloadError, 3),
     (ConfigError, 4),
@@ -93,6 +99,7 @@ ERROR_EXIT_CODES = (
     (SweepError, 9),
     (FaultError, 10),
     (ScenarioError, 12),
+    (WatchdogError, 13),
     (ReproError, 11),
 )
 
@@ -401,6 +408,30 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         parents=common,
         help="run a fleet scenario fault-free and degraded; report the delta",
+    )
+    chaos.add_argument(
+        "action",
+        nargs="?",
+        choices=("run", "campaign"),
+        default="run",
+        help="run (default): one ad-hoc fleet day under the flag-built "
+        "plan; campaign: every catalog scenario under a seeded "
+        "randomized fault plan with the strict invariant watchdog "
+        "armed, printing the degradation matrix",
+    )
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="campaign only: shrink every scenario's traffic to smoke "
+        "scale so the whole catalog finishes in CI time",
+    )
+    chaos.add_argument(
+        "--dir",
+        dest="catalog_dir",
+        metavar="DIR",
+        default=None,
+        help="campaign only: catalog directory (default: the repo's "
+        "scenarios/ directory)",
     )
     chaos.add_argument(
         "--servers", type=int, default=2, help="fleet size (default 2)"
@@ -999,6 +1030,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import chaos_plan, run_chaos
     from .fleet import FleetConfig, TrafficConfig
 
+    if args.action == "campaign":
+        return _cmd_chaos_campaign(args)
     traffic = TrafficConfig(
         duration_seconds=args.duration,
         jobs_per_hour=args.rate,
@@ -1031,6 +1064,24 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print()
         print(runner.timings_summary())
     return 0
+
+
+def _cmd_chaos_campaign(args: argparse.Namespace) -> int:
+    """Every catalog scenario under seeded randomized faults."""
+    from .faults.campaign import run_campaign
+    from .scenarios import load_catalog
+
+    scenarios = load_catalog(args.catalog_dir)
+    report = run_campaign(
+        scenarios=scenarios,
+        seed=args.fault_seed,
+        smoke=args.smoke,
+        strict=True,
+        workers=args.workers,
+        progress=lambda name: print(f"  campaigning {name}..."),
+    )
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -1421,6 +1472,13 @@ def _print_scenario_result(result, seed: int) -> None:
             f"{group.qos_violations} violation(s), "
             f"{group.fallback_seconds:.0f} fallback s"
         )
+    if result.retries:
+        recoveries = ", ".join(
+            f"cell {r.cell_index} attempt {r.attempt} ({r.reason} -> "
+            f"{r.recovered_via})"
+            for r in result.retries
+        )
+        print(f"shard recoveries: {recoveries}")
     print(f"event log: {fleet.event_log_hash} ({len(fleet.events)} entries)")
 
 

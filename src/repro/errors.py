@@ -72,6 +72,16 @@ class ScenarioError(ReproError):
     """
 
 
+class WatchdogError(ReproError):
+    """A runtime invariant the watchdog enforces was violated.
+
+    Raised only in *strict* mode (tests and chaos runs); production-style
+    runs count violations through the observability layer instead so a
+    tripped invariant degrades to telemetry rather than an abort.  See
+    :mod:`repro.faults.watchdog`.
+    """
+
+
 class SweepError(ReproError):
     """One or more tasks of a sweep batch failed to execute.
 

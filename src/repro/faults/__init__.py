@@ -19,6 +19,14 @@ The subsystem has two halves:
   manifest.  :func:`run_chaos` quantifies the cost in a
   :class:`~repro.faults.report.DegradationReport`.
 
+A third leg watches the watchers: the invariant watchdog
+(:mod:`~repro.faults.watchdog`) adjudicates conservation, cap-sum,
+energy-ledger and heap-generation invariants inside every fleet run —
+counting violations by default, raising :class:`~repro.errors.WatchdogError`
+in strict mode — and :func:`run_campaign` drives the whole scenario
+catalog under seeded randomized fault plans with the strict watchdog
+armed (``repro chaos campaign``).
+
 See ``docs/RESILIENCE.md`` for the fault taxonomy and the fallback
 state machine.
 """
@@ -35,6 +43,7 @@ from .injector import (
 from .plan import FaultPlan, chaos_plan
 from .spec import (
     CPM_CORRUPTION_KINDS,
+    CacheCorruptionFault,
     CalibrationFault,
     CpmDropFault,
     CpmNoiseFault,
@@ -47,9 +56,22 @@ from .spec import (
     VrmDroopFault,
 )
 from .report import DegradationReport, run_chaos
+from .campaign import CampaignReport, CampaignRow, run_campaign
+from .watchdog import (
+    NULL_WATCHDOG,
+    InvariantWatchdog,
+    install_watchdog,
+    watchdog,
+    watched,
+)
 
 __all__ = [
+    "CampaignReport",
+    "CampaignRow",
+    "InvariantWatchdog",
+    "NULL_WATCHDOG",
     "CPM_CORRUPTION_KINDS",
+    "CacheCorruptionFault",
     "CalibrationFault",
     "CpmDropFault",
     "CpmNoiseFault",
@@ -71,5 +93,9 @@ __all__ = [
     "fault_injector",
     "injected",
     "install_injector",
+    "install_watchdog",
+    "run_campaign",
     "run_chaos",
+    "watchdog",
+    "watched",
 ]

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Type
 
 from .spec import (
+    CacheCorruptionFault,
     CpmStuckFault,
     FaultSpec,
     JobKillFault,
@@ -51,6 +52,12 @@ class FaultPlan:
             s
             for s in self.specs
             if getattr(s, "server_id", 0) is None
+        )
+
+    def cache_specs(self) -> Tuple[CacheCorruptionFault, ...]:
+        """Settle-cache corruption specs (armed process-wide per run)."""
+        return tuple(
+            s for s in self.specs if isinstance(s, CacheCorruptionFault)
         )
 
     def server_scoped_specs(self) -> Tuple[FaultSpec, ...]:

@@ -227,6 +227,27 @@ class JobKillFault(FaultSpec):
             )
 
 
+@dataclass(frozen=True)
+class CacheCorruptionFault(FaultSpec):
+    """The shared settle-cache disk layer starts tearing writes: every
+    ``every_n``-th entry written while the fault is armed is truncated
+    mid-payload (a torn write — power loss, full disk, NFS hiccup).  The
+    cache must detect the damage on read, quarantine the file and
+    recompute; the run outcome is provably unchanged."""
+
+    kind: ClassVar[str] = "cache_fault"
+
+    #: Tear every Nth disk write (1 = every write).
+    every_n: int = 5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.every_n < 1:
+            raise FaultError(
+                f"cache_fault: every_n must be >= 1, got {self.every_n}"
+            )
+
+
 #: Spec kinds the fleet engine maps to per-socket static fallback.
 CPM_CORRUPTION_KINDS = (
     CpmStuckFault,

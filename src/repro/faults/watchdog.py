@@ -1,0 +1,251 @@
+"""The runtime invariant watchdog: cheap checks, loud failures.
+
+Fault-hardened execution (worker re-execution, cache quarantine, budget
+re-decomposition) buys resilience but widens the surface where a subtle
+bug could silently corrupt results instead of crashing.  The watchdog
+closes that gap: the fleet engine asks the process-wide handle to
+adjudicate a small set of invariants that must hold in *every* run,
+faulted or not:
+
+``conservation``
+    Every arrival is accounted for at the horizon:
+    ``arrivals == completions + running + queued`` (queued includes
+    jobs waiting out a retry backoff).
+``cap_sum``
+    The coordinator never hands drawing servers more wattage than its
+    integral state plus the floor/quantization allowance, idle servers
+    more than the uniform share, or dead servers anything at all — and
+    the integral state respects the anti-windup ceiling.
+``energy_ledger``
+    Accumulated fleet energy is monotone non-decreasing and finite —
+    a ledger that runs backwards means an accounting edge was applied
+    twice or with a negative power.
+``heap_generation``
+    A completion event's generation never exceeds its job's current
+    generation (generations only count up; an event "from the future"
+    means the requeue bookkeeping broke).
+
+Mirrors the injector's handle pattern (:mod:`repro.faults.injector`):
+hooks bail on one ``enabled`` attribute check, so a disabled watchdog
+costs nothing and perturbs nothing.  The default handle *counts*:
+violations increment ``watchdog_violations_total{check=...}`` through
+the observability layer and the run continues — a production-style run
+degrades to telemetry rather than an abort.  Tests and chaos runs
+install a *strict* watchdog, which raises :class:`WatchdogError`
+(CLI exit code 13) on the first violation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Sequence, Union
+
+from ..errors import WatchdogError
+from ..obs import observability
+
+#: Slack for float comparisons (energy sums, cap totals): generous
+#: enough that legitimate rounding never trips, tiny next to any real
+#: double-count.
+_EPSILON = 1e-6
+
+
+class InvariantWatchdog:
+    """Adjudicates runtime invariants; counts or raises per ``strict``."""
+
+    enabled = True
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        #: Violation tally by check name (test-friendly mirror of the
+        #: ``watchdog_violations_total`` metric).
+        self.violations: Dict[str, int] = {}
+
+    def _trip(self, check: str, message: str) -> None:
+        self.violations[check] = self.violations.get(check, 0) + 1
+        observability().count(
+            "watchdog_violations_total",
+            help_text="Runtime invariant violations by check.",
+            check=check,
+        )
+        if self.strict:
+            raise WatchdogError(f"{check}: {message}")
+
+    # ------------------------------------------------------------------
+    # Checks (called by the fleet engine behind an ``enabled`` guard)
+    # ------------------------------------------------------------------
+    def conservation(
+        self,
+        n_arrivals: int,
+        n_completions: int,
+        n_running: int,
+        n_queued: int,
+    ) -> None:
+        """Job conservation at the horizon."""
+        accounted = n_completions + n_running + n_queued
+        if n_arrivals != accounted:
+            self._trip(
+                "conservation",
+                f"{n_arrivals} arrival(s) != {n_completions} completed + "
+                f"{n_running} running + {n_queued} queued "
+                f"(= {accounted})",
+            )
+
+    def cap_sum(
+        self,
+        caps: Sequence[float],
+        measured_w: Sequence[float],
+        live: Sequence[bool],
+        fleet_cap_w: float,
+        ceiling_w: float,
+        floor_w: float,
+        quantum_w: float,
+    ) -> None:
+        """The coordinator's handed-out caps respect its own state.
+
+        The distribution contract (:class:`~repro.fleet.powercap
+        .PowerCapCoordinator`): *drawing* live servers share the
+        integral state proportionally to demand, *idle* live servers
+        each get the uniform ``C / n_live`` share (so a mid-interval
+        power-on starts capped), and dead servers get exactly 0 W.
+        Quantization adds at most a quantum per cap and the floor at
+        most ``floor_w`` per capped server; the integral state itself
+        must sit inside ``[0, ceiling]``.
+        """
+        if not 0.0 <= fleet_cap_w <= ceiling_w + _EPSILON:
+            self._trip(
+                "cap_sum",
+                f"fleet cap {fleet_cap_w:.3f} W outside "
+                f"[0, {ceiling_w:.3f}] W ceiling",
+            )
+            return
+        if any(cap < 0.0 for cap in caps):
+            self._trip("cap_sum", f"negative server cap in {tuple(caps)}")
+            return
+        n_live = sum(1 for alive in live if alive)
+        uniform_limit = (
+            max(floor_w, fleet_cap_w / n_live) + quantum_w
+            if n_live
+            else 0.0
+        )
+        drawing = []
+        for server_id, (cap, watts, alive) in enumerate(
+            zip(caps, measured_w, live)
+        ):
+            if not alive:
+                if cap != 0.0:
+                    self._trip(
+                        "cap_sum",
+                        f"dead server {server_id} handed a "
+                        f"{cap:.3f} W cap",
+                    )
+                    return
+            elif watts > 0.0:
+                drawing.append(cap)
+            elif cap > uniform_limit + _EPSILON:
+                self._trip(
+                    "cap_sum",
+                    f"idle server {server_id} handed {cap:.3f} W > "
+                    f"{uniform_limit:.3f} W uniform share",
+                )
+                return
+        allowance = len(drawing) * (floor_w + quantum_w)
+        if drawing and sum(drawing) > fleet_cap_w + allowance + _EPSILON:
+            self._trip(
+                "cap_sum",
+                f"handed out {sum(drawing):.3f} W > fleet cap "
+                f"{fleet_cap_w:.3f} W + {allowance:.3f} W "
+                "floor/quantization allowance",
+            )
+
+    def energy_ledger(
+        self, previous_joules: float, current_joules: float
+    ) -> None:
+        """Accumulated energy is finite and monotone non-decreasing."""
+        if current_joules != current_joules or current_joules == float("inf"):
+            self._trip(
+                "energy_ledger", f"energy total is {current_joules!r}"
+            )
+            return
+        if current_joules < previous_joules - _EPSILON:
+            self._trip(
+                "energy_ledger",
+                f"energy ran backwards: {previous_joules:.6f} J -> "
+                f"{current_joules:.6f} J",
+            )
+
+    def heap_generation(
+        self, job_id: int, event_generation: int, job_generation: int
+    ) -> None:
+        """A scheduled completion never outruns its job's generation."""
+        if event_generation > job_generation:
+            self._trip(
+                "heap_generation",
+                f"job {job_id}: completion event generation "
+                f"{event_generation} > job generation {job_generation}",
+            )
+
+
+class _DisabledWatchdog:
+    """The do-nothing handle: one attribute check and out."""
+
+    enabled = False
+    strict = False
+    violations: Dict[str, int] = {}
+
+    def conservation(self, *args: int) -> None:
+        pass
+
+    def cap_sum(self, *args, **kwargs) -> None:
+        pass
+
+    def energy_ledger(self, *args: float) -> None:
+        pass
+
+    def heap_generation(self, *args: int) -> None:
+        pass
+
+
+#: The disabled singleton (never installed by default, but available to
+#: callers that need to switch checking off entirely).
+NULL_WATCHDOG = _DisabledWatchdog()
+
+#: Default handle: counting mode — invariants are always adjudicated,
+#: violations degrade to telemetry.
+_current: Union[InvariantWatchdog, _DisabledWatchdog] = InvariantWatchdog(
+    strict=False
+)
+
+
+def watchdog() -> Union[InvariantWatchdog, _DisabledWatchdog]:
+    """The process-wide watchdog handle (counting mode by default)."""
+    return _current
+
+
+def install_watchdog(
+    handle: Optional[Union[InvariantWatchdog, _DisabledWatchdog]],
+) -> Union[InvariantWatchdog, _DisabledWatchdog]:
+    """Swap the process-wide watchdog; returns the previous handle.
+
+    Pass ``None`` to restore the default counting watchdog.
+    """
+    global _current
+    previous = _current
+    _current = handle if handle is not None else InvariantWatchdog(strict=False)
+    return previous
+
+
+@contextmanager
+def watched(
+    strict: bool = True,
+) -> Iterator[InvariantWatchdog]:
+    """Scoped watchdog: install for the block, always restore after.
+
+    ``strict=True`` (the default, what tests and chaos runs want) makes
+    the first violation raise :class:`WatchdogError`.
+    """
+    handle = InvariantWatchdog(strict=strict)
+    previous = install_watchdog(handle)
+    try:
+        yield handle
+    finally:
+        install_watchdog(previous)

@@ -38,6 +38,7 @@ from ..errors import FaultError, SchedulingError
 from ..faults.injector import _record_injection, fault_injector
 from ..faults.plan import FaultPlan
 from ..faults.spec import JobKillFault, ServerCrashFault
+from ..faults.watchdog import watchdog
 from ..guardband import GuardbandMode
 from ..guardband.capping import CapResult, PowerCapPolicy
 from ..obs import DEFAULT_LATENCY_BUCKETS, observability
@@ -148,6 +149,20 @@ class FleetConfig:
     #: Integral gain of the coordinator's budget-tracking controller.
     cap_gain: float = 0.5
 
+    #: Optional per-server integral gains (one per server, each in
+    #: (0, 2]); overrides ``cap_gain`` per server.  Scenario lowering
+    #: derives these from the server group's plant response (aged
+    #: silicon tracks its cap with less authority).
+    cap_gains: Optional[Tuple[float, ...]] = None
+
+    #: Budget re-decomposition schedule: ``(time_seconds, budget_w)``
+    #: pairs applied at the first coordinator tick at or after each
+    #: time.  Scenario lowering compiles crash/repair windows into this
+    #: schedule so a cell's budget share follows the live server set —
+    #: statically, with no cross-cell runtime communication, so the
+    #: sharded digest stays invariant.  Empty = fixed budget.
+    fleet_power_budget_schedule: Tuple[Tuple[float, float], ...] = ()
+
     def __post_init__(self) -> None:
         if self.n_servers < 1:
             raise SchedulingError(
@@ -176,6 +191,46 @@ class FleetConfig:
             raise SchedulingError("cap_interval_seconds must be positive")
         if not 0 < self.cap_gain <= 2:
             raise SchedulingError("cap_gain must be in (0, 2]")
+        if self.cap_gains is not None:
+            object.__setattr__(self, "cap_gains", tuple(self.cap_gains))
+            if len(self.cap_gains) != self.n_servers:
+                raise SchedulingError(
+                    f"cap_gains must have one entry per server "
+                    f"({self.n_servers}), got {len(self.cap_gains)}"
+                )
+            for gain in self.cap_gains:
+                if not 0 < gain <= 2:
+                    raise SchedulingError(
+                        f"cap_gains entries must be in (0, 2], got {gain}"
+                    )
+        object.__setattr__(
+            self,
+            "fleet_power_budget_schedule",
+            tuple(
+                (float(t), float(w))
+                for t, w in self.fleet_power_budget_schedule
+            ),
+        )
+        if self.fleet_power_budget_schedule:
+            if self.fleet_power_budget_w is None:
+                raise SchedulingError(
+                    "fleet_power_budget_schedule needs a fleet budget"
+                )
+            previous_t = -1.0
+            for t, w in self.fleet_power_budget_schedule:
+                if t < 0:
+                    raise SchedulingError(
+                        "budget schedule times must be >= 0 seconds"
+                    )
+                if t <= previous_t:
+                    raise SchedulingError(
+                        "budget schedule times must be strictly increasing"
+                    )
+                if w <= 0:
+                    raise SchedulingError(
+                        "budget schedule budgets must be positive"
+                    )
+                previous_t = t
 
     @property
     def required_frequency(self) -> float:
@@ -326,10 +381,17 @@ class FleetSimulation:
                 budget_w=config.fleet_power_budget_w,
                 n_servers=config.n_servers,
                 gain=config.cap_gain,
+                gains=config.cap_gains,
             )
             if config.fleet_power_budget_w is not None
             else None
         )
+        #: Budget re-decomposition schedule, consumed in time order at
+        #: coordinator tick boundaries (empty = fixed budget).
+        self._budget_schedule: Tuple[Tuple[float, float], ...] = (
+            config.fleet_power_budget_schedule
+        )
+        self._next_budget_index = 0
         #: Coordinator-assigned caps by server id (quantized W).
         self._server_caps: Dict[int, float] = {}
         #: Latest per-server CapResult for throttled servers — the
@@ -355,6 +417,8 @@ class FleetSimulation:
         self.n_requeues = 0
         self.n_server_crashes = 0
         self.n_job_kills = 0
+        #: Watchdog snapshot: last adjudicated fleet energy total (J).
+        self._wd_energy_joules = 0.0
         #: Open fallback windows: (server, socket) -> entry time (ns).
         self._fallback_since: Dict[Tuple[int, int], int] = {}
         #: Closed fallback dwell per (server, socket), in ns.
@@ -842,6 +906,11 @@ class FleetSimulation:
 
     def _handle_completion(self, event: CompletionEvent) -> None:
         job = self.running.get(event.job_id)
+        wd = watchdog()
+        if wd.enabled and job is not None:
+            # Generations only count up, so an event generation above the
+            # job's current one is impossible bookkeeping, not staleness.
+            wd.heap_generation(event.job_id, event.generation, job.generation)
         if job is None or job.generation != event.generation:
             return  # stale estimate, superseded by a later placement
         now_ns = event.time_ns
@@ -1039,6 +1108,11 @@ class FleetSimulation:
             if not state.failed:
                 return
             state.failed = False
+            # A dead server's coordinator cap is 0 W; dropping it lets
+            # the repaired server restart under the static config cap
+            # until the next tick re-includes it in the distribution.
+            self._server_caps.pop(state.server_id, None)
+            state.power_cap_w = self._effective_cap(state.server_id)
             self.log.append(
                 "server_repair", event.time_ns, server_id=state.server_id
             )
@@ -1144,6 +1218,21 @@ class FleetSimulation:
         coordinator = self.coordinator
         if coordinator is None:  # pragma: no cover - ticks imply a budget
             raise SchedulingError("power-cap tick without a coordinator")
+        # Apply any due budget re-decomposition before measuring, so the
+        # tick integrates against the budget that now applies.
+        while self._next_budget_index < len(self._budget_schedule):
+            at_seconds, budget_w = self._budget_schedule[
+                self._next_budget_index
+            ]
+            if seconds_to_ns(at_seconds) > event.time_ns:
+                break
+            self._next_budget_index += 1
+            if budget_w == coordinator.budget_w:
+                continue
+            coordinator.set_budget(budget_w)
+            self.log.append(
+                "budget_update", event.time_ns, budget_w=budget_w
+            )
         measured = [
             (
                 self.accounts[state.server_id].adaptive_power_w
@@ -1152,7 +1241,25 @@ class FleetSimulation:
             )
             for state in self.servers
         ]
-        update = coordinator.tick(measured)
+        # The live mask keeps crashed servers from being handed the
+        # uniform idle share — their watts re-decompose to survivors —
+        # and resets the integral state on any membership change.
+        live = [not state.failed for state in self.servers]
+        update = coordinator.tick(measured, live=live)
+        wd = watchdog()
+        if wd.enabled:
+            wd.cap_sum(
+                update.caps,
+                measured,
+                live,
+                fleet_cap_w=update.fleet_cap_w,
+                ceiling_w=coordinator.ceiling_w,
+                floor_w=coordinator.floor_w,
+                quantum_w=coordinator.quantum_w,
+            )
+            total_j = sum(a.adaptive_joules for a in self.accounts)
+            wd.energy_ledger(self._wd_energy_joules, total_j)
+            self._wd_energy_joules = total_j
         self.powercap_ticks += 1
         self._tick_samples.append((event.time_ns, update.measured_w))
         self.log.append(
@@ -1270,6 +1377,17 @@ class FleetSimulation:
         # The tracer's clock reads the loop's simulated now; installing
         # (and restoring) it is a no-op while observability is disabled.
         previous_clock = obs.set_clock(lambda: self.now_ns)
+        # Arm settle-cache corruption for the run (chaos plans only):
+        # torn disk writes are detected, quarantined and recomputed, so
+        # the outcome — hence the digest — is provably unchanged.
+        cache_specs = self.fault_plan.cache_specs()
+        previous_tear = (
+            fleet_settle_cache().arm_corruption(
+                min(spec.every_n for spec in cache_specs)
+            )
+            if cache_specs
+            else None
+        )
         try:
             with obs.span(
                 "fleet.run",
@@ -1279,6 +1397,8 @@ class FleetSimulation:
             ):
                 result = self._run_loop(horizon_ns)
         finally:
+            if cache_specs:
+                fleet_settle_cache().arm_corruption(previous_tear)
             obs.set_clock(previous_clock)
         if obs.enabled:
             obs.gauge(
@@ -1340,6 +1460,16 @@ class FleetSimulation:
         self._fallback_since.clear()
         adaptive_j = sum(a.adaptive_joules for a in self.accounts)
         static_j = sum(a.static_joules for a in self.accounts)
+        wd = watchdog()
+        if wd.enabled:
+            wd.energy_ledger(self._wd_energy_joules, adaptive_j)
+            self._wd_energy_joules = adaptive_j
+            wd.conservation(
+                len(self.records),
+                sum(1 for r in self.records.values() if r.completed),
+                len(self.running),
+                len(self.queue) + len(self.pending_retries),
+            )
         return FleetResult(
             policy=self.policy.name,
             horizon_ns=horizon_ns,

@@ -50,6 +50,7 @@ share independently.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -89,6 +90,7 @@ class PowerCapCoordinator:
         quantum_w: float = 1.0,
         floor_w: float = 50.0,
         ceiling_factor: float = 4.0,
+        gains: Optional[Sequence[float]] = None,
     ) -> None:
         """
         Parameters
@@ -108,6 +110,13 @@ class PowerCapCoordinator:
         ceiling_factor:
             Anti-windup: the fleet cap never exceeds
             ``ceiling_factor * budget_w``.
+        gains:
+            Optional per-server integral gains (server-group plant
+            response, e.g. aged silicon walks its DVFS table with less
+            authority).  Each tick integrates with the *mean gain of
+            the live servers*, so a crash that removes a whole group
+            retunes the loop to the survivors.  ``None`` uses ``gain``
+            for every server.
         """
         if budget_w <= 0:
             raise SchedulingError(f"budget_w must be positive, got {budget_w}")
@@ -121,53 +130,138 @@ class PowerCapCoordinator:
             raise SchedulingError("floor_w must be >= quantum_w")
         if ceiling_factor < 1:
             raise SchedulingError("ceiling_factor must be >= 1")
+        if gains is not None:
+            gains = tuple(float(g) for g in gains)
+            if len(gains) != n_servers:
+                raise SchedulingError(
+                    f"gains must have one entry per server "
+                    f"({n_servers}), got {len(gains)}"
+                )
+            for g in gains:
+                if not 0 < g <= 2:
+                    raise SchedulingError(
+                        f"per-server gains must be in (0, 2], got {g}"
+                    )
         self.budget_w = budget_w
         self.n_servers = n_servers
         self.gain = gain
+        self.gains = gains
         self.quantum_w = quantum_w
         self.floor_w = floor_w
+        self.ceiling_factor = ceiling_factor
         self.ceiling_w = ceiling_factor * budget_w
         #: Integral state: total watts currently handed out.  Starts at
         #: the budget itself (zero prior error).
         self.fleet_cap_w = budget_w
         self._ticks = 0
+        #: Live mask of the previous tick — a membership change (crash,
+        #: repair) resets the integral state (anti-windup: error history
+        #: accumulated against the old server set is meaningless).
+        self._live: Tuple[bool, ...] = (True,) * n_servers
 
     def _quantize(self, cap_w: float) -> float:
         steps = round(cap_w / self.quantum_w)
         return max(self.floor_w, steps * self.quantum_w)
 
-    def tick(self, measured_w: Sequence[float]) -> CapUpdate:
+    def set_budget(self, budget_w: float) -> None:
+        """Retarget the controller (fleet-budget re-decomposition).
+
+        Resets the integral state to the new budget — the accumulated
+        error history tracked the *old* target, and carrying it over
+        would transiently hand out watts the new budget never allowed.
+        """
+        if budget_w <= 0:
+            raise SchedulingError(f"budget_w must be positive, got {budget_w}")
+        self.budget_w = budget_w
+        self.ceiling_w = self.ceiling_factor * budget_w
+        self.fleet_cap_w = budget_w
+
+    def _effective_gain(self, live: Sequence[bool]) -> float:
+        """The loop gain for one tick: mean gain of the live servers."""
+        if self.gains is None:
+            return self.gain
+        live_gains = [g for g, alive in zip(self.gains, live) if alive]
+        if not live_gains:
+            return self.gain
+        return sum(live_gains) / len(live_gains)
+
+    def tick(
+        self,
+        measured_w: Sequence[float],
+        live: Optional[Sequence[bool]] = None,
+    ) -> CapUpdate:
         """Integrate the budget error and redistribute the fleet cap.
 
         ``measured_w`` is the current rail power of every server in id
-        order (0.0 for powered-off/crashed servers).
+        order (0.0 for powered-off/crashed servers).  ``live`` marks
+        which servers are actually in service (``None`` = all): dead
+        servers are handed a 0 W cap instead of the uniform idle share,
+        and the clamp floor, uniform share and effective gain all scale
+        to the live population.  An all-live mask is byte-identical to
+        passing no mask at all, so fault-free runs are unchanged.
         """
         if len(measured_w) != self.n_servers:
             raise SchedulingError(
                 f"expected {self.n_servers} measurements, "
                 f"got {len(measured_w)}"
             )
+        if live is None:
+            live_mask: Tuple[bool, ...] = (True,) * self.n_servers
+        else:
+            if len(live) != self.n_servers:
+                raise SchedulingError(
+                    f"expected {self.n_servers} live flags, got {len(live)}"
+                )
+            live_mask = tuple(bool(flag) for flag in live)
+        if live_mask != self._live:
+            # Membership changed since the last tick: the integral state
+            # was accumulated against a different plant.  Restart from
+            # zero prior error (anti-windup reset).
+            self._live = live_mask
+            self.fleet_cap_w = self.budget_w
+        n_live = sum(live_mask)
         self._ticks += 1
-        total = float(sum(measured_w))
+        total = float(
+            sum(w for w, alive in zip(measured_w, live_mask) if alive)
+        )
+        if n_live == 0:
+            # Everything is dead: nothing to hand out, nothing to learn.
+            return CapUpdate(
+                tick=self._ticks,
+                measured_w=total,
+                fleet_cap_w=self.fleet_cap_w,
+                caps=(0.0,) * self.n_servers,
+            )
         error = self.budget_w - total
-        floor_total = self.floor_w * self.n_servers
+        floor_total = self.floor_w * n_live
         self.fleet_cap_w = min(
             self.ceiling_w,
-            max(floor_total, self.fleet_cap_w + self.gain * error),
+            max(
+                floor_total,
+                self.fleet_cap_w + self._effective_gain(live_mask) * error,
+            ),
         )
-        drawing = [w for w in measured_w if w > 0.0]
+        drawing = [
+            w for w, alive in zip(measured_w, live_mask) if alive and w > 0.0
+        ]
         caps = []
         if drawing:
             weight_total = sum(drawing)
-            for watts in measured_w:
+            for watts, alive in zip(measured_w, live_mask):
+                if not alive:
+                    caps.append(0.0)
+                    continue
                 if watts > 0.0:
                     share = self.fleet_cap_w * watts / weight_total
                 else:
-                    share = self.fleet_cap_w / self.n_servers
+                    share = self.fleet_cap_w / n_live
                 caps.append(self._quantize(share))
         else:
-            uniform = self.fleet_cap_w / self.n_servers
-            caps = [self._quantize(uniform)] * self.n_servers
+            uniform = self.fleet_cap_w / n_live
+            caps = [
+                self._quantize(uniform) if alive else 0.0
+                for alive in live_mask
+            ]
         return CapUpdate(
             tick=self._ticks,
             measured_w=total,
@@ -181,7 +275,7 @@ def decompose_budget(
 ) -> Tuple[Optional[float], ...]:
     """Split a fleet budget across cells proportionally to server count.
 
-    The per-cell shares sum to the budget exactly (the largest cell
+    The per-cell shares sum to the budget *bit-exactly* (the last cell
     absorbs the float remainder), so a sharded fleet tracks the same
     total a monolithic one would.
     """
@@ -191,6 +285,23 @@ def decompose_budget(
     if total <= 0:
         raise SchedulingError("cannot decompose a budget over zero servers")
     shares = [budget_w * size / total for size in sizes]
-    largest = max(range(len(sizes)), key=lambda i: (sizes[i], -i))
-    shares[largest] += budget_w - sum(shares)
-    return tuple(shares)
+    if len(shares) == 1:
+        return (budget_w,)
+    # The last share absorbs the rounding remainder:
+    # ``prefix + (budget - prefix)`` re-sums to the budget bit-exactly
+    # whenever the subtraction is exact (Sterbenz).  When it is not —
+    # the final addition can tie-to-even straight past the budget — a
+    # one-ulp nudge to the preceding share shifts the tie point and we
+    # retry; a handful of nudges always suffices and perturbs that
+    # share by well under a microwatt.
+    for _ in range(64):
+        prefix = 0.0
+        for share in shares[:-1]:
+            prefix += share
+        shares[-1] = budget_w - prefix
+        if sum(shares) == budget_w:
+            return tuple(shares)
+        shares[-2] = math.nextafter(shares[-2], math.inf)
+    raise SchedulingError(  # pragma: no cover - 300k-split fuzz never hit
+        f"could not decompose {budget_w} W exactly over cells {tuple(sizes)}"
+    )

@@ -37,13 +37,20 @@ are not JSON-serializable but whose growth must still be bounded.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
 from ..obs import observability
-from ..sim.cache import CacheStats, _decode, _encode, fingerprint
+from ..sim.cache import (
+    CacheStats,
+    _decode,
+    _encode,
+    canonical_json,
+    fingerprint,
+)
 from ..sim.results import RunResult
 
 #: Default in-memory entry cap.  A settled :class:`RunResult` is a few
@@ -55,6 +62,17 @@ DEFAULT_MAX_ENTRIES = 8192
 #: Environment knobs (service deployments; tests use the configure call).
 ENV_DIR = "REPRO_FLEET_SETTLE_DIR"
 ENV_ENTRIES = "REPRO_FLEET_SETTLE_ENTRIES"
+
+#: Suffix quarantined (checksum-failing) disk entries are renamed to,
+#: so a persistently bad file never costs a decode attempt twice.
+QUARANTINE_SUFFIX = ".corrupt"
+
+
+def _payload_checksum(encoded: Any) -> str:
+    """SHA-256 over the canonical JSON of an encoded settle payload."""
+    return hashlib.sha256(
+        canonical_json(encoded).encode("utf-8")
+    ).hexdigest()
 
 
 class BoundedMemo:
@@ -123,6 +141,10 @@ class FleetSettleCache:
         self._entries: "OrderedDict[Hashable, RunResult]" = OrderedDict()
         self._disk_dir = disk_dir
         self.stats = CacheStats()
+        # Deterministic chaos hook: while armed, every Nth disk write is
+        # torn mid-payload (see arm_corruption / CacheCorruptionFault).
+        self._corrupt_every: Optional[int] = None
+        self._writes_since_armed = 0
 
     @property
     def disk_dir(self) -> Optional[str]:
@@ -168,6 +190,23 @@ class FleetSettleCache:
         """Drop the in-memory layer (shared disk files are left in place)."""
         self._entries.clear()
 
+    def arm_corruption(self, every_n: Optional[int]) -> Optional[int]:
+        """Arm (``every_n >= 1``) or disarm (``None``) write tearing.
+
+        While armed, every ``every_n``-th disk write is truncated
+        mid-payload after the atomic replace — a deterministic stand-in
+        for torn writes (power loss, full disk).  Returns the previous
+        setting so callers can restore it; the write counter restarts on
+        every call, keeping the tear sequence a pure function of the
+        write order since arming.
+        """
+        if every_n is not None and every_n < 1:
+            raise ValueError(f"every_n must be >= 1, got {every_n}")
+        previous = self._corrupt_every
+        self._corrupt_every = every_n
+        self._writes_since_armed = 0
+        return previous
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -210,17 +249,50 @@ class FleetSettleCache:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
-            result = _decode(payload["result"])
+        except OSError:
+            self.stats.disk_errors += 1
+            self._record_disk_error("read")
+            return None
+        except ValueError:
+            # Truncated / torn / garbage JSON: the file itself is bad.
+            self._quarantine(path)
+            return None
+        try:
+            encoded = payload["result"]
+            if _payload_checksum(encoded) != payload["checksum"]:
+                raise ValueError("checksum mismatch")
+            result = _decode(encoded)
             if not isinstance(result, RunResult):
                 raise TypeError(
                     f"payload decodes to {type(result).__name__}, "
                     "expected RunResult"
                 )
             return result
-        except (OSError, ValueError, KeyError, TypeError):
-            self.stats.disk_errors += 1
-            self._record_disk_error("read")
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             return None
+
+    def _quarantine(self, path: str) -> None:
+        """Count one corrupt disk entry and move it out of the namespace.
+
+        Renaming (not deleting) keeps the evidence for post-mortems while
+        guaranteeing the next lookup recomputes instead of re-decoding a
+        known-bad file.
+        """
+        self.stats.disk_errors += 1
+        self.stats.corrupt += 1
+        self._record_disk_error("read")
+        observability().count(
+            "fleet_settle_cache_corrupt_total",
+            help_text=(
+                "Settle-cache disk entries that failed validation "
+                "(torn, truncated or garbage) and were quarantined."
+            ),
+        )
+        try:
+            os.replace(path, path + QUARANTINE_SUFFIX)
+        except OSError:
+            pass
 
     def _disk_put(self, key: Hashable, result: RunResult) -> None:
         if self._disk_dir is None:
@@ -231,7 +303,11 @@ class FleetSettleCache:
         tmp = path + f".{os.getpid()}.tmp"
         try:
             os.makedirs(self._disk_dir, exist_ok=True)
-            payload = {"result": _encode(result)}
+            encoded = _encode(result)
+            payload = {
+                "checksum": _payload_checksum(encoded),
+                "result": encoded,
+            }
             try:
                 with open(tmp, "w", encoding="utf-8") as fh:
                     json.dump(payload, fh)
@@ -245,6 +321,25 @@ class FleetSettleCache:
         except (OSError, TypeError, ValueError):
             self.stats.disk_errors += 1
             self._record_disk_error("write")
+            return
+        if self._corrupt_every:
+            self._writes_since_armed += 1
+            if self._writes_since_armed % self._corrupt_every == 0:
+                self._tear(path)
+
+    def _tear(self, path: str) -> None:
+        """Truncate a just-written entry mid-payload (the armed fault)."""
+        try:
+            size = os.path.getsize(path)
+            with open(path, "r+b") as fh:
+                fh.truncate(max(1, size // 2))
+        except OSError:
+            return
+        observability().count(
+            "faults_injected_total",
+            help_text="Fault injections applied, by fault kind.",
+            kind="cache_fault",
+        )
 
 
 # ----------------------------------------------------------------------

@@ -34,14 +34,18 @@ import dataclasses
 import hashlib
 import heapq
 import json
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import FaultError, SchedulingError
 from ..faults.plan import FaultPlan
-from ..faults.spec import JobKillFault
+from ..faults.spec import CacheCorruptionFault, JobKillFault
+from ..obs import observability
 from ..sim.batch import SweepRunner
 from ..sim.cache import canonical_json
 from .engine import FleetConfig, FleetSimulation
@@ -127,6 +131,15 @@ def _split_fault_plan(
         )
     per_cell: Dict[int, List] = {}
     for spec in plan.specs:
+        if isinstance(spec, CacheCorruptionFault):
+            # Settle-cache tearing is a process-wide condition, not a
+            # server's: every cell (hence every worker process) arms its
+            # own cache.  Corruption only forces recomputation, so the
+            # merged digest stays invariant regardless of which worker
+            # tears which write.
+            for cell_id in range(layout.n_cells):
+                per_cell.setdefault(cell_id, []).append(spec)
+            continue
         if isinstance(spec, JobKillFault):
             cell_id = layout.cell_of_job(spec.job_id)
             local = spec
@@ -236,6 +249,42 @@ def _simulate_cell(
     return result, lines
 
 
+#: Environment hook for deterministic worker-death tests:
+#: ``kill:cell=<index>,attempt=<n>`` makes the pool worker about to
+#: simulate that cell on that execution attempt die with ``os._exit``.
+#: Retries carry higher attempt numbers, so the kill fires exactly once
+#: and the recovery path is exercised deterministically.  The hook never
+#: fires in the parent process (the in-process last resort stays safe).
+ENV_SHARD_FAULT = "REPRO_SHARD_FAULT"
+
+#: Fresh-pool re-execution rounds before the in-process last resort.
+MAX_SHARD_RETRIES = 2
+
+
+def _maybe_inject_worker_fault(cell_index: int, attempt: int) -> None:
+    """Honor :data:`ENV_SHARD_FAULT` (pool workers only)."""
+    spec = os.environ.get(ENV_SHARD_FAULT)
+    if not spec:
+        return
+    if multiprocessing.parent_process() is None:
+        return
+    action, _, params = spec.partition(":")
+    try:
+        fields = dict(
+            item.split("=", 1) for item in params.split(",") if item
+        )
+        target_cell = int(fields.get("cell", -1))
+        target_attempt = int(fields.get("attempt", 0))
+    except ValueError:
+        return
+    if (
+        action == "kill"
+        and cell_index == target_cell
+        and attempt == target_attempt
+    ):
+        os._exit(17)
+
+
 def _run_spec_batch(payload: tuple) -> List[Tuple[int, FleetResult, list]]:
     """Worker entry point: run a batch of cell specs sequentially.
 
@@ -246,7 +295,16 @@ def _run_spec_batch(payload: tuple) -> List[Tuple[int, FleetResult, list]]:
     routing — a 625-cell fleet regenerates its million-job trace once
     per *shard*, not once per cell.
     """
-    traffic, trace_seed, policy, cells, workers, n_cells, settle_dir = payload
+    (
+        traffic,
+        trace_seed,
+        policy,
+        cells,
+        workers,
+        n_cells,
+        settle_dir,
+        attempt,
+    ) = payload
     # Point this process's settle cache at the parent's shared directory:
     # a pool worker starts cold and rebuilds against it; the in-process
     # path already matches and keeps its warm memory layer.
@@ -258,6 +316,7 @@ def _run_spec_batch(payload: tuple) -> List[Tuple[int, FleetResult, list]]:
             by_index[index].append(job)
     out = []
     for cell in cells:
+        _maybe_inject_worker_fault(cell.index, attempt)
         result, lines = _simulate_cell(
             cell, policy, tuple(by_index.pop(cell.index)), workers
         )
@@ -348,6 +407,81 @@ def merge_cell_results(
 
 
 # ----------------------------------------------------------------------
+# Crash-safe pool execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardRetry:
+    """One recovered re-execution of a failed shard cell.
+
+    A worker process dying (OOM kill, segfault, node reboot) surfaces as
+    :class:`BrokenProcessPool`; a wedged worker as a timeout.  Either
+    way the failed cells are re-executed deterministically — per-cell
+    results are pure functions of the cell spec, so the recovered merged
+    digest is bit-identical to an unfaulted run (enforced by test).
+    """
+
+    #: The cell whose batch failed and was re-executed.
+    cell_index: int
+
+    #: Re-execution attempt number (1-based; attempt 0 is the original).
+    attempt: int
+
+    #: Why the original execution failed: ``broken_pool`` | ``timeout``.
+    reason: str
+
+    #: How the retry ran: ``fresh_pool`` | ``in_process``.
+    recovered_via: str
+
+
+def _record_shard_retry(reason: str, via: str) -> None:
+    observability().count(
+        "fleet_shard_retries_total",
+        help_text="Failed shard batches re-executed deterministically.",
+        reason=reason,
+        via=via,
+    )
+
+
+def _run_pool_round(
+    items: Sequence[Tuple[list, int]],
+    payload_for: Callable[[list, int], tuple],
+    timeout: Optional[float],
+) -> Tuple[List[Tuple[int, FleetResult, list]], List[Tuple[list, int, str]]]:
+    """Run one round of batches on a fresh pool, isolating failures.
+
+    Returns ``(outcomes, failed)`` where ``failed`` holds
+    ``(batch, attempt, reason)`` for every batch whose worker died or
+    timed out.  Sandbox-level refusals (``OSError`` etc.) propagate to
+    the caller — those mean "no pools here", not "this batch failed".
+    """
+    outcomes: List[Tuple[int, FleetResult, list]] = []
+    failed: List[Tuple[list, int, str]] = []
+    pool = ProcessPoolExecutor(max_workers=len(items))
+    try:
+        futures = []
+        for batch, attempt in items:
+            try:
+                future = pool.submit(_run_spec_batch, payload_for(batch, attempt))
+            except BrokenProcessPool:
+                failed.append((batch, attempt, "broken_pool"))
+                continue
+            futures.append((batch, attempt, future))
+        for batch, attempt, future in futures:
+            try:
+                outcomes.extend(future.result(timeout=timeout))
+            except BrokenProcessPool:
+                failed.append((batch, attempt, "broken_pool"))
+            except FuturesTimeoutError:
+                future.cancel()
+                failed.append((batch, attempt, "timeout"))
+    finally:
+        # Not ``with``: a wedged worker must not deadlock shutdown, and
+        # cancel_futures sheds anything still queued behind a failure.
+        pool.shutdown(wait=False, cancel_futures=True)
+    return outcomes, failed
+
+
+# ----------------------------------------------------------------------
 # The entry points
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -357,11 +491,13 @@ class ShardedOutcome:
     ``by_cell`` keeps the per-cell ledgers (events stripped, ids already
     global) so callers — notably the scenario runner's per-group
     rollups — can attribute energy and QoS to individual cells without
-    re-running anything.
+    re-running anything.  ``retries`` is the recovery manifest: one
+    entry per re-executed cell, empty on a clean run.
     """
 
     merged: FleetResult
     by_cell: Dict[int, FleetResult]
+    retries: Tuple[ShardRetry, ...] = ()
 
 
 def run_cell_specs(
@@ -371,6 +507,7 @@ def run_cell_specs(
     workers: int = 1,
     keep_events: bool = True,
     trace_seed: Optional[int] = None,
+    shard_timeout: Optional[float] = None,
 ) -> ShardedOutcome:
     """Run an explicit cell list — homogeneous or mixed — and merge.
 
@@ -383,6 +520,13 @@ def run_cell_specs(
     not couple to any one group's silicon.  The merged event log (and
     SHA-256) is invariant across ``n_shards`` by construction, exactly
     as in the homogeneous case.
+
+    Worker death (:class:`BrokenProcessPool`) or a per-batch timeout
+    (``shard_timeout`` seconds, ``None`` = wait forever) never fails the
+    run: the failed cells are split into single-cell batches and
+    re-executed on a fresh pool for up to :data:`MAX_SHARD_RETRIES`
+    rounds, then in-process as a last resort.  Each re-execution is
+    recorded on :attr:`ShardedOutcome.retries`.
     """
     if n_shards < 1:
         raise SchedulingError(f"n_shards must be >= 1, got {n_shards}")
@@ -412,31 +556,59 @@ def run_cell_specs(
         for shard in range(min(n_shards, n_cells))
     ]
     settle_dir = fleet_settle_cache().disk_dir
-    payloads = [
-        (traffic, trace_seed, policy, batch, workers, n_cells, settle_dir)
-        for batch in batches
-        if batch
-    ]
+
+    def payload_for(batch: list, attempt: int) -> tuple:
+        return (
+            traffic, trace_seed, policy, batch, workers, n_cells,
+            settle_dir, attempt,
+        )
+
     outcomes: List[Tuple[int, FleetResult, list]] = []
-    if len(payloads) > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
-                for batch_out in pool.map(_run_spec_batch, payloads):
-                    outcomes.extend(batch_out)
-        except (OSError, PermissionError, NotImplementedError):
-            # Sandboxes may refuse process pools; the in-process path is
-            # bit-identical by construction.
-            outcomes = []
-    if not outcomes:
-        for payload in payloads:
-            outcomes.extend(_run_spec_batch(payload))
+    retries: List[ShardRetry] = []
+    pending: List[Tuple[list, int]] = [(b, 0) for b in batches if b]
+    if len(pending) > 1:
+        round_no = 0
+        while pending and round_no <= MAX_SHARD_RETRIES:
+            try:
+                round_out, failed = _run_pool_round(
+                    pending, payload_for, shard_timeout
+                )
+            except (OSError, PermissionError, NotImplementedError):
+                # Sandboxes may refuse process pools; the in-process path
+                # is bit-identical by construction.  Not a recovery event.
+                break
+            outcomes.extend(round_out)
+            round_no += 1
+            # Failed batches are split to single cells so one poisoned
+            # cell cannot drag its batch-mates through every retry round.
+            via = "in_process" if round_no > MAX_SHARD_RETRIES else "fresh_pool"
+            pending = []
+            for batch, attempt, reason in failed:
+                for cell in batch:
+                    pending.append(([cell], attempt + 1))
+                    retries.append(
+                        ShardRetry(
+                            cell_index=cell.index,
+                            attempt=attempt + 1,
+                            reason=reason,
+                            recovered_via=via,
+                        )
+                    )
+                    _record_shard_retry(reason, via)
+    # Whatever is left — the single-batch case, the sandbox fallback, or
+    # cells that exhausted their fresh-pool rounds — runs in-process.
+    # (The kill hook only fires in pool workers, so this always finishes.)
+    for batch, attempt in pending:
+        outcomes.extend(_run_spec_batch(payload_for(batch, attempt)))
     cell_results = {cell_id: result for cell_id, result, _ in outcomes}
     cell_lines = {cell_id: lines for cell_id, _, lines in outcomes}
     merged = merge_cell_results(
         ordered[0].config, policy, cell_results, cell_lines,
         keep_events=keep_events,
     )
-    return ShardedOutcome(merged=merged, by_cell=cell_results)
+    return ShardedOutcome(
+        merged=merged, by_cell=cell_results, retries=tuple(retries)
+    )
 
 
 def run_sharded(
@@ -447,6 +619,7 @@ def run_sharded(
     fault_plan: Optional[FaultPlan] = None,
     workers: int = 1,
     keep_events: bool = True,
+    shard_timeout: Optional[float] = None,
 ) -> FleetResult:
     """One policy's sharded run over the homogeneous fleet day.
 
@@ -497,7 +670,7 @@ def run_sharded(
     )
     return run_cell_specs(
         cells, policy, n_shards=n_shards, workers=workers,
-        keep_events=keep_events,
+        keep_events=keep_events, shard_timeout=shard_timeout,
     ).merged
 
 

@@ -162,6 +162,7 @@ def _group_from(table: _Table) -> ServerGroupSpec:
             "age_years", (int, float), ServerGroupSpec.age_years
         ),
         cell_servers=table.take_scalar("cell_servers", (int,), None),
+        cap_gain=table.take_scalar("cap_gain", (int, float), None),
     )
     table.finish()
     return spec
@@ -409,6 +410,7 @@ def scenario_to_document(scenario: Scenario) -> Dict[str, Any]:
                         "servers": group.servers,
                         "age_years": group.age_years,
                         "cell_servers": group.cell_servers,
+                        "cap_gain": group.cap_gain,
                     }
                 )
                 for group in scenario.topology.groups

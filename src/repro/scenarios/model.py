@@ -205,6 +205,12 @@ class ServerGroupSpec:
     #: a large group keeps its load share in line with its size.
     cell_servers: Optional[int] = None
 
+    #: Per-group power-cap loop gain (``None``: the policy's
+    #: ``power_cap_gain``).  Models the group's plant response to a cap
+    #: step; service age further attenuates the effective gain at
+    #: lowering time (see :func:`repro.scenarios.runner.lower_scenario`).
+    cap_gain: Optional[float] = None
+
     def __post_init__(self) -> None:
         _require(
             bool(self.name) and isinstance(self.name, str),
@@ -221,6 +227,12 @@ class ServerGroupSpec:
             _require(
                 isinstance(self.cell_servers, int) and self.cell_servers >= 1,
                 f"group {self.name!r}: cell_servers must be an integer >= 1",
+            )
+        if self.cap_gain is not None:
+            _finite(self.cap_gain, f"group {self.name!r} cap_gain")
+            _require(
+                0 < self.cap_gain <= 2,
+                f"group {self.name!r}: cap_gain must be in (0, 2]",
             )
 
     @property

@@ -49,7 +49,12 @@ from ..fleet.engine import FleetConfig
 from ..fleet.metrics import FleetResult
 from ..fleet.powercap import decompose_budget
 from ..fleet.scheduler import POLICIES, FleetPolicy
-from ..fleet.shard import CellSpec, ShardedOutcome, run_cell_specs
+from ..fleet.shard import (
+    CellSpec,
+    ShardedOutcome,
+    ShardRetry,
+    run_cell_specs,
+)
 from ..fleet.traffic import TrafficConfig
 from ..sim.batch import derive_seed
 from .model import Scenario, ServerGroupSpec
@@ -125,6 +130,27 @@ def _group_die_seed(scenario: Scenario, group: ServerGroupSpec) -> int:
     )
 
 
+def _group_cap_gain(scenario: Scenario, group: ServerGroupSpec) -> float:
+    """The group's effective power-cap loop gain.
+
+    Starts from the group's ``cap_gain`` (default: the policy gain) and
+    attenuates it with normalized service age — aged silicon has part of
+    its guardband consumed, so one DVFS step buys fewer watts and the
+    integral loop must walk more gently to avoid limit-cycling.  At the
+    aging model's end of life the gain is halved; age 0 is unchanged.
+    """
+    base = (
+        group.cap_gain
+        if group.cap_gain is not None
+        else scenario.policy.power_cap_gain
+    )
+    if group.age_years <= 0:
+        return base
+    lifetime = scenario.topology.aging_lifetime_years
+    attenuation = 1.0 - 0.5 * min(1.0, group.age_years / lifetime)
+    return max(0.05, base * attenuation)
+
+
 def _lower_fault_windows(
     scenario: Scenario,
 ) -> Tuple[Dict[str, List[FaultSpec]], List[FaultSpec]]:
@@ -190,6 +216,75 @@ def _window_to_spec(window, server: int) -> FaultSpec:
     raise ScenarioError(f"unloweable fault kind {window.kind!r}")
 
 
+def _budget_schedules(
+    scenario: Scenario,
+    per_group_faults: Dict[str, List[FaultSpec]],
+    cell_sizes: List[int],
+) -> Dict[int, Tuple[Tuple[float, float], ...]]:
+    """Compile crash/repair windows into per-cell budget schedules.
+
+    A crashed server draws nothing, so leaving the fleet budget's cell
+    decomposition fixed would strand the dead cell's watts while its
+    survivors throttle.  The crash windows are known declaratively, so
+    the re-decomposition is computed *statically*: at every membership
+    change the fleet budget is re-split over the live server counts, and
+    each cell gets its share as a ``(time, budget)`` schedule applied at
+    tick boundaries.  No cross-cell runtime communication — the sharded
+    digest stays invariant.  Cells momentarily holding zero live servers
+    keep their previous budget (their live mask hands out nothing).
+    """
+    budget = scenario.policy.fleet_power_budget_w
+    if budget is None:
+        return {}
+    # Pre-pass mirroring the cell construction order, mapping each
+    # group-local crash spec onto the cell that owns its server.
+    events: List[Tuple[float, int, int]] = []
+    cell_cursor = 0
+    for group in scenario.topology.groups:
+        width = group.cell_servers or group.servers
+        specs = per_group_faults.get(group.name, [])
+        local_offset = 0
+        while local_offset < group.servers:
+            size = min(width, group.servers - local_offset)
+            for spec in specs:
+                if not isinstance(spec, ServerCrashFault):
+                    continue
+                if not local_offset <= spec.server_id < local_offset + size:
+                    continue
+                events.append((spec.start_seconds, cell_cursor, -1))
+                if spec.repair_seconds is not None:
+                    events.append(
+                        (
+                            spec.start_seconds + spec.repair_seconds,
+                            cell_cursor,
+                            +1,
+                        )
+                    )
+            local_offset += size
+            cell_cursor += 1
+    if not events:
+        return {}
+    live = list(cell_sizes)
+    schedules: Dict[int, List[Tuple[float, float]]] = {}
+    for at_seconds in sorted({t for t, _, _ in events}):
+        for t, cell_index, delta in events:
+            if t == at_seconds:
+                live[cell_index] += delta
+        alive = [max(0, n) for n in live]
+        if sum(alive) <= 0:
+            continue
+        shares = decompose_budget(budget, alive)
+        for cell_index, share in enumerate(shares):
+            if share is not None and share > 0:
+                schedules.setdefault(cell_index, []).append(
+                    (at_seconds, share)
+                )
+    return {
+        cell_index: tuple(entries)
+        for cell_index, entries in schedules.items()
+    }
+
+
 def lower_scenario(
     scenario: Scenario, seed: Optional[int] = None
 ) -> LoweredScenario:
@@ -226,10 +321,14 @@ def lower_scenario(
     budget_shares = decompose_budget(
         effective.policy.fleet_power_budget_w, cell_sizes
     )
+    budget_schedules = _budget_schedules(
+        effective, per_group_faults, cell_sizes
+    )
     server_offset = 0
     for group in effective.topology.groups:
         server_config = _group_server_config(effective, group)
         die_seed = _group_die_seed(effective, group)
+        group_gain = _group_cap_gain(effective, group)
         width = group.cell_servers or group.servers
         group_fault_specs = per_group_faults.get(group.name, [])
         indices: List[int] = []
@@ -256,7 +355,15 @@ def lower_scenario(
                 cap_interval_seconds=(
                     effective.policy.power_cap_interval_seconds
                 ),
-                cap_gain=effective.policy.power_cap_gain,
+                cap_gain=group_gain,
+                cap_gains=(
+                    (group_gain,) * size
+                    if effective.policy.fleet_power_budget_w is not None
+                    else None
+                ),
+                fleet_power_budget_schedule=budget_schedules.get(
+                    cell_index, ()
+                ),
             )
             # Specs whose group-local server id falls inside this cell,
             # rebased to cell-local ids.
@@ -332,6 +439,12 @@ class ScenarioResult:
     scenario: Scenario
     fleet: FleetResult
     groups: Tuple[GroupSummary, ...]
+
+    #: Shard-recovery manifest: one entry per re-executed cell (empty on
+    #: a clean run).  Recovery is deterministic, so a non-empty manifest
+    #: never moves the event-log hash — it only records that workers
+    #: died along the way.
+    retries: Tuple["ShardRetry", ...] = ()
 
     #: Epochs whose settled adaptive server power exceeded the policy's
     #: ``server_power_cap_w`` (0 when no cap is configured).  The engine
@@ -419,6 +532,7 @@ def _summarize(
         scenario=lowered.scenario,
         fleet=outcome.merged,
         groups=tuple(groups),
+        retries=outcome.retries,
         cap_exceeded_epochs=cap_exceeded,
     )
 

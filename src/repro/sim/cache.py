@@ -177,6 +177,9 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     disk_errors: int = 0
+    #: Disk entries that failed validation (torn/garbage) and were
+    #: quarantined — a subset of ``disk_errors``.
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -199,6 +202,8 @@ class CacheStats:
         )
         if self.disk_errors:
             line += f", {self.disk_errors} disk errors"
+        if self.corrupt:
+            line += f" ({self.corrupt} quarantined)"
         return line
 
 

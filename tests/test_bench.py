@@ -147,6 +147,42 @@ class TestGate:
         with pytest.raises(ConfigError, match="no entries"):
             gate_trend(path)
 
+    def test_missing_trend_file_says_what_to_run(self, tmp_path):
+        path = str(tmp_path / "nope.json")
+        with pytest.raises(ConfigError, match="does not exist") as excinfo:
+            gate_trend(path)
+        assert "repro bench fleet" in str(excinfo.value)
+
+    def test_all_foreign_hosts_cannot_be_gated(self, tmp_path):
+        # Unlike the mixed case above, a file with *only* other hosts'
+        # timings would "pass" every name as a fresh baseline forever;
+        # the gate refuses with the host class spelled out instead.
+        path = str(tmp_path / "t.json")
+        trend = BenchTrend()
+        trend.append(
+            BenchEntry(
+                name="a",
+                wall_seconds=1.0,
+                timestamp="2026-01-01T00:00:00+00:00",
+                host={"platform": "other", "cpus": 128},
+            )
+        )
+        trend.save(path)
+        with pytest.raises(
+            ConfigError, match="no entries for this host class"
+        ) as excinfo:
+            gate_trend(path)
+        assert "run the bench suites here" in str(excinfo.value)
+
+    def test_describe_host_renders_the_fingerprint(self):
+        from repro.bench import describe_host
+
+        text = describe_host(
+            {"platform": "linux", "machine": "x86_64",
+             "python": "3.11", "cpus": 8}
+        )
+        assert text == "linux/x86_64 py3.11 8 cpu(s)"
+
 
 class TestBenchCli:
     def test_gate_passes_and_fails_by_exit_code(self, tmp_path, capsys):

@@ -130,10 +130,101 @@ class TestCliErrorMapping:
         from repro.cli import build_parser
 
         args = build_parser().parse_args(["chaos"])
+        assert args.action == "run"
         assert args.servers == 2
         assert args.duration == 14_400.0
         assert args.crash_server == 1
         assert args.corrupt_socket == 0
         assert args.fault_seed == 0
         assert args.kill_job is None
+        assert args.smoke is False
         assert args.debug is False
+
+    def test_chaos_campaign_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["chaos", "campaign", "--smoke"])
+        assert args.action == "campaign"
+        assert args.smoke is True
+        assert args.catalog_dir is None
+
+
+class TestExitCodeRegistry:
+    """Every error family has its own exit code — and always will.
+
+    The registry walk keeps the contract honest for subclasses added
+    later: a new ``ReproError`` family that nobody maps gets the base
+    class's catch-all 11, and two families sharing a code would make
+    CI exit statuses ambiguous.  Both drift modes fail here first.
+    """
+
+    @staticmethod
+    def _all_repro_error_classes():
+        found = set()
+        frontier = [ReproError]
+        while frontier:
+            cls = frontier.pop()
+            found.add(cls)
+            frontier.extend(cls.__subclasses__())
+        return found
+
+    def test_every_subclass_resolves_to_a_distinct_family_code(self):
+        # Each family maps to its own code; an unregistered subclass
+        # (TomlError, by design — the codec re-wraps it) falls to the
+        # ReproError catch-all 11 rather than colliding with a family.
+        registered = {cls for cls, _ in ERROR_EXIT_CODES}
+        for cls in self._all_repro_error_classes():
+            code = exit_code_for(cls("x"))
+            assert code >= 3
+            if cls not in registered:
+                assert code == 11, (
+                    f"{cls.__name__} is unregistered but resolves to "
+                    f"family code {code}; register it explicitly"
+                )
+
+    def test_no_table_entry_is_shadowed_by_an_earlier_ancestor(self):
+        # isinstance resolution walks the table in order: a subclass
+        # listed after its ancestor would be unreachable.
+        for i, (cls, _) in enumerate(ERROR_EXIT_CODES):
+            for earlier, _ in ERROR_EXIT_CODES[:i]:
+                assert not issubclass(cls, earlier), (
+                    f"{cls.__name__} is unreachable behind "
+                    f"{earlier.__name__}"
+                )
+        assert ERROR_EXIT_CODES[-1][0] is ReproError
+
+    def test_every_family_resolves_to_its_own_code(self):
+        # Instantiate each family and resolve it through the CLI
+        # mapping: subclasses must win over the ReproError catch-all,
+        # and no two families may share a code.
+        seen = {}
+        for cls, expected in ERROR_EXIT_CODES:
+            code = exit_code_for(cls("x"))
+            assert code == expected, cls
+            assert code not in seen, (
+                f"{cls.__name__} and {seen[code].__name__} share "
+                f"exit code {code}"
+            )
+            seen[code] = cls
+
+    def test_watchdog_error_takes_13(self):
+        from repro.errors import WatchdogError
+
+        assert exit_code_for(WatchdogError("x")) == 13
+
+    def test_base_repro_error_is_the_catch_all(self):
+        codes = dict((cls, code) for cls, code in ERROR_EXIT_CODES)
+        assert codes[ReproError] == 11
+
+        class Unmapped(ReproError):
+            pass
+
+        try:
+            assert exit_code_for(Unmapped("x")) == 11
+        finally:
+            # Drop the throwaway subclass so the registry walk above
+            # never sees it in later test orderings.
+            import gc
+
+            del Unmapped
+            gc.collect()

@@ -6,6 +6,8 @@ executed it.  These tests run the same day under every shard/worker
 combination and assert one digest.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.errors import FaultError, SchedulingError
@@ -13,9 +15,14 @@ from repro.faults.plan import FaultPlan
 from repro.faults.spec import CpmStuckFault, JobKillFault, ServerCrashFault
 from repro.fleet import FleetConfig, TrafficConfig
 from repro.fleet.engine import FleetSimulation
+from repro.fleet.scheduler import AGS_POLICY
 from repro.fleet.shard import (
+    ENV_SHARD_FAULT,
+    MAX_SHARD_RETRIES,
     CellLayout,
+    CellSpec,
     _split_fault_plan,
+    run_cell_specs,
     run_sharded,
 )
 
@@ -215,3 +222,120 @@ class TestShardedChaos:
         )
         with pytest.raises(SchedulingError):
             run_sharded(config, n_shards=1, cell_servers=2, fault_plan=plan)
+
+
+def _pools_available() -> bool:
+    """Whether this sandbox permits process pools at all."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(abs, -1).result(timeout=60) == 1
+    except (OSError, PermissionError, NotImplementedError):
+        return False
+
+
+def _cells_for(config):
+    layout = CellLayout(n_servers=config.n_servers, cell_servers=2)
+    return tuple(
+        CellSpec(
+            index=cell_id,
+            offset=layout.offset(cell_id),
+            config=dataclasses.replace(
+                config, n_servers=layout.size(cell_id)
+            ),
+        )
+        for cell_id in range(layout.n_cells)
+    )
+
+
+@pytest.mark.chaos
+class TestShardCrashRecovery:
+    """Worker death never fails the run or moves its digest.
+
+    The kill hook (:data:`~repro.fleet.shard.ENV_SHARD_FAULT`) makes the
+    pool worker about to simulate a chosen cell die with ``os._exit`` on
+    a chosen attempt — a deterministic stand-in for an OOM kill.  The
+    recovery contract: failed cells re-execute (fresh pool, then
+    in-process), the retry manifest names them, and the merged SHA-256
+    is bit-identical to an unfaulted run.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _require_pools(self):
+        if not _pools_available():
+            pytest.skip("sandbox refuses process pools")
+
+    def test_killed_worker_recovers_bit_identical(
+        self, config, monkeypatch
+    ):
+        baseline = run_cell_specs(_cells_for(config), AGS_POLICY, n_shards=2)
+        assert baseline.retries == ()
+        monkeypatch.setenv(ENV_SHARD_FAULT, "kill:cell=1,attempt=0")
+        recovered = run_cell_specs(
+            _cells_for(config), AGS_POLICY, n_shards=2
+        )
+        assert (
+            recovered.merged.event_log_hash
+            == baseline.merged.event_log_hash
+        )
+        assert recovered.merged.job_records == baseline.merged.job_records
+        # The kill takes down the whole batch, so every cell sharing the
+        # dead worker re-executes; cell 1 is among them, on attempt 1,
+        # recovered on a fresh pool.
+        assert recovered.retries
+        by_cell = {r.cell_index: r for r in recovered.retries}
+        assert by_cell[1].attempt == 1
+        assert by_cell[1].reason == "broken_pool"
+        assert by_cell[1].recovered_via == "fresh_pool"
+
+    def test_repeated_kills_fall_back_in_process(self, config, monkeypatch):
+        baseline = run_cell_specs(_cells_for(config), AGS_POLICY, n_shards=2)
+        # Kill cell 1's worker on every fresh-pool attempt (0, 1, 2);
+        # the hook never fires in the parent, so the in-process last
+        # resort always completes.
+        for attempt in range(MAX_SHARD_RETRIES + 1):
+            monkeypatch.setenv(
+                ENV_SHARD_FAULT, f"kill:cell=1,attempt={attempt}"
+            )
+            recovered = run_cell_specs(
+                _cells_for(config), AGS_POLICY, n_shards=2
+            )
+            assert (
+                recovered.merged.event_log_hash
+                == baseline.merged.event_log_hash
+            )
+
+    def test_scenario_result_carries_the_manifest(self, monkeypatch):
+        from repro.scenarios import (
+            Scenario,
+            ServerGroupSpec,
+            TopologySpec,
+            TrafficSpec,
+            run_scenario,
+        )
+
+        scenario = Scenario(
+            name="shard_recovery_probe",
+            seed=5,
+            traffic=TrafficSpec(
+                duration_seconds=3600.0, jobs_per_hour=60.0,
+                lc_fraction=0.2,
+            ),
+            topology=TopologySpec(
+                groups=(
+                    ServerGroupSpec(
+                        name="rack", servers=4, cell_servers=2
+                    ),
+                )
+            ),
+        )
+        clean = run_scenario(scenario, n_shards=2)
+        assert clean.retries == ()
+        monkeypatch.setenv(ENV_SHARD_FAULT, "kill:cell=0,attempt=0")
+        faulted = run_scenario(scenario, n_shards=2)
+        assert faulted.retries
+        assert 0 in {r.cell_index for r in faulted.retries}
+        assert (
+            faulted.fleet.event_log_hash == clean.fleet.event_log_hash
+        )

@@ -125,6 +125,107 @@ class TestCoordinatorControlLaw:
         assert update.total_cap_w == pytest.approx(sum(update.caps))
 
 
+class TestCoordinatorGains:
+    def test_gains_length_must_match_servers(self):
+        with pytest.raises(SchedulingError):
+            PowerCapCoordinator(budget_w=100.0, n_servers=2, gains=(0.5,))
+
+    def test_gains_entries_must_be_in_range(self):
+        for bad in (0.0, -0.5, 2.5):
+            with pytest.raises(SchedulingError):
+                PowerCapCoordinator(
+                    budget_w=100.0, n_servers=2, gains=(0.5, bad)
+                )
+
+    def test_uniform_gains_match_scalar_gain(self):
+        scalar = PowerCapCoordinator(budget_w=400.0, n_servers=2, gain=0.7)
+        vector = PowerCapCoordinator(
+            budget_w=400.0, n_servers=2, gains=(0.7, 0.7)
+        )
+        for _ in range(5):
+            expected = scalar.tick([300.0, 250.0])
+            actual = vector.tick([300.0, 250.0])
+            assert actual == expected
+
+    def test_effective_gain_is_mean_of_live(self):
+        # Kill the high-gain server: the loop must integrate with the
+        # survivor's 0.2 gain, not the (0.2 + 1.0)/2 mean.
+        coordinator = PowerCapCoordinator(
+            budget_w=400.0, n_servers=2, gains=(0.2, 1.0)
+        )
+        # Zero-error tick establishes the one-survivor membership
+        # without moving the integral state off the 400 W budget.
+        coordinator.tick([400.0, 0.0], live=(True, False))
+        # Now integrate a clean -100 W error at the survivor's gain.
+        update = coordinator.tick([500.0, 0.0], live=(True, False))
+        assert update.fleet_cap_w == pytest.approx(400.0 + 0.2 * -100.0)
+
+
+class TestCoordinatorLiveMask:
+    def test_all_live_mask_identical_to_no_mask(self):
+        masked = PowerCapCoordinator(budget_w=400.0, n_servers=2)
+        bare = PowerCapCoordinator(budget_w=400.0, n_servers=2)
+        for _ in range(5):
+            assert masked.tick(
+                [300.0, 250.0], live=(True, True)
+            ) == bare.tick([300.0, 250.0])
+
+    def test_dead_servers_get_zero_cap(self):
+        coordinator = PowerCapCoordinator(budget_w=400.0, n_servers=3)
+        update = coordinator.tick([200.0, 0.0, 200.0], live=(True, False, True))
+        assert update.caps[1] == 0.0
+        assert update.caps[0] > 0.0 and update.caps[2] > 0.0
+
+    def test_dead_watts_are_not_measured(self):
+        coordinator = PowerCapCoordinator(budget_w=400.0, n_servers=2)
+        update = coordinator.tick([200.0, 999.0], live=(True, False))
+        assert update.measured_w == pytest.approx(200.0)
+
+    def test_membership_change_resets_integral_state(self):
+        coordinator = PowerCapCoordinator(budget_w=400.0, n_servers=2)
+        for _ in range(20):  # wind the cap up against low demand
+            coordinator.tick([10.0, 10.0])
+        assert coordinator.fleet_cap_w > 400.0
+        coordinator.tick([10.0, 0.0], live=(True, False))
+        # Anti-windup: the wound-up error history tracked a two-server
+        # plant; the crash restarts from zero prior error (one tick of
+        # fresh integration on top of the reset budget).
+        assert coordinator.fleet_cap_w == pytest.approx(
+            400.0 + coordinator.gain * (400.0 - 10.0)
+        )
+
+    def test_all_dead_hands_out_nothing_and_learns_nothing(self):
+        coordinator = PowerCapCoordinator(budget_w=400.0, n_servers=2)
+        before = coordinator.fleet_cap_w
+        update = coordinator.tick([0.0, 0.0], live=(False, False))
+        assert update.caps == (0.0, 0.0)
+        assert coordinator.fleet_cap_w == before
+
+    def test_live_mask_length_mismatch_rejected(self):
+        coordinator = PowerCapCoordinator(budget_w=400.0, n_servers=2)
+        with pytest.raises(SchedulingError):
+            coordinator.tick([100.0, 100.0], live=(True,))
+
+
+class TestSetBudget:
+    def test_retarget_resets_integral_state_and_ceiling(self):
+        coordinator = PowerCapCoordinator(
+            budget_w=400.0, n_servers=2, ceiling_factor=2.0
+        )
+        for _ in range(20):
+            coordinator.tick([10.0, 10.0])
+        assert coordinator.fleet_cap_w > 400.0
+        coordinator.set_budget(300.0)
+        assert coordinator.budget_w == 300.0
+        assert coordinator.fleet_cap_w == 300.0
+        assert coordinator.ceiling_w == 600.0
+
+    def test_rejects_nonpositive_budget(self):
+        coordinator = PowerCapCoordinator(budget_w=400.0, n_servers=2)
+        with pytest.raises(SchedulingError):
+            coordinator.set_budget(0.0)
+
+
 class TestDecomposeBudget:
     def test_none_passes_through(self):
         assert decompose_budget(None, [2, 2]) == (None, None)
@@ -132,15 +233,81 @@ class TestDecomposeBudget:
     def test_shares_sum_exactly(self):
         shares = decompose_budget(1000.0, [3, 2, 2])
         assert sum(shares) == 1000.0
-        assert shares[0] > shares[1] == shares[2]
+        assert shares[0] > shares[1]
+        # The last cell absorbs the float remainder (at most an ulp).
+        assert shares[2] == pytest.approx(shares[1], abs=1e-9)
 
-    def test_rounding_remainder_lands_on_largest_cell(self):
+    def test_rounding_remainder_lands_on_last_cell(self):
         shares = decompose_budget(100.0, [1, 1, 1])
         assert sum(shares) == 100.0
+
+    def test_single_cell_gets_the_whole_budget(self):
+        assert decompose_budget(333.33, [5]) == (333.33,)
+
+    def test_adversarial_splits_sum_exactly(self):
+        # Ragged sizes whose proportional shares are non-terminating
+        # binary fractions: the remainder must always land somewhere.
+        for sizes in ([7, 3, 13, 1], [1] * 9, [3, 3, 3], [11, 13, 17, 19]):
+            for budget in (100.0, 333.33, 1234.567, 50.0 * sum(sizes)):
+                shares = decompose_budget(budget, sizes)
+                assert sum(shares) == budget
+                assert all(share > 0 for share in shares)
+
+    def test_floor_holds_when_budget_covers_the_floor(self):
+        # The proportional split hands every server budget/total W, so
+        # the 50 W per-server floor is satisfiable in every cell exactly
+        # when the budget covers 50 W x total servers.
+        sizes = [7, 3, 13, 1]
+        total = sum(sizes)
+        shares = decompose_budget(50.0 * total, sizes)
+        for share, size in zip(shares, sizes):
+            assert share >= 50.0 * size - 1e-9
 
     def test_zero_servers_rejected(self):
         with pytest.raises(SchedulingError):
             decompose_budget(100.0, [])
+
+
+class TestBudgetSchedule:
+    def test_schedule_requires_a_budget(self):
+        with pytest.raises(SchedulingError, match="needs a fleet budget"):
+            FleetConfig(
+                n_servers=2,
+                traffic=TRAFFIC,
+                fleet_power_budget_schedule=((60.0, 200.0),),
+            )
+
+    def test_budget_updates_land_in_the_log(self):
+        config = FleetConfig(
+            n_servers=2,
+            traffic=TRAFFIC,
+            seed=7,
+            fleet_power_budget_w=380.0,
+            fleet_power_budget_schedule=((1200.0, 300.0), (2400.0, 380.0)),
+        )
+        result = FleetSimulation(config).run()
+        updates = [
+            entry for entry in result.events
+            if entry["kind"] == "budget_update"
+        ]
+        assert [u["budget_w"] for u in updates] == [300.0, 380.0]
+
+    def test_no_op_schedule_entries_are_skipped(self):
+        # An entry equal to the current budget emits nothing, so the
+        # run stays bit-identical to the unscheduled one.
+        base = FleetConfig(
+            n_servers=2, traffic=TRAFFIC, seed=7,
+            fleet_power_budget_w=380.0,
+        )
+        noop = FleetConfig(
+            n_servers=2, traffic=TRAFFIC, seed=7,
+            fleet_power_budget_w=380.0,
+            fleet_power_budget_schedule=((1200.0, 380.0),),
+        )
+        assert (
+            FleetSimulation(noop).run().event_log_hash
+            == FleetSimulation(base).run().event_log_hash
+        )
 
 
 class TestBackendRegistry:

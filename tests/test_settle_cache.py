@@ -2,6 +2,7 @@
 
 import json
 import os
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
@@ -222,3 +223,161 @@ class TestDigestInvariance:
         warm = self._run_digest()
         assert warm == cold
         assert fleet_settle_cache().stats.disk_hits > 0
+
+
+def _pools_available() -> bool:
+    """Whether this sandbox permits process pools at all."""
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(abs, -1).result(timeout=60) == 1
+    except (OSError, PermissionError, NotImplementedError):
+        return False
+
+
+def _hammer_shared_key(disk_dir: str, settled, n_writes: int) -> int:
+    """Pool worker: rewrite one key into a shared dir as fast as possible.
+
+    Module-level so the pool can pickle it; returns the worker's disk
+    error count (any write fault would already be a failure).
+    """
+    cache = FleetSettleCache(max_entries=4, disk_dir=disk_dir)
+    for _ in range(n_writes):
+        cache.put(("raced",), settled)
+    return cache.stats.disk_errors
+
+
+class TestConcurrentWriters:
+    """Shard workers share the disk layer; racing writers must be safe.
+
+    The atomic-write protocol (pid-suffixed temp + ``os.replace``) is the
+    only thing standing between two workers rewriting the same key and a
+    reader decoding a half-written file.  Two processes hammer one key
+    concurrently; the read-back must validate with zero corruption
+    counters and leave no temp orphans behind.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _require_pools(self):
+        if not _pools_available():
+            pytest.skip("sandbox refuses process pools")
+
+    def test_two_processes_racing_one_key_never_corrupt(
+        self, settled, tmp_path
+    ):
+        from repro.obs import Observability, install, observability
+
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(_hammer_shared_key, str(tmp_path), settled, 50)
+                for _ in range(2)
+            ]
+            assert [f.result(timeout=120) for f in futures] == [0, 0]
+        previous = install(Observability(enabled=True))
+        try:
+            reader = FleetSettleCache(max_entries=4, disk_dir=str(tmp_path))
+            loaded = reader.get(("raced",))
+            rendered = observability().metrics.render_text()
+        finally:
+            install(previous)
+        assert loaded == settled  # a complete, checksum-valid entry won
+        assert reader.stats.corrupt == 0
+        assert reader.stats.disk_errors == 0
+        # Counters are created on first increment: absence means zero.
+        assert "fleet_settle_cache_corrupt_total" not in rendered
+        names = [p.name for p in tmp_path.iterdir()]
+        assert names == ["settle-{}.json".format(names[0][7:-5])]
+        assert not any(n.endswith(".tmp") for n in names)
+
+
+class TestArmedCorruption:
+    """The ``cache_fault`` chaos hook: deterministic torn writes.
+
+    While armed, every Nth disk write is truncated mid-payload.  The
+    cache must detect the damage on read (checksum or JSON failure),
+    quarantine the file, count it, and recompute — never serve it.
+    """
+
+    def test_arm_returns_previous_and_validates(self, tmp_path):
+        cache = FleetSettleCache(max_entries=4, disk_dir=str(tmp_path))
+        assert cache.arm_corruption(3) is None
+        assert cache.arm_corruption(None) == 3
+        with pytest.raises(ValueError):
+            cache.arm_corruption(0)
+
+    def test_torn_write_is_quarantined_and_counted(self, settled, tmp_path):
+        from repro.obs import Observability, install, observability
+
+        writer = FleetSettleCache(max_entries=4, disk_dir=str(tmp_path))
+        writer.arm_corruption(1)
+        writer.put(("torn",), settled)
+        # The writer's own memory layer still hits — tearing only
+        # damages the disk copy.
+        assert writer.get(("torn",)) is settled
+        reader = FleetSettleCache(max_entries=4, disk_dir=str(tmp_path))
+        previous = install(Observability(enabled=True))
+        try:
+            assert reader.get(("torn",)) is None
+            rendered = observability().metrics.render_text()
+        finally:
+            install(previous)
+        assert reader.stats.corrupt == 1
+        assert reader.stats.misses == 1
+        assert "fleet_settle_cache_corrupt_total" in rendered
+        names = [p.name for p in tmp_path.iterdir()]
+        assert any(n.endswith(".corrupt") for n in names)
+        assert not any(n.endswith(".json") for n in names)
+        # A clean rewrite (reader is unarmed) heals the entry in place.
+        reader.put(("torn",), settled)
+        fresh = FleetSettleCache(max_entries=4, disk_dir=str(tmp_path))
+        assert fresh.get(("torn",)) == settled
+        assert fresh.stats.corrupt == 0
+
+    def test_every_n_cadence_tears_exactly_the_nth_writes(
+        self, settled, tmp_path
+    ):
+        writer = FleetSettleCache(max_entries=8, disk_dir=str(tmp_path))
+        writer.arm_corruption(2)
+        for i in range(4):
+            writer.put(("k", i), settled)
+        reader = FleetSettleCache(max_entries=8, disk_dir=str(tmp_path))
+        served = [reader.get(("k", i)) for i in range(4)]
+        # Writes 2 and 4 (1-indexed) were torn: exactly two survive.
+        assert [r is not None for r in served] == [True, False, True, False]
+        assert reader.stats.corrupt == 2
+
+
+class TestCacheFaultDigestInvariance:
+    """An armed ``cache_fault`` never moves a fleet run's digest."""
+
+    CONFIG = dict(n_servers=2, traffic=TRAFFIC, seed=7)
+
+    def _run_digest(self, fault_plan=None) -> str:
+        sim = FleetSimulation(
+            FleetConfig(**self.CONFIG), fault_plan=fault_plan
+        )
+        return sim.run().event_log_hash
+
+    @pytest.mark.chaos
+    def test_armed_tear_never_moves_the_digest(self, tmp_path):
+        from repro.faults import CacheCorruptionFault, FaultPlan
+
+        plan = FaultPlan(specs=(CacheCorruptionFault(every_n=1),))
+        configure_fleet_settle_cache()
+        clear_fleet_memos()
+        clean = self._run_digest()
+        # Every disk write torn: the run computes everything it needs
+        # (memory layer is undamaged) and leaves a fully torn disk.
+        configure_fleet_settle_cache(disk_dir=str(tmp_path))
+        clear_fleet_memos()
+        assert self._run_digest(fault_plan=plan) == clean
+        # The engine restored the disarmed state after the run.
+        assert fleet_settle_cache().arm_corruption(None) is None
+        # Rerun cold over the damaged disk: every read quarantines,
+        # recomputes, and the digest still never moves.
+        configure_fleet_settle_cache(disk_dir=str(tmp_path))
+        clear_fleet_memos()
+        assert self._run_digest(fault_plan=plan) == clean
+        assert fleet_settle_cache().stats.corrupt > 0
+        assert any(
+            name.endswith(".corrupt") for name in os.listdir(tmp_path)
+        )
